@@ -1,0 +1,1 @@
+bin/xrpc_server.ml: Arg Array Cmd Cmdliner Filename Fun Logs Option Printf Sys Term Unix Xrpc_net Xrpc_peer Xrpc_workloads Xrpc_xquery

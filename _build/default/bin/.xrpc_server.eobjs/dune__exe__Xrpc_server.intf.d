@@ -1,0 +1,1 @@
+bin/xrpc_server.mli:

@@ -1,0 +1,1 @@
+bin/xrpc_shell.ml: Arg Array Buffer Cmd Cmdliner Filename Fun In_channel Logs Option Printf String Sys Term Unix Xrpc_net Xrpc_peer Xrpc_xml Xrpc_xquery

@@ -1,0 +1,85 @@
+(* xrpc-server: serve a directory of XML documents and XQuery modules as an
+   XRPC peer over HTTP.
+
+   Every *.xml file in the data directory becomes a queryable document
+   (by file name); every *.xq file is registered as a module under both
+   its declared namespace URI and its file name as at-hint.  The server
+   answers SOAP XRPC requests (including Bulk RPC, queryID isolation and
+   2PC transaction messages) on POST. *)
+
+module Peer = Xrpc_peer.Peer
+module Database = Xrpc_peer.Database
+module Http = Xrpc_net.Http
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_data peer dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun entry ->
+        let path = Filename.concat dir entry in
+        if Filename.check_suffix entry ".xml" then begin
+          Database.add_doc_xml peer.Peer.db entry (read_file path);
+          Printf.printf "loaded document %s\n%!" entry
+        end
+        else if Filename.check_suffix entry ".xq" then begin
+          let source = read_file path in
+          let prog = Xrpc_xquery.Parser.parse_prog source in
+          match prog.Xrpc_xquery.Ast.module_decl with
+          | Some (_, uri) ->
+              Peer.register_module peer ~uri ~location:entry source;
+              Printf.printf "loaded module %s (namespace %s)\n%!" entry uri
+          | None ->
+              Printf.eprintf "skipping %s: not a library module\n%!" entry
+        end)
+      (Sys.readdir dir)
+  else Printf.eprintf "warning: data directory %s not found\n%!" dir
+
+let serve verbose port data demo =
+  setup_logs verbose;
+  let peer = Peer.create (Printf.sprintf "xrpc://127.0.0.1:%d" port) in
+  (* outgoing calls of hosted functions also travel over HTTP *)
+  Peer.set_transport peer (Http.transport ());
+  if demo then begin
+    Xrpc_workloads.Filmdb.install peer ();
+    print_endline "demo film database + films module loaded"
+  end;
+  Option.iter (load_data peer) data;
+  let server = Http.serve ~port (fun ~path:_ body -> Peer.handle_raw peer body) in
+  Printf.printf "XRPC peer listening on xrpc://127.0.0.1:%d\n%!" server.Http.port;
+  (* keep the main thread alive *)
+  while true do
+    Unix.sleep 3600
+  done
+
+open Cmdliner
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log requests and 2PC activity.")
+
+let port =
+  Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen port.")
+
+let data =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "d"; "data" ] ~docv:"DIR"
+        ~doc:"Directory of *.xml documents and *.xq modules to serve.")
+
+let demo =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Load the paper's film database.")
+
+let cmd =
+  let doc = "serve XML documents and XQuery modules as an XRPC peer" in
+  Cmd.v (Cmd.info "xrpc-server" ~doc) Term.(const serve $ verbose $ port $ data $ demo)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,105 @@
+(* xrpc-shell: run distributed XQuery queries from the command line.
+
+   Reads a query from a file argument (or stdin), runs it against a local
+   peer whose database is populated from --data, with `execute at` and
+   `doc("xrpc://host:port/...")` going out over real HTTP.  With no query
+   it drops into a small REPL (queries terminated by a line with a single
+   "." or by EOF). *)
+
+module Peer = Xrpc_peer.Peer
+module Database = Xrpc_peer.Database
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_data peer dir =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Filename.check_suffix entry ".xml" then
+        Database.add_doc_xml peer.Peer.db entry (read_file path)
+      else if Filename.check_suffix entry ".xq" then
+        let source = read_file path in
+        let prog = Xrpc_xquery.Parser.parse_prog source in
+        match prog.Xrpc_xquery.Ast.module_decl with
+        | Some (_, uri) -> Peer.register_module peer ~uri ~location:entry source
+        | None -> ())
+    (Sys.readdir dir)
+
+let run_query peer source =
+  match Peer.query peer source with
+  | { Peer.value; committed; participants } ->
+      print_endline (Xrpc_xml.Xdm.to_display value);
+      if participants <> [] then
+        Printf.printf "-- participants: %s%s\n"
+          (String.concat ", " participants)
+          (if committed then "" else " (COMMIT FAILED)")
+  | exception
+      ( Xrpc_xquery.Parser.Syntax_error m
+      | Xrpc_xquery.Lexer.Lex_error m
+      | Xrpc_xquery.Eval.Error m
+      | Xrpc_xml.Xdm.Dynamic_error m
+      | Peer.Peer_error m ) ->
+      Printf.eprintf "error: %s\n%!" m
+
+let repl peer =
+  print_endline "XRPC shell — terminate a query with a single '.' line; ctrl-d exits.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    (match Buffer.length buf with 0 -> print_string "xquery> " | _ -> print_string "      > ");
+    print_string "";
+    flush stdout;
+    match input_line stdin with
+    | "." ->
+        if Buffer.length buf > 0 then run_query peer (Buffer.contents buf);
+        Buffer.clear buf;
+        loop ()
+    | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        loop ()
+    | exception End_of_file ->
+        if Buffer.length buf > 0 then run_query peer (Buffer.contents buf)
+  in
+  loop ()
+
+let main verbose data query_file =
+  setup_logs verbose;
+  let peer = Peer.create "xrpc://shell.local" in
+  Peer.set_transport peer (Xrpc_net.Http.transport ());
+  Option.iter (load_data peer) data;
+  match query_file with
+  | Some path -> run_query peer (read_file path)
+  | None -> if Unix.isatty Unix.stdin then repl peer
+            else run_query peer (In_channel.input_all stdin)
+
+open Cmdliner
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log requests and 2PC activity.")
+
+let data =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "d"; "data" ] ~docv:"DIR"
+        ~doc:"Directory of *.xml documents and *.xq modules for the local peer.")
+
+let query_file =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"QUERY.xq" ~doc:"Query file to run (stdin if omitted).")
+
+let cmd =
+  let doc = "run (distributed) XQuery queries with XRPC" in
+  Cmd.v (Cmd.info "xrpc-shell" ~doc) Term.(const main $ verbose $ data $ query_file)
+
+let () = exit (Cmd.eval cmd)

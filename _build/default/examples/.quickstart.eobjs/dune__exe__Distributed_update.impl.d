@@ -1,0 +1,1 @@
+examples/distributed_update.ml: Printf String Xrpc_core Xrpc_peer Xrpc_workloads Xrpc_xml

@@ -1,0 +1,1 @@
+examples/film_federation.mli:

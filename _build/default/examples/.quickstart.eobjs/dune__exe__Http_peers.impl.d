@@ -1,0 +1,1 @@
+examples/http_peers.ml: Printf Xrpc_net Xrpc_peer Xrpc_workloads Xrpc_xml

@@ -1,0 +1,1 @@
+examples/p2p_dht.ml: Hashtbl List Printf String Xdm Xrpc_core Xrpc_net Xrpc_peer Xrpc_xml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Xrpc_core Xrpc_net Xrpc_peer Xrpc_workloads Xrpc_xml

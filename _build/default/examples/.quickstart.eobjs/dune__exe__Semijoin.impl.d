@@ -1,0 +1,1 @@
+examples/semijoin.ml: List Printf Unix Xrpc_core Xrpc_net Xrpc_peer Xrpc_workloads

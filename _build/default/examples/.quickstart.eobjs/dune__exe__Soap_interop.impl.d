@@ -1,0 +1,1 @@
+examples/soap_interop.ml: List Printf Qname String Tree Xml_parse Xrpc_net Xrpc_peer Xrpc_workloads Xrpc_xml

@@ -1,0 +1,1 @@
+examples/soap_interop.mli:

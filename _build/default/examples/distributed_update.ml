@@ -1,0 +1,54 @@
+(* Distributed updates over XRPC (§2.3): calling XQUF updating functions
+   remotely, with repeatable-read isolation and 2PC atomic commit.
+
+   The query adds a film on BOTH remote peers from one query; under
+   `declare option xrpc:isolation "repeatable"` the pending update lists
+   are deferred on each peer and committed atomically with the
+   WS-AtomicTransaction-style Prepare/Commit exchange. *)
+
+module Cluster = Xrpc_core.Cluster
+module Peer = Xrpc_peer.Peer
+module Filmdb = Xrpc_workloads.Filmdb
+
+let count_films peer label =
+  let r = Peer.query_seq peer {|count(doc("filmDB.xml")//film)|} in
+  Printf.printf "%-16s: %s films\n" label (Xrpc_xml.Xdm.to_display r)
+
+let () =
+  let cluster =
+    Cluster.create ~names:[ "x.example.org"; "y.example.org"; "z.example.org" ] ()
+  in
+  let x = Cluster.peer cluster "x.example.org" in
+  let y = Cluster.peer cluster "y.example.org" in
+  let z = Cluster.peer cluster "z.example.org" in
+  Filmdb.install y ();
+  Filmdb.install z ~variant:`Z ();
+  Peer.register_module x ~uri:Filmdb.module_ns ~location:Filmdb.module_at
+    Filmdb.film_module;
+
+  count_films y "y before";
+  count_films z "z before";
+
+  let update_query =
+    {|import module namespace f="films" at "http://x.example.org/film.xq";
+declare option xrpc:isolation "repeatable";
+declare option xrpc:timeout "60";
+for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+return execute at {$dst} {f:addFilm("The Hunt for Red October", "Sean Connery")}|}
+  in
+  let r = Peer.query x update_query in
+  Printf.printf "distributed update committed: %b (participants: %s)\n"
+    r.Peer.committed
+    (String.concat ", " r.Peer.participants);
+
+  count_films y "y after";
+  count_films z "z after";
+
+  (* read back over XRPC to confirm both peers applied the update *)
+  let check =
+    {|import module namespace f="films" at "http://x.example.org/film.xq";
+for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+return count(execute at {$dst} {f:filmsByActor("Sean Connery")})|}
+  in
+  Printf.printf "Connery films per peer: %s\n"
+    (Xrpc_xml.Xdm.to_display (Peer.query_seq x check))

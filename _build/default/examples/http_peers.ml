@@ -1,0 +1,31 @@
+(* Real HTTP transport: two peers in one process talking SOAP XRPC over
+   actual loopback HTTP sockets — the wire format of §2.1, for real.
+
+   This is the cross-process deployment story: run the server half on one
+   machine, point the client's destination URI at its host:port. *)
+
+module Peer = Xrpc_peer.Peer
+module Http = Xrpc_net.Http
+module Filmdb = Xrpc_workloads.Filmdb
+
+let () =
+  (* server peer: film DB behind a real HTTP endpoint *)
+  let y = Peer.create "xrpc://127.0.0.1" in
+  Filmdb.install y ();
+  let server = Http.serve (fun ~path:_ body -> Peer.handle_raw y body) in
+  let dest = Printf.sprintf "xrpc://127.0.0.1:%d" server.Http.port in
+  Printf.printf "serving XRPC on %s\n%!" dest;
+
+  (* client peer: talks to it over HTTP *)
+  let x = Peer.create "xrpc://client.local" in
+  Peer.set_transport x (Http.transport ());
+  Peer.register_module x ~uri:Filmdb.module_ns ~location:Filmdb.module_at
+    Filmdb.film_module;
+
+  let result = Peer.query_seq x (Filmdb.q1 ~dest) in
+  print_endline (Xrpc_xml.Xdm.to_display result);
+
+  (* and a bulk call over real HTTP *)
+  let result2 = Peer.query_seq x (Filmdb.q2 ~dest) in
+  print_endline (Xrpc_xml.Xdm.to_display result2);
+  Http.shutdown server

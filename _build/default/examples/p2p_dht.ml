@@ -1,0 +1,128 @@
+(* P2P data management with XRPC (§7 future work: "integrating XRPC with
+   advanced P2P data structures such as Distributed Hash Tables").
+
+   Eight peers form a hash ring; each stores the film records whose key
+   hashes onto it, plus the same tiny lookup module.  A query routes with
+   plain XRPC: the coordinator hashes each title, groups lookups by
+   responsible peer, and — thanks to Bulk RPC — sends exactly one message
+   per contacted peer no matter how many keys land there.  Writes use
+   remote XQUF updating functions with repeatable-read isolation and 2PC,
+   so a multi-peer insert is atomic. *)
+
+module Cluster = Xrpc_core.Cluster
+module Peer = Xrpc_peer.Peer
+module Database = Xrpc_peer.Database
+open Xrpc_xml
+
+let n_peers = 8
+let peer_name i = Printf.sprintf "p%d.ring" i
+let hash key = Hashtbl.hash key mod n_peers
+
+(* every ring member serves this module *)
+let ring_module =
+  {|module namespace ring = "ring";
+declare function ring:lookup($title as xs:string) as node()*
+{ doc("shard.xml")//film[name = $title] };
+declare function ring:count() as xs:integer
+{ count(doc("shard.xml")//film) };
+declare updating function ring:store($title as xs:string, $actor as xs:string)
+{ insert node <film><name>{$title}</name><actor>{$actor}</actor></film>
+  into exactly-one(doc("shard.xml")/films) };
+|}
+
+let films =
+  [
+    ("The Rock", "Sean Connery"); ("Goldfinger", "Sean Connery");
+    ("Green Card", "Gerard Depardieu"); ("Sound Of Music", "Julie Andrews");
+    ("Dr. No", "Sean Connery"); ("Mary Poppins", "Julie Andrews");
+    ("Cyrano", "Gerard Depardieu"); ("The Untouchables", "Sean Connery");
+  ]
+
+let () =
+  (* build the ring *)
+  let names = List.init n_peers peer_name in
+  let cluster = Cluster.create ~names () in
+  List.iteri
+    (fun i name ->
+      let p = Cluster.peer cluster name in
+      let shard =
+        List.filter (fun (t, _) -> hash t = i) films
+        |> List.map (fun (t, a) ->
+               Printf.sprintf "<film><name>%s</name><actor>%s</actor></film>" t a)
+        |> String.concat ""
+      in
+      Database.add_doc_xml p.Peer.db "shard.xml"
+        (Printf.sprintf "<films>%s</films>" shard);
+      Peer.register_module p ~uri:"ring" ~location:"ring.xq" ring_module)
+    names;
+  let coordinator = Cluster.peer cluster (peer_name 0) in
+
+  Printf.printf "ring of %d peers; placement:\n" n_peers;
+  List.iter
+    (fun (t, _) -> Printf.printf "  %-18s -> %s\n" t (peer_name (hash t)))
+    films;
+
+  (* distributed lookup: one query, keys routed by hash; Bulk RPC batches
+     all keys that land on the same peer *)
+  let wanted = [ "The Rock"; "Dr. No"; "Mary Poppins"; "Cyrano"; "Goldfinger" ] in
+  let routed =
+    String.concat ", "
+      (List.map
+         (fun t -> Printf.sprintf "(\"%s\", \"xrpc://%s\")" t (peer_name (hash t)))
+         wanted)
+  in
+  let lookup_query =
+    Printf.sprintf
+      {|import module namespace ring = "ring" at "ring.xq";
+for $i in (1 to %d)
+let $title := (%s)[2 * $i - 1]
+let $dest  := (%s)[2 * $i]
+return execute at {$dest} {ring:lookup(string($title))}|}
+      (List.length wanted) routed routed
+  in
+  Cluster.reset_stats cluster;
+  let result = Peer.query_seq coordinator lookup_query in
+  Printf.printf "\nlookup of %d keys:\n%s\n" (List.length wanted)
+    (Xdm.to_display result);
+  Printf.printf "messages used: %d (peers contacted: %d)\n"
+    (Cluster.stats cluster).Xrpc_net.Simnet.messages
+    ((Cluster.stats cluster).Xrpc_net.Simnet.messages / 2);
+
+  (* atomic multi-peer write: two inserts land on different peers; 2PC
+     commits both or neither *)
+  let new_films = [ ("Highlander", "Sean Connery"); ("Victor Victoria", "Julie Andrews") ] in
+  let writes =
+    String.concat "\n"
+      (List.map
+         (fun (t, a) ->
+           Printf.sprintf
+             {|, execute at {"xrpc://%s"} {ring:store("%s", "%s")}|}
+             (peer_name (hash t)) t a)
+         new_films)
+  in
+  let write_query =
+    Printf.sprintf
+      {|import module namespace ring = "ring" at "ring.xq";
+declare option xrpc:isolation "repeatable";
+(() %s)|}
+      writes
+  in
+  let r = Peer.query coordinator write_query in
+  Printf.printf "\natomic 2-peer insert committed: %b (participants: %s)\n"
+    r.Peer.committed
+    (String.concat ", " r.Peer.participants);
+
+  (* verify via a ring-wide count fan-out *)
+  let dests =
+    String.concat ", "
+      (List.map (fun n -> Printf.sprintf "\"xrpc://%s\"" n) names)
+  in
+  let count_query =
+    Printf.sprintf
+      {|import module namespace ring = "ring" at "ring.xq";
+sum(for $d in (%s) return execute at {$d} {ring:count()})|}
+      dests
+  in
+  Printf.printf "total films on the ring: %s (was %d)\n"
+    (Xdm.to_display (Peer.query_seq coordinator count_query))
+    (List.length films)

@@ -1,0 +1,32 @@
+(* Quickstart: the paper's Q1 — call a remote XQuery function with XRPC.
+
+   Two peers on a simulated network: x.example.org originates the query,
+   y.example.org holds the film database.  The query imports the films
+   module and executes filmsByActor("Sean Connery") at y. *)
+
+module Cluster = Xrpc_core.Cluster
+module Peer = Xrpc_peer.Peer
+module Filmdb = Xrpc_workloads.Filmdb
+
+let () =
+  (* 1. build a two-peer cluster over the deterministic simulated network *)
+  let cluster = Cluster.create ~names:[ "x.example.org"; "y.example.org" ] () in
+  let x = Cluster.peer cluster "x.example.org" in
+  let y = Cluster.peer cluster "y.example.org" in
+
+  (* 2. install the film database + films module on the remote peer; the
+        local peer needs the module too (it imports it to learn signatures) *)
+  Filmdb.install y ();
+  Peer.register_module x ~uri:Filmdb.module_ns ~location:Filmdb.module_at
+    Filmdb.film_module;
+
+  (* 3. run Q1 at x *)
+  let query = Filmdb.q1 ~dest:"xrpc://y.example.org" in
+  print_endline "-- query --";
+  print_endline query;
+  let result = Peer.query_seq x query in
+
+  print_endline "-- result --";
+  print_endline (Xrpc_xml.Xdm.to_display result);
+  Printf.printf "\nsimulated network time: %.2f ms, %d messages\n"
+    (Cluster.clock_ms cluster) (Cluster.stats cluster).Xrpc_net.Simnet.messages

@@ -1,0 +1,63 @@
+(* SOAP interoperability: the wire protocol of §2.1 is plain SOAP 1.2 over
+   HTTP POST, so ANY web-service client can call an XRPC peer — no XRPC
+   library required.  This example plays the part of such a foreign client:
+   it writes the request envelope by hand (byte-for-byte the message shown
+   in §2.1 of the paper), POSTs it over a raw socket, and picks the answer
+   out of the response with a generic XML parse. *)
+
+module Peer = Xrpc_peer.Peer
+module Http = Xrpc_net.Http
+module Filmdb = Xrpc_workloads.Filmdb
+open Xrpc_xml
+
+(* the §2.1 request message, written out by hand like a SOAP toolkit would *)
+let handwritten_request =
+  {|<?xml version="1.0" encoding="utf-8"?>
+<env:Envelope xmlns:xrpc="http://monetdb.cwi.nl/XQuery"
+ xmlns:env="http://www.w3.org/2003/05/soap-envelope"
+ xmlns:xs="http://www.w3.org/2001/XMLSchema"
+ xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+ xsi:schemaLocation="http://monetdb.cwi.nl/XQuery
+ http://monetdb.cwi.nl/XQuery/XRPC.xsd">
+<env:Body>
+<xrpc:request module="films" method="filmsByActor" arity="1"
+ location="http://x.example.org/film.xq">
+<xrpc:call>
+<xrpc:sequence>
+<xrpc:atomic-value
+ xsi:type="xs:string">Sean Connery</xrpc:atomic-value>
+</xrpc:sequence>
+</xrpc:call>
+</xrpc:request>
+</env:Body>
+</env:Envelope>|}
+
+let () =
+  (* an ordinary XRPC peer behind HTTP *)
+  let y = Peer.create "xrpc://127.0.0.1" in
+  Filmdb.install y ();
+  let server = Http.serve (fun ~path:_ body -> Peer.handle_raw y body) in
+  Printf.printf "peer on port %d — sending the paper's verbatim SOAP request\n"
+    server.Http.port;
+
+  (* the "foreign SOAP client": raw POST, generic XML parsing *)
+  let response =
+    Http.post ~host:"127.0.0.1" ~port:server.Http.port handwritten_request
+  in
+  print_endline "-- raw response on the wire --";
+  print_endline response;
+
+  (* a generic client only needs an XML parser to read the results *)
+  let tree = Xml_parse.document response in
+  let rec collect acc = function
+    | Tree.Element { name; children; _ } ->
+        if name.Qname.local = "element" && name.Qname.uri = Qname.ns_xrpc then
+          List.fold_left collect (acc @ List.map Tree.string_value children)
+            children
+        else List.fold_left collect acc children
+    | Tree.Document cs -> List.fold_left collect acc cs
+    | _ -> acc
+  in
+  Printf.printf "-- films extracted by the generic client --\n%s\n"
+    (String.concat ", " (collect [] tree));
+  Http.shutdown server

@@ -1,0 +1,1 @@
+lib/algebra/bulk_rpc.ml: List Ops Printf Table Xdm Xrpc_soap Xrpc_xml

@@ -1,0 +1,1 @@
+lib/algebra/looplift.ml: Bulk_rpc Hashtbl Int List Ops Printf Qname Store String Table Tree Xdm Xrpc_soap Xrpc_xml Xrpc_xquery Xs

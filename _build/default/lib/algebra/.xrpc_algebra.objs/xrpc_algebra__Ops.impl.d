@@ -1,0 +1,1 @@
+lib/algebra/ops.ml: Hashtbl Int List Option Table Xdm Xrpc_xml Xs

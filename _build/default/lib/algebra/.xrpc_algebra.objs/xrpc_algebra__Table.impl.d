@@ -1,0 +1,1 @@
+lib/algebra/table.ml: Int List Printf Serialize Store String Xdm Xrpc_xml Xs

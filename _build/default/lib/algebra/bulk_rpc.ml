@@ -1,0 +1,125 @@
+(** The relational translation of a loop-lifted XRPC call — Figure 2 of the
+    paper, with the intermediate tables of Figure 1 exposed for inspection.
+
+    {v
+    execute at {dst} { f(param1, ..., paramn) }  ⇒  result
+      peers   = δ(π_item(dst))
+      map_p   = π_{iter,iterp}(ρ_{iterp:<iter>}(σ_{item=p}(dst)))
+      req_i_p = π_{iterp,pos,item}(ρ_pos(map_p ⋈_{iter=iter} param_i))
+      msg_p   = f(req_1_p, ..., req_n_p) @ p          (one Bulk RPC)
+      res_p   = π_{iter,pos,item}(msg_p ⋈_{iterp=iterp} map_p)
+      result  = ⊎_{p ∈ peers} res_p                    (merge on iter)
+    v} *)
+
+open Xrpc_xml
+module Message = Xrpc_soap.Message
+
+type trace = (string * Table.t) list
+
+(** [execute ~dst ~params ~request_meta ~call] runs the Figure-2 rule.
+    [dst] and each parameter are [iter|pos|item] tables over the same loop;
+    [call dest request] performs one network round trip.  Returns the
+    result table plus the named intermediate tables (Figure 1). *)
+let execute ~(dst : Table.t) ~(params : Table.t list)
+    ~(module_uri : string) ~(location : string) ~(method_ : string)
+    ?(query_id : Message.query_id option)
+    ~(call : dest:string -> Message.request -> Message.t) () :
+    Table.t * trace =
+  let trace = ref [] in
+  let note name t = trace := (name, t) :: !trace in
+  note "dst" dst;
+  List.iteri (fun i p -> note (Printf.sprintf "param%d" (i + 1)) p) params;
+  (* peers = δ(π_item(dst)) — order of first occurrence is kept by δ *)
+  let peers_t = Ops.distinct (Ops.project dst [ ("item", "item") ]) in
+  let peers =
+    List.map
+      (fun row ->
+        match row with
+        | [ c ] -> Xdm.string_value (Table.item_cell c)
+        | _ -> assert false)
+      peers_t.Table.rows
+  in
+  let results =
+    List.map
+      (fun peer ->
+        let peer_cell = Table.Item (Xdm.str peer) in
+        (* map_p : iter -> iterp *)
+        let selected = Ops.select_eq dst "item" peer_cell in
+        let ranked =
+          Ops.rank selected ~new_col:"iterp" ~order_by:[ "iter" ] ()
+        in
+        let map_p = Ops.project ranked [ ("iter", "iter"); ("iterp", "iterp") ] in
+        note (Printf.sprintf "map_%s" peer) map_p;
+        (* req_i_p per parameter *)
+        let reqs =
+          List.mapi
+            (fun i param ->
+              let joined = Ops.equi_join map_p "iter" param "iter" in
+              let req =
+                Ops.project joined
+                  [ ("iterp", "iterp"); ("pos", "pos"); ("item", "item") ]
+              in
+              note (Printf.sprintf "req%d_%s" (i + 1) peer) req;
+              req)
+            params
+        in
+        (* assemble the Bulk RPC: one call per iterp, in iterp order *)
+        let iterps = Table.iters (Ops.project map_p [ ("iter", "iterp") ]) in
+        let calls =
+          List.map
+            (fun iterp ->
+              List.map
+                (fun req ->
+                  let as_iter =
+                    Ops.project req
+                      [ ("iter", "iterp"); ("pos", "pos"); ("item", "item") ]
+                  in
+                  Table.sequence_of as_iter ~iter:iterp)
+                reqs)
+            iterps
+        in
+        let request =
+          {
+            Message.module_uri;
+            location;
+            method_;
+            arity = List.length params;
+            updating = false;
+            fragments = false;
+            query_id;
+            calls;
+          }
+        in
+        let response = call ~dest:peer request in
+        let result_seqs =
+          match response with
+          | Message.Response r -> r.Message.results
+          | Message.Fault f ->
+              Xdm.dyn_error "XRPC fault from %s: %s" peer f.Message.reason
+          | _ -> Xdm.dyn_error "unexpected XRPC reply from %s" peer
+        in
+        (* msg_p : iterp|pos|item *)
+        let msg_p =
+          Table.make [ "iterp"; "pos"; "item" ]
+            (List.concat
+               (List.map2
+                  (fun iterp seq ->
+                    List.mapi
+                      (fun p item ->
+                        [ Table.Int iterp; Table.Int (p + 1); Table.Item item ])
+                      seq)
+                  iterps result_seqs))
+        in
+        note (Printf.sprintf "msg_%s" peer) msg_p;
+        (* res_p : map iterp back to iter *)
+        let joined = Ops.equi_join msg_p "iterp" map_p "iterp" in
+        let res_p =
+          Ops.project joined [ ("iter", "iter"); ("pos", "pos"); ("item", "item") ]
+        in
+        note (Printf.sprintf "res_%s" peer) res_p;
+        res_p)
+      peers
+  in
+  let result = Ops.merge_union_on_iter results in
+  note "result" result;
+  (result, List.rev !trace)

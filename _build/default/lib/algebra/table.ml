@@ -1,0 +1,127 @@
+(** Column tables — the [iter|pos|item] representation of §3.1.
+
+    MonetDB/XQuery represents every XQuery sequence as a relational table
+    with schema [pos|item]; under loop-lifting an extra [iter] column holds
+    the logical iteration number.  Cells are either integers (for [iter] /
+    [pos] / rank columns) or XDM items.  The pretty-printer reproduces the
+    table layout used in Figure 1 of the paper. *)
+
+open Xrpc_xml
+
+type cell = Int of int | Item of Xdm.item
+
+type t = {
+  cols : string list;
+  rows : cell list list;  (** each row has [List.length cols] cells *)
+}
+
+exception Schema_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+let make cols rows =
+  List.iter
+    (fun r ->
+      if List.length r <> List.length cols then
+        err "row width %d does not match %d columns" (List.length r)
+          (List.length cols))
+    rows;
+  { cols; rows }
+
+let empty cols = { cols; rows = [] }
+let cardinality t = List.length t.rows
+
+let col_index t c =
+  let rec go i = function
+    | [] -> err "no column %S in table(%s)" c (String.concat "," t.cols)
+    | c' :: _ when c' = c -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.cols
+
+let cell t row c = List.nth row (col_index t c)
+
+let int_cell = function
+  | Int i -> i
+  | Item (Xdm.Atomic (Xs.Integer i)) -> i
+  | _ -> err "expected integer cell"
+
+let item_cell = function
+  | Item i -> i
+  | Int i -> Xdm.Atomic (Xs.Integer i)
+
+let cell_equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Item (Xdm.Atomic x), Item (Xdm.Atomic y) -> (
+      try Xs.equal_values x y with Xs.Type_error _ -> false)
+  | Item (Xdm.Node x), Item (Xdm.Node y) -> Store.equal_nodes x y
+  | Int x, Item (Xdm.Atomic (Xs.Integer y)) | Item (Xdm.Atomic (Xs.Integer x)), Int y ->
+      x = y
+  | _ -> false
+
+let cell_compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Item (Xdm.Atomic x), Item (Xdm.Atomic y) -> Xs.compare_values x y
+  | Item (Xdm.Node x), Item (Xdm.Node y) -> Store.compare_nodes x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Item (Xdm.Atomic _), Item (Xdm.Node _) -> -1
+  | Item (Xdm.Node _), Item (Xdm.Atomic _) -> 1
+
+let cell_to_string = function
+  | Int i -> string_of_int i
+  | Item (Xdm.Atomic a) -> Printf.sprintf "%S" (Xs.to_string a)
+  | Item (Xdm.Node n) -> Serialize.to_string (Store.to_tree n)
+
+(** Build the canonical [iter|pos|item] table from one XDM sequence per
+    iteration. *)
+let of_sequences (seqs : (int * Xdm.sequence) list) =
+  make [ "iter"; "pos"; "item" ]
+    (List.concat_map
+       (fun (iter, seq) ->
+         List.mapi (fun p item -> [ Int iter; Int (p + 1); Item item ]) seq)
+       seqs)
+
+(** Extract the sequence of a given iteration from an [iter|pos|item]
+    table, in [pos] order. *)
+let sequence_of t ~iter =
+  let ii = col_index t "iter" and pi = col_index t "pos" and xi = col_index t "item" in
+  t.rows
+  |> List.filter (fun r -> int_cell (List.nth r ii) = iter)
+  |> List.sort (fun a b ->
+         Int.compare (int_cell (List.nth a pi)) (int_cell (List.nth b pi)))
+  |> List.map (fun r -> item_cell (List.nth r xi))
+
+(** Distinct iters present, ascending. *)
+let iters t =
+  let ii = col_index t "iter" in
+  t.rows
+  |> List.map (fun r -> int_cell (List.nth r ii))
+  |> List.sort_uniq Int.compare
+
+(** Figure-1 style rendering. *)
+let to_string ?(max_item = 40) t =
+  let render_cell c =
+    let s = cell_to_string c in
+    if String.length s > max_item then String.sub s 0 (max_item - 1) ^ "…" else s
+  in
+  let header = t.cols in
+  let body = List.map (fun r -> List.map render_cell r) t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) body)
+      header
+  in
+  let line cells =
+    String.concat " | "
+      (List.map2
+         (fun w s -> s ^ String.make (max 0 (w - String.length s)) ' ')
+         widths cells)
+  in
+  let sep = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line header :: sep :: List.map line body) @ [])

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: List Printf String Xrpc_net Xrpc_peer

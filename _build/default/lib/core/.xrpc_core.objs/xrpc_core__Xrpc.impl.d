@@ -1,0 +1,1 @@
+lib/core/xrpc.ml: Cluster Strategies Xrpc_net Xrpc_peer Xrpc_soap Xrpc_xml

@@ -1,0 +1,79 @@
+(** Convenience layer: wire a set of XRPC peers over a transport.
+
+    [create ~names ()] builds one {!Xrpc_peer.Peer} per name on a shared
+    deterministic {!Xrpc_net.Simnet} (names become [xrpc://NAME] URIs),
+    registers each peer's handler with the network, and points every peer's
+    outgoing transport at it.  Wrapper peers (§4) can be attached with
+    [add_wrapper].  [serve_http] exposes any peer of the cluster over real
+    HTTP for cross-process use. *)
+
+module Peer = Xrpc_peer.Peer
+module Wrapper = Xrpc_peer.Wrapper
+module Simnet = Xrpc_net.Simnet
+module Http = Xrpc_net.Http
+
+type t = {
+  net : Simnet.t;
+  mutable peers : (string * Peer.t) list;
+  mutable wrappers : (string * Wrapper.t) list;
+}
+
+let uri_of_name name =
+  if String.length name >= 7 && String.sub name 0 7 = "xrpc://" then name
+  else "xrpc://" ^ name
+
+(** Virtual clock derived from the simulated network (milliseconds of
+    simulated time become seconds of peer-local time would be confusing —
+    peers read the virtual clock in seconds). *)
+let clock_of (net : Simnet.t) () = net.Simnet.clock_ms /. 1000.
+
+let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config)
+    ~names () =
+  let net = Simnet.create ~config () in
+  let cluster = { net; peers = []; wrappers = [] } in
+  let transport = Simnet.transport net in
+  List.iter
+    (fun name ->
+      let uri = uri_of_name name in
+      let peer = Peer.create ~config:peer_config ~clock:(clock_of net) uri in
+      Peer.set_transport peer transport;
+      Simnet.register net uri (Peer.handle_raw peer);
+      cluster.peers <- (name, peer) :: cluster.peers)
+    names;
+  cluster
+
+let peer t name =
+  match List.assoc_opt name t.peers with
+  | Some p -> p
+  | None -> invalid_arg ("no peer named " ^ name)
+
+(** Attach a §4 wrapper peer (an XRPC-incapable engine behind the wrapper). *)
+let add_wrapper t ?(join_detect = false) name =
+  let uri = uri_of_name name in
+  let w = Wrapper.create ~join_detect uri in
+  Simnet.register t.net uri (Wrapper.handle_raw w);
+  t.wrappers <- (name, w) :: t.wrappers;
+  w
+
+let wrapper t name =
+  match List.assoc_opt name t.wrappers with
+  | Some w -> w
+  | None -> invalid_arg ("no wrapper named " ^ name)
+
+(** Register the same module on every peer (the paper's examples assume the
+    module at its at-hint URL is reachable from everywhere). *)
+let register_module_everywhere t ~uri ?location source =
+  List.iter (fun (_, p) -> Peer.register_module p ~uri ?location source) t.peers;
+  List.iter (fun (_, w) -> Wrapper.register_module w ~uri ?location source) t.wrappers
+
+(** Expose a peer over real HTTP (loopback); returns the server handle and
+    the xrpc URI (with port) remote peers should use. *)
+let serve_http t name ?(port = 0) () =
+  let p = peer t name in
+  let server = Http.serve ~port (fun ~path:_ body -> Peer.handle_raw p body) in
+  (server, Printf.sprintf "xrpc://127.0.0.1:%d" server.Http.port)
+
+let clock_ms t = t.net.Simnet.clock_ms
+let reset_clock t = Simnet.reset_clock t.net
+let stats t = t.net.Simnet.stats
+let reset_stats t = Simnet.reset_stats t.net

@@ -1,0 +1,29 @@
+(** XRPC — Interoperable and Efficient Distributed XQuery.
+
+    Public facade of the library.  The usual flow:
+
+    {[
+      let cluster = Xrpc_core.Cluster.create ~names:[ "x"; "y" ] () in
+      let y = Xrpc_core.Cluster.peer cluster "y" in
+      Xrpc_peer.Peer.(add your documents / modules) ...;
+      let r =
+        Xrpc_peer.Peer.query_seq (Xrpc_core.Cluster.peer cluster "x")
+          {|import module namespace f="films" at "http://x.example.org/film.xq";
+            execute at {"xrpc://y"} { f:filmsByActor("Sean Connery") }|}
+      in
+      print_endline (Xrpc_xml.Xdm.to_display r)
+    ]} *)
+
+module Cluster = Cluster
+module Strategies = Strategies
+module Peer = Xrpc_peer.Peer
+module Wrapper = Xrpc_peer.Wrapper
+module Database = Xrpc_peer.Database
+module Two_pc = Xrpc_peer.Two_pc
+module Message = Xrpc_soap.Message
+module Marshal = Xrpc_soap.Marshal
+module Xdm = Xrpc_xml.Xdm
+module Simnet = Xrpc_net.Simnet
+module Http = Xrpc_net.Http
+
+let version = "1.0.0"

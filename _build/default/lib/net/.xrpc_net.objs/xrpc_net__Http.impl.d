@@ -1,0 +1,1 @@
+lib/net/http.ml: Array Buffer Fun List Option Printexc Printf String Thread Transport Unix Xrpc_uri

@@ -1,0 +1,1 @@
+lib/net/simnet.ml: Float Hashtbl List String Transport Unix Xrpc_uri

@@ -1,0 +1,1 @@
+lib/net/xrpc_uri.ml: Printf String

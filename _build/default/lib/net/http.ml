@@ -1,0 +1,165 @@
+(** Minimal HTTP/1.1 POST transport over Unix sockets.
+
+    XRPC messages travel as SOAP over HTTP POST (§2.1).  This is a small
+    but real implementation — enough for one XQuery peer to call another
+    across processes or machines — modeled on the "ultra-light HTTP
+    daemon" the paper embeds in MonetDB/XQuery (§3).  The server runs its
+    accept loop on a daemon thread and serves each connection on its own
+    thread. *)
+
+exception Http_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Http_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Wire reading helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_line_crlf ic =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match input_char ic with
+    | '\r' -> (
+        match input_char ic with
+        | '\n' -> Buffer.contents buf
+        | c ->
+            Buffer.add_char buf '\r';
+            Buffer.add_char buf c;
+            go ())
+    | '\n' -> Buffer.contents buf
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let read_headers ic =
+  let rec go acc =
+    match read_line_crlf ic with
+    | "" -> List.rev acc
+    | line -> (
+        match String.index_opt line ':' with
+        | Some i ->
+            let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+            let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            go ((k, v) :: acc)
+        | None -> go acc)
+  in
+  go []
+
+let read_body ic headers =
+  match List.assoc_opt "content-length" headers with
+  | Some n -> really_input_string ic (int_of_string n)
+  | None -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type server = { sock : Unix.file_descr; port : int; mutable running : bool }
+
+(** [serve ~port handler] starts an HTTP server; [handler path body]
+    returns the response body for a POST (GET returns the handler result
+    with an empty body, so module sources can be fetched too).  Binds to
+    127.0.0.1.  [port = 0] picks a free port (see [server.port]). *)
+let serve ?(port = 0) (handler : path:string -> string -> string) : server =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 32;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let server = { sock; port = actual_port; running = true } in
+  let handle_conn fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       let request_line = read_line_crlf ic in
+       match String.split_on_char ' ' request_line with
+       | meth :: path :: _ ->
+           let headers = read_headers ic in
+           let body = if meth = "POST" then read_body ic headers else "" in
+           let status, response =
+             try ("200 OK", handler ~path body)
+             with e -> ("500 Internal Server Error", Printexc.to_string e)
+           in
+           Printf.fprintf oc
+             "HTTP/1.1 %s\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+             status (String.length response) response;
+           flush oc
+       | _ -> ()
+     with End_of_file | Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let accept_loop () =
+    while server.running do
+      match Unix.accept sock with
+      | fd, _ -> ignore (Thread.create handle_conn fd)
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> server.running <- false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  ignore (Thread.create accept_loop ());
+  server
+
+let shutdown server =
+  server.running <- false;
+  try Unix.close server.sock with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [post ~host ~port ~path body] performs one HTTP POST round trip. *)
+let post ~host ~port ?(path = "/") body =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_loopback
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (addr, port));
+      let oc = Unix.out_channel_of_descr sock in
+      let ic = Unix.in_channel_of_descr sock in
+      Printf.fprintf oc
+        "POST %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+        path host port (String.length body) body;
+      flush oc;
+      let status_line = read_line_crlf ic in
+      let headers = read_headers ic in
+      let response = read_body ic headers in
+      match String.split_on_char ' ' status_line with
+      | _ :: code :: _ when code.[0] = '2' -> response
+      | _ :: code :: _ -> err "HTTP %s: %s" code response
+      | _ -> err "malformed HTTP status line %S" status_line)
+
+(** Transport over HTTP: destinations are [xrpc://host:port[/path]] URIs.
+    Parallel sends use one thread per destination. *)
+let transport ?(default_port = 8080) () =
+  let send ~dest body =
+    let uri = Xrpc_uri.parse dest in
+    let port = Option.value ~default:default_port uri.Xrpc_uri.port in
+    post ~host:uri.Xrpc_uri.host ~port ~path:("/" ^ uri.Xrpc_uri.path) body
+  in
+  let send_parallel pairs =
+    let results = Array.make (List.length pairs) (Ok "") in
+    let threads =
+      List.mapi
+        (fun i (dest, body) ->
+          Thread.create
+            (fun () ->
+              results.(i) <-
+                (try Ok (send ~dest body) with e -> Error e))
+            ())
+        pairs
+    in
+    List.iter Thread.join threads;
+    Array.to_list results
+    |> List.map (function Ok r -> r | Error e -> raise e)
+  in
+  { Transport.send; send_parallel }

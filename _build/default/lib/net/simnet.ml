@@ -1,0 +1,111 @@
+(** Deterministic simulated network with a virtual clock.
+
+    The paper's experiments ran on two Athlon64 boxes on 1 Gb/s Ethernet;
+    we do not have that testbed, so the benchmarks charge network costs to
+    a virtual clock instead: each message costs one-way [latency_ms] plus
+    [bytes / bandwidth]; a request/response interaction costs both
+    directions.  Handler CPU can optionally be charged at real measured
+    time ([charge_cpu]), which is what the benches use — CPU cost is real,
+    network cost is modeled, so relative shapes (bulk vs one-at-a-time,
+    strategy comparisons) are preserved.  Parallel dispatch charges the
+    maximum completion time across peers, matching §3.2. *)
+
+type config = {
+  latency_ms : float;  (** one-way network latency per message *)
+  bandwidth_bytes_per_ms : float;  (** payload cost; [infinity] disables *)
+  charge_cpu : bool;  (** add real handler CPU time to the clock *)
+}
+
+let default_config =
+  (* ~1 Gb/s Ethernet with sub-millisecond LAN latency, like the paper's
+     testbed: 0.6 ms one-way, 125 bytes/us *)
+  { latency_ms = 0.6; bandwidth_bytes_per_ms = 125_000.; charge_cpu = true }
+
+type stats = {
+  mutable messages : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable network_ms : float;
+      (** pure network cost (latency + transfer) excluding handler CPU —
+          lets callers combine modeled network time with real measured CPU
+          time without double counting *)
+}
+
+type t = {
+  config : config;
+  mutable clock_ms : float;  (** virtual time *)
+  handlers : (string, string -> string) Hashtbl.t;  (** peer key -> handler *)
+  stats : stats;
+}
+
+exception Unknown_peer of string
+
+let create ?(config = default_config) () =
+  {
+    config;
+    clock_ms = 0.;
+    handlers = Hashtbl.create 8;
+    stats = { messages = 0; bytes_sent = 0; bytes_received = 0; network_ms = 0. };
+  }
+
+(** [register net uri handler] attaches a peer (handler over raw bodies)
+    under the host[:port] of [uri]. *)
+let register net uri handler =
+  Hashtbl.replace net.handlers (Xrpc_uri.peer_key_of_string uri) handler
+
+let transfer_cost net bytes =
+  net.config.latency_ms +. float_of_int bytes /. net.config.bandwidth_bytes_per_ms
+
+(* one request/response interaction; returns (response, elapsed_virtual_ms) *)
+let interact net ~dest body =
+  let key = Xrpc_uri.peer_key_of_string dest in
+  let handler =
+    match Hashtbl.find_opt net.handlers key with
+    | Some h -> h
+    | None -> raise (Unknown_peer dest)
+  in
+  let t0 = if net.config.charge_cpu then Unix.gettimeofday () else 0. in
+  let response = handler body in
+  let cpu_ms =
+    if net.config.charge_cpu then (Unix.gettimeofday () -. t0) *. 1000. else 0.
+  in
+  net.stats.messages <- net.stats.messages + 2;
+  net.stats.bytes_sent <- net.stats.bytes_sent + String.length body;
+  net.stats.bytes_received <- net.stats.bytes_received + String.length response;
+  let wire_ms =
+    transfer_cost net (String.length body)
+    +. transfer_cost net (String.length response)
+  in
+  net.stats.network_ms <- net.stats.network_ms +. wire_ms;
+  (response, wire_ms +. cpu_ms)
+
+(** Synchronous round trip: advances the virtual clock by latency +
+    transfer + (optionally) handler CPU, both ways. *)
+let send net ~dest body =
+  let response, elapsed = interact net ~dest body in
+  net.clock_ms <- net.clock_ms +. elapsed;
+  response
+
+(** Parallel dispatch to several peers: the clock advances by the maximum
+    of the individual costs (all requests are in flight simultaneously). *)
+let send_parallel net pairs =
+  let results =
+    List.map (fun (dest, body) -> interact net ~dest body) pairs
+  in
+  let slowest = List.fold_left (fun m (_, e) -> Float.max m e) 0. results in
+  net.clock_ms <- net.clock_ms +. slowest;
+  List.map fst results
+
+let transport net =
+  {
+    Transport.send = (fun ~dest body -> send net ~dest body);
+    send_parallel = (fun pairs -> send_parallel net pairs);
+  }
+
+let reset_clock net = net.clock_ms <- 0.
+
+let reset_stats net =
+  net.stats.messages <- 0;
+  net.stats.bytes_sent <- 0;
+  net.stats.bytes_received <- 0;
+  net.stats.network_ms <- 0.

@@ -1,0 +1,18 @@
+(** Transport abstraction: how serialized SOAP XRPC messages move between
+    peers.
+
+    A transport is a pair of send functions over raw message bodies
+    (strings).  [send_parallel] exists because MonetDB/XQuery dispatches
+    Bulk RPC requests to distinct peers in parallel (§3.2); a simulated
+    transport charges the {e maximum} of the individual costs instead of
+    their sum, a real transport may use threads. *)
+
+type t = {
+  send : dest:string -> string -> string;
+      (** POST a request body to a peer, return the response body *)
+  send_parallel : (string * string) list -> string list;
+      (** same, to several (dest, body) pairs concurrently *)
+}
+
+let sequential send =
+  { send; send_parallel = List.map (fun (dest, body) -> send ~dest body) }

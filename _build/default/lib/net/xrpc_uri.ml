@@ -1,0 +1,54 @@
+(** The [xrpc://] URI scheme of §2: [xrpc://<host>[:port][/[path]]]. *)
+
+type t = {
+  scheme : string;
+  host : string;
+  port : int option;
+  path : string;  (** without the leading slash *)
+}
+
+exception Bad_uri of string
+
+(** [parse s] accepts [xrpc://host[:port][/path]] and, for convenience,
+    bare host names (the paper's examples use both ["xrpc://y.example.org"]
+    and ["B"]). *)
+let parse s =
+  let scheme, rest =
+    match String.index_opt s ':' with
+    | Some i
+      when i + 2 < String.length s
+           && String.sub s (i + 1) 2 = "//" ->
+        (String.sub s 0 i, String.sub s (i + 3) (String.length s - i - 3))
+    | _ -> ("xrpc", s)
+  in
+  let hostport, path =
+    match String.index_opt rest '/' with
+    | Some i ->
+        ( String.sub rest 0 i,
+          String.sub rest (i + 1) (String.length rest - i - 1) )
+    | None -> (rest, "")
+  in
+  let host, port =
+    match String.index_opt hostport ':' with
+    | Some i -> (
+        let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+        match int_of_string_opt p with
+        | Some port -> (String.sub hostport 0 i, Some port)
+        | None -> raise (Bad_uri s))
+    | None -> (hostport, None)
+  in
+  if host = "" then raise (Bad_uri s);
+  { scheme; host; port; path }
+
+let to_string t =
+  Printf.sprintf "%s://%s%s%s" t.scheme t.host
+    (match t.port with Some p -> ":" ^ string_of_int p | None -> "")
+    (if t.path = "" then "" else "/" ^ t.path)
+
+(** Canonical peer identity used to route messages: host[:port]. *)
+let peer_key t =
+  match t.port with
+  | Some p -> Printf.sprintf "%s:%d" t.host p
+  | None -> t.host
+
+let peer_key_of_string s = peer_key (parse s)

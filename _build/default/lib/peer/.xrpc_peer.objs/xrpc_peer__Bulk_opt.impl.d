@@ -1,0 +1,1 @@
+lib/peer/bulk_opt.ml: Hashtbl List Option Qname String Xdm Xrpc_xml Xrpc_xquery Xs

@@ -1,0 +1,1 @@
+lib/peer/database.ml: List Map Store String Unix Xml_parse Xrpc_xml Xrpc_xquery

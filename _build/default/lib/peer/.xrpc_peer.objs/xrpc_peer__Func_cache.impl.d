@@ -1,0 +1,1 @@
+lib/peer/func_cache.ml: Hashtbl Xrpc_xquery

@@ -1,0 +1,1 @@
+lib/peer/isolation.ml: Database Hashtbl List Unix Xrpc_soap Xrpc_xquery

@@ -1,0 +1,1 @@
+lib/peer/peer.ml: Bulk_opt Database Fun Func_cache Hashtbl Isolation List Logs Mutex Printf Qname Store String Thread Two_pc Unix Xdm Xml_parse Xrpc_net Xrpc_soap Xrpc_xml Xrpc_xquery

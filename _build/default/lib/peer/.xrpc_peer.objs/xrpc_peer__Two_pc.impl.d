@@ -1,0 +1,1 @@
+lib/peer/two_pc.ml: List Xrpc_net Xrpc_soap

@@ -1,0 +1,1 @@
+lib/peer/wrapper.ml: Buffer Bulk_opt Database Hashtbl List Option Printf Qname Serialize Store String Tree Unix Xdm Xml_parse Xrpc_net Xrpc_soap Xrpc_xml Xrpc_xquery

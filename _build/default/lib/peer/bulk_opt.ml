@@ -1,0 +1,108 @@
+(** Set-oriented execution of Bulk RPC requests.
+
+    §1 of the paper: "Bulk RPC exposes bulk execution opportunities, such
+    that e.g. a function that selects with a constant argument is turned
+    into a join against the sequence of all arguments"; §4 observes Saxon
+    doing exactly this for the bulk [getPerson] request.  This module
+    recognizes the selection pattern [PATH[key = $param]] in a function
+    body and answers an n-call bulk request with a single scan + hash join
+    instead of n scans.  Used by both the native {!Peer} engine (where it
+    models MonetDB's loop-lifted join plans) and the §4 {!Wrapper}. *)
+
+open Xrpc_xml
+module Xast = Xrpc_xquery.Ast
+module Xctx = Xrpc_xquery.Context
+
+(* Strip trivial cardinality wrappers: zero-or-one(e), exactly-one(e), ... *)
+let rec strip_wrappers (e : Xast.expr) =
+  match e with
+  | Xast.Call (q, [ arg ])
+    when List.mem q.Qname.local
+           [ "zero-or-one"; "exactly-one"; "one-or-more" ] ->
+      strip_wrappers arg
+  | e -> e
+
+(** Recognize [PATH[key = $param]] with the predicate on the final step;
+    returns (path without the predicate, key expression, parameter). *)
+let selection_pattern (params : Qname.t list) (body : Xast.expr) =
+  let is_param v = List.exists (Qname.equal v) params in
+  let split_pred = function
+    | Xast.Compare ((Xast.G_eq | Xast.V_eq), k, Xast.Var v) when is_param v ->
+        Some (k, v)
+    | Xast.Compare ((Xast.G_eq | Xast.V_eq), Xast.Var v, k) when is_param v ->
+        Some (k, v)
+    | _ -> None
+  in
+  match strip_wrappers body with
+  | Xast.Path (prefix, Xast.Step (axis, test, [ pred ])) -> (
+      match split_pred pred with
+      | Some (k, v) -> Some (Xast.Path (prefix, Xast.Step (axis, test, [])), k, v)
+      | None -> None)
+  | Xast.Filter (e, [ pred ]) -> (
+      match split_pred pred with
+      | Some (k, v) -> Some (e, k, v)
+      | None -> None)
+  | _ -> None
+
+(** [hash_join_execute ctx f calls] answers all [calls] of a bulk request
+    to function [f] with one scan if the body is a selection whose only
+    call-dependent input is the selection key.  Returns [None] when the
+    pattern does not apply (caller falls back to call-at-a-time). *)
+let hash_join_execute ctx (f : Xctx.func) (calls : Xdm.sequence list list) =
+  let params = List.map fst f.Xctx.decl.Xast.fn_params in
+  match
+    Option.bind f.Xctx.decl.Xast.fn_body (fun b -> selection_pattern params b)
+  with
+  | None -> None
+  | Some (path, key_expr, join_param) -> (
+      match calls with
+      | [] -> Some []
+      | [ _ ] -> None (* a single call gains nothing; keep the plain plan *)
+      | first_call :: _ ->
+          (* non-join parameters must be constant across calls for the
+             single-scan plan to be valid (they are in the paper's
+             getPerson experiment: the document name) *)
+          let join_idx =
+            match
+              List.find_index (fun p -> Qname.equal p join_param) params
+            with
+            | Some i -> i
+            | None -> assert false
+          in
+          let constant_elsewhere =
+            List.for_all
+              (fun call ->
+                List.for_all2
+                  (fun a b -> Xdm.deep_equal a b)
+                  (List.filteri (fun i _ -> i <> join_idx) call)
+                  (List.filteri (fun i _ -> i <> join_idx) first_call))
+              calls
+          in
+          if not constant_elsewhere then None
+          else
+            (* build side: one evaluation of the path *)
+            let bind_ctx =
+              List.fold_left2
+                (fun c p v -> Xctx.bind_var c p v)
+                ctx params first_call
+            in
+            let candidates = Xrpc_xquery.Eval.eval bind_ctx path in
+            let index = Hashtbl.create 64 in
+            List.iter
+              (fun item ->
+                let ictx = Xctx.with_context_item bind_ctx item 1 1 in
+                List.iter
+                  (fun key -> Hashtbl.add index (Xs.to_string key) item)
+                  (Xdm.atomize (Xrpc_xquery.Eval.eval ictx key_expr)))
+              candidates;
+            (* probe side: one lookup per call *)
+            Some
+              (List.map
+                 (fun call ->
+                   let key =
+                     String.concat " "
+                       (List.map Xs.to_string
+                          (Xdm.atomize (List.nth call join_idx)))
+                   in
+                   List.rev (Hashtbl.find_all index key))
+                 calls))

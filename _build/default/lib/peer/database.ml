@@ -1,0 +1,127 @@
+(** Versioned XML document database.
+
+    Documents are immutable shredded stores, so a database {e version} is
+    just a map from document name to store, and taking a snapshot is free —
+    the moral equivalent of MonetDB/XQuery's shadow-paging snapshots that
+    the paper relies on for repeatable-read isolation (§2.2).  Committing a
+    pending update list produces a fresh version; older snapshots held by
+    in-flight queries keep reading their own version. *)
+
+open Xrpc_xml
+module Update = Xrpc_xquery.Update
+
+module Doc_map = Map.Make (String)
+
+type version = { docs : Store.t Doc_map.t; version_no : int }
+
+type t = {
+  mutable current : version;
+  mutable history : (float * version) list;
+      (** recent versions with their commit timestamps, newest first —
+          enables the distributed snapshot isolation of §2.2 ("all peers
+          use the same timestamp t_q") *)
+  clock : unit -> float;
+}
+
+exception No_such_document of string
+
+let history_limit = 128
+
+let create ?(clock = Unix.gettimeofday) () =
+  {
+    current = { docs = Doc_map.empty; version_no = 0 };
+    history = [];
+    clock;
+  }
+
+let remember db =
+  db.history <- (db.clock (), db.current) :: db.history;
+  if List.length db.history > history_limit then
+    db.history <-
+      List.filteri (fun i _ -> i < history_limit) db.history
+
+(** [add_doc db name tree] loads (or replaces) a document. *)
+let add_doc db name tree =
+  let store = Store.shred ~uri:name tree in
+  db.current <-
+    {
+      docs = Doc_map.add name store db.current.docs;
+      version_no = db.current.version_no + 1;
+    };
+  remember db
+
+let add_doc_xml db name xml = add_doc db name (Xml_parse.document xml)
+
+let snapshot db = db.current
+
+(** [version_at db t] — the newest version committed at or before [t]
+    (the oldest known version if [t] predates the history). *)
+let version_at db t =
+  let rec find = function
+    | [] -> db.current
+    | [ (_, v) ] -> v
+    | (time, v) :: rest -> if time <= t then v else find rest
+  in
+  find db.history
+
+let doc (v : version) name =
+  match Doc_map.find_opt name v.docs with
+  | Some s -> Some s
+  | None ->
+      (* tolerate a leading slash or "./": paper examples use bare names *)
+      let trimmed =
+        if String.length name > 0 && name.[0] = '/' then
+          String.sub name 1 (String.length name - 1)
+        else name
+      in
+      Doc_map.find_opt trimmed v.docs
+
+let doc_exn v name =
+  match doc v name with Some s -> s | None -> raise (No_such_document name)
+
+let doc_names (v : version) = List.map fst (Doc_map.bindings v.docs)
+
+(** [commit db pul] applies a pending update list: every touched document
+    is rebuilt, [fn:put] documents are stored.  Documents are matched by
+    the URI recorded in their store at shred time.  Updates to stores not
+    in this database (e.g. constructed fragments) are ignored — their
+    effects are invisible by definition. *)
+let commit db (pul : Update.pul) =
+  if pul = [] then ()
+  else begin
+  let updated_docs, puts = Update.apply pul in
+  let docs =
+    List.fold_left
+      (fun docs (store, tree) ->
+        let name = store.Store.uri in
+        match Doc_map.find_opt name docs with
+        | Some current when current.Store.doc_id = store.Store.doc_id ->
+            Doc_map.add name (Store.shred ~uri:name tree) docs
+        | Some _ | None ->
+            (* snapshot-based update: the PUL was built against an older
+               version; still apply it by name (last-committer-wins, which
+               matches the paper's non-deterministic update order) *)
+            if name = "" then docs
+            else Doc_map.add name (Store.shred ~uri:name tree) docs)
+      db.current.docs updated_docs
+  in
+  let docs =
+    List.fold_left
+      (fun docs (uri, tree) -> Doc_map.add uri (Store.shred ~uri tree) docs)
+      docs puts
+  in
+  db.current <- { docs; version_no = db.current.version_no + 1 };
+  remember db
+  end
+
+(** Document names a PUL touches (used for 2PC conflict detection). *)
+let touched_docs (pul : Update.pul) =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun prim ->
+         match Update.target_node prim with
+         | Some n when n.Store.store.Store.uri <> "" ->
+             Some n.Store.store.Store.uri
+         | _ -> (
+             match prim with Update.Put (_, uri) -> Some uri | _ -> None))
+       pul)

@@ -1,0 +1,505 @@
+(** An XRPC peer: an XQuery engine + database + SOAP XRPC request handler +
+    client-side query runner (§3 of the paper).
+
+    A peer owns a versioned {!Database}, a registry of XQuery module
+    sources, a {!Func_cache} of prepared modules, and an {!Isolation}
+    manager for queryID-pinned snapshots.  [handle_raw] is the server side
+    (the paper's "XRPC request handler"); [query] is the client side (the
+    stub code the Pathfinder compiler generates, §3): it runs a local query
+    whose [execute at] calls are dispatched over the configured transport,
+    with Bulk RPC batching, and — for updating queries under repeatable
+    isolation — commits distributed updates with 2PC over the piggybacked
+    participant list (§2.3). *)
+
+open Xrpc_xml
+module Message = Xrpc_soap.Message
+module Xctx = Xrpc_xquery.Context
+module Runner = Xrpc_xquery.Runner
+module Update = Xrpc_xquery.Update
+module Transport = Xrpc_net.Transport
+module Xrpc_uri = Xrpc_net.Xrpc_uri
+
+let log_src = Logs.Src.create "xrpc.peer" ~doc:"XRPC peer request handling"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Peer_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Peer_error s)) fmt
+
+type config = {
+  bulk_rpc : bool;  (** loop-lift [execute at] into Bulk RPC (default) *)
+  default_timeout : int;  (** seconds, for queryID isolation entries *)
+}
+
+let default_config = { bulk_rpc = true; default_timeout = 30 }
+
+type t = {
+  uri : string;
+  db : Database.t;
+  modules : (string, string) Hashtbl.t;  (** module namespace uri -> source *)
+  locations : (string, string) Hashtbl.t;  (** at-hint location -> source *)
+  func_cache : Func_cache.t;
+  isolation : Isolation.t;
+  mutable transport : Transport.t option;
+  mutable config : config;
+  clock : unit -> float;
+  mutable requests_handled : int;
+  mutable calls_handled : int;
+  mutable handler_ms : float;  (** cumulative CPU spent serving requests *)
+  lock : Mutex.t;
+      (** serializes request handling — the HTTP transport serves each
+          connection on its own thread, and peer state (function cache,
+          isolation tables, database versions) is not otherwise
+          synchronized *)
+  mutable locked_by : int option;
+      (** holder thread id, for reentrant self-calls (a served function may
+          [execute at] its own peer) *)
+}
+
+let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
+  {
+    uri;
+    db = Database.create ~clock ();
+    modules = Hashtbl.create 8;
+    locations = Hashtbl.create 8;
+    func_cache = Func_cache.create ();
+    isolation = Isolation.create ~clock ();
+    transport = None;
+    config;
+    clock;
+    requests_handled = 0;
+    calls_handled = 0;
+    handler_ms = 0.;
+    lock = Mutex.create ();
+    locked_by = None;
+  }
+
+let set_transport peer transport = peer.transport <- Some transport
+
+(** Register an XQuery module source under its namespace URI and
+    (optionally) an at-hint location, so that both [import module ... at]
+    forms and incoming XRPC requests can find it. *)
+let register_module peer ~uri ?location source =
+  Hashtbl.replace peer.modules uri source;
+  (match location with
+  | Some loc -> Hashtbl.replace peer.locations loc source
+  | None -> ());
+  Func_cache.invalidate peer.func_cache uri
+
+let module_resolver peer : Runner.module_resolver =
+ fun ~uri ~location ->
+  match Hashtbl.find_opt peer.modules uri with
+  | Some src -> src
+  | None -> (
+      match Hashtbl.find_opt peer.locations location with
+      | Some src -> src
+      | None -> err "could not load module! (%s at %s)" uri location)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic context plumbing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* fn:doc over a pinned database version; xrpc:// URIs are fetched from the
+   remote peer — the data-shipping path of §5's Q7 *)
+let doc_resolver peer (version : Database.version) uri_str : Store.t =
+  let is_remote =
+    String.length uri_str >= 7 && String.sub uri_str 0 7 = "xrpc://"
+  in
+  if not is_remote then Database.doc_exn version uri_str
+  else
+    let uri = Xrpc_uri.parse uri_str in
+    let self_key = Xrpc_uri.peer_key_of_string peer.uri in
+    if Xrpc_uri.peer_key uri = self_key then
+      Database.doc_exn version uri.Xrpc_uri.path
+    else
+      let transport =
+        match peer.transport with
+        | Some t -> t
+        | None -> err "fn:doc(%s): no transport configured" uri_str
+      in
+      let request =
+        {
+          Message.module_uri = Qname.ns_xrpc;
+          location = "";
+          method_ = "getDocument";
+          arity = 1;
+          updating = false;
+          fragments = false;
+          query_id = None;
+          calls = [ [ [ Xdm.str uri.Xrpc_uri.path ] ] ];
+        }
+      in
+      let raw =
+        transport.Transport.send
+          ~dest:("xrpc://" ^ Xrpc_uri.peer_key uri)
+          (Message.to_string (Message.Request request))
+      in
+      match Message.of_string raw with
+      | Message.Response { results = [ [ Xdm.Node n ] ]; _ } -> n.Store.store
+      | Message.Fault f -> err "fn:doc(%s): %s" uri_str f.Message.reason
+      | _ -> err "fn:doc(%s): malformed response" uri_str
+
+(* dispatcher over the transport; records every destination and piggybacked
+   participant into [peers_acc] for 2PC registration *)
+let dispatcher peer peers_acc : Xctx.dispatcher =
+  let transport =
+    match peer.transport with
+    | Some t -> t
+    | None -> err "execute at: no transport configured on %s" peer.uri
+  in
+  let note dest = if not (List.mem dest !peers_acc) then peers_acc := dest :: !peers_acc in
+  let decode dest raw =
+    match Message.of_string raw with
+    | Message.Response r as m ->
+        note dest;
+        List.iter note r.Message.peers;
+        m
+    | m -> m
+  in
+  {
+    Xctx.call =
+      (fun ~dest req ->
+        decode dest
+          (transport.Transport.send ~dest (Message.to_string (Message.Request req))));
+    call_parallel =
+      (fun reqs ->
+        let bodies =
+          List.map
+            (fun (dest, req) -> (dest, Message.to_string (Message.Request req)))
+            reqs
+        in
+        List.map2
+          (fun (dest, _) raw -> decode dest raw)
+          reqs
+          (transport.Transport.send_parallel bodies));
+  }
+
+(* fn:doc must be stable within a query (XQuery 1.0 §2.1.2), and caching is
+   also what makes data shipping fetch a remote document once, not once per
+   iteration *)
+let memoized_doc_resolver peer version =
+  let cache = Hashtbl.create 4 in
+  fun uri ->
+    match Hashtbl.find_opt cache uri with
+    | Some store -> store
+    | None ->
+        let store = doc_resolver peer version uri in
+        Hashtbl.replace cache uri store;
+        store
+
+let make_context peer ~version ~query_id ~peers_acc : Xctx.t =
+  let base = Xctx.empty () in
+  {
+    base with
+    Xctx.doc_resolver = memoized_doc_resolver peer version;
+    dispatcher =
+      (if peer.transport = None then None else Some (dispatcher peer peers_acc));
+    query_id;
+    bulk_rpc = peer.config.bulk_rpc;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Server side: the XRPC request handler                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_module peer ~uri ~location : Func_cache.compiled =
+  Func_cache.compile peer.func_cache ~uri ~load:(fun () ->
+      let source = module_resolver peer ~uri ~location in
+      let prog = Xrpc_xquery.Parser.parse_prog source in
+      let ctx = Xctx.empty () in
+      let ctx = Runner.load_prolog ctx ~resolver:(module_resolver peer) prog in
+      Xrpc_xquery.Check.check_prog_exn ctx prog;
+      { Func_cache.prog; funcs = ctx.Xctx.funcs })
+
+let handle_request peer (r : Message.request) : Message.t =
+  peer.requests_handled <- peer.requests_handled + 1;
+  peer.calls_handled <- peer.calls_handled + List.length r.Message.calls;
+  Log.debug (fun m ->
+      m "%s: request %s:%s#%d (%d call%s%s%s)" peer.uri r.Message.module_uri
+        r.Message.method_ r.Message.arity
+        (List.length r.Message.calls)
+        (if List.length r.Message.calls = 1 then "" else "s — Bulk RPC")
+        (if r.Message.updating then ", updating" else "")
+        (match r.Message.query_id with
+        | Some q -> ", queryID " ^ Message.query_id_key q
+        | None -> ""));
+  (* snapshot selection: pinned per queryID (R'_F), else current (R_F) *)
+  let entry =
+    match r.Message.query_id with
+    | Some qid -> Some (Isolation.pin peer.isolation qid peer.db)
+    | None -> None
+  in
+  let version =
+    match entry with
+    | Some e -> e.Isolation.snapshot
+    | None -> Database.snapshot peer.db
+  in
+  if r.Message.module_uri = Qname.ns_xrpc && r.Message.method_ = "getDocument"
+  then
+    (* internal data-shipping handler behind fn:doc("xrpc://...") *)
+    let results =
+      List.map
+        (fun params ->
+          match params with
+          | [ path_seq ] ->
+              let path = Xdm.string_value (Xdm.one_item ~what:"path" path_seq) in
+              [ Xdm.Node (Store.root (Database.doc_exn version path)) ]
+          | _ -> err "getDocument expects one parameter")
+        r.Message.calls
+    in
+    Message.Response
+      {
+        resp_module = r.Message.module_uri;
+        resp_method = r.Message.method_;
+        results;
+        peers = [ peer.uri ];
+      }
+  else
+    let compiled =
+      compile_module peer ~uri:r.Message.module_uri ~location:r.Message.location
+    in
+    let peers_acc = ref [ peer.uri ] in
+    let ctx = make_context peer ~version ~query_id:r.Message.query_id ~peers_acc in
+    let ctx = { ctx with Xctx.funcs = compiled.Func_cache.funcs } in
+    let fname =
+      Qname.make ~uri:r.Message.module_uri r.Message.method_
+    in
+    let f =
+      match Xctx.find_function ctx fname r.Message.arity with
+      | Some f -> f
+      | None ->
+          err "no function %s#%d in module %s" r.Message.method_
+            r.Message.arity r.Message.module_uri
+    in
+    (* bulk execution: a selection function with a call-dependent key is
+       answered with one scan + hash join over all calls (the set-oriented
+       opportunity of §1); otherwise the body runs once per call *)
+    let joined =
+      if f.Xctx.decl.Xrpc_xquery.Ast.fn_updating then None
+      else Bulk_opt.hash_join_execute ctx f r.Message.calls
+    in
+    let results =
+      match joined with
+      | Some rs -> rs
+      | None ->
+          List.map
+            (fun params ->
+              if List.length params <> r.Message.arity then
+                err "call has %d parameters, expected %d" (List.length params)
+                  r.Message.arity;
+              Xrpc_xquery.Eval.apply_function ctx f params)
+            r.Message.calls
+    in
+    (* updating semantics *)
+    let pul = List.rev !(ctx.Xctx.pul) in
+    (if pul <> [] then
+       match entry with
+       | Some e ->
+           (* R'_Fu: defer — union into the per-query ∆ collection *)
+           e.Isolation.pul <- e.Isolation.pul @ pul
+       | None ->
+           (* R_Fu: apply the pending update list immediately *)
+           Database.commit peer.db pul);
+    Message.Response
+      {
+        resp_module = r.Message.module_uri;
+        resp_method = r.Message.method_;
+        results = (if r.Message.updating then [] else results);
+        peers = !peers_acc;
+      }
+
+(* 2PC participant (WS-AtomicTransaction-style, §2.3) *)
+let handle_tx peer (op : Message.tx_op) (qid : Message.query_id) : Message.t =
+  Log.info (fun m ->
+      m "%s: 2PC %s for %s" peer.uri
+        (match op with
+        | Message.Prepare -> "prepare"
+        | Message.Commit -> "commit"
+        | Message.Rollback -> "rollback")
+        (Message.query_id_key qid));
+  match op with
+  | Message.Prepare -> (
+      match Isolation.find peer.isolation qid with
+      | None ->
+          (* read-only participant: nothing to log, vote yes *)
+          Message.Tx_response { ok = true; info = "read-only" }
+      | Some e ->
+          (* conflict check: another prepared transaction touching the same
+             documents forces an abort vote *)
+          let mine = Database.touched_docs e.Isolation.pul in
+          let conflict =
+            Hashtbl.fold
+              (fun key other acc ->
+                acc
+                || key <> Message.query_id_key qid
+                   && other.Isolation.prepared
+                   && List.exists
+                        (fun d ->
+                          List.mem d (Database.touched_docs other.Isolation.pul))
+                        mine)
+              peer.isolation.Isolation.entries false
+          in
+          if conflict then
+            Message.Tx_response { ok = false; info = "conflicting transaction in prepared state" }
+          else (
+            (* "log(∆) to stable storage": the PUL is retained in the
+               isolation entry; mark the vote *)
+            e.Isolation.prepared <- true;
+            Message.Tx_response { ok = true; info = "prepared" }))
+  | Message.Commit -> (
+      match Isolation.find peer.isolation qid with
+      | None -> Message.Tx_response { ok = true; info = "nothing to commit" }
+      | Some e ->
+          Database.commit peer.db e.Isolation.pul;
+          Isolation.release peer.isolation qid;
+          Message.Tx_response { ok = true; info = "committed" })
+  | Message.Rollback ->
+      (match Isolation.find peer.isolation qid with
+      | Some _ -> Isolation.release peer.isolation qid
+      | None -> ());
+      Message.Tx_response { ok = true; info = "rolled back" }
+
+(** The raw SOAP-over-HTTP handler: body in, body out.  Any error becomes a
+    SOAP Fault, which the originating site turns into a run-time error
+    (§2.1, "XRPC Error Message"). *)
+let with_peer_lock peer f =
+  let self = Thread.id (Thread.self ()) in
+  if peer.locked_by = Some self then f ()
+  else begin
+    Mutex.lock peer.lock;
+    peer.locked_by <- Some self;
+    Fun.protect
+      ~finally:(fun () ->
+        peer.locked_by <- None;
+        Mutex.unlock peer.lock)
+      f
+  end
+
+let handle_raw peer (body : string) : string =
+  let t0 = Unix.gettimeofday () in
+  with_peer_lock peer @@ fun () ->
+  let reply =
+    try
+      match Message.of_string body with
+      | Message.Request r -> handle_request peer r
+      | Message.Tx_request (op, qid) -> handle_tx peer op qid
+      | _ -> Message.Fault { fault_code = `Sender; reason = "expected a request" }
+    with
+    | Peer_error m | Xdm.Dynamic_error m | Xrpc_xquery.Eval.Error m
+    | Xrpc_xquery.Runner.Module_error m ->
+        Message.Fault { fault_code = `Sender; reason = m }
+    | Isolation.Expired key ->
+        Message.Fault
+          { fault_code = `Sender; reason = "queryID expired: " ^ key }
+    | Message.Protocol_error m | Xml_parse.Parse_error m ->
+        Message.Fault { fault_code = `Sender; reason = "malformed message: " ^ m }
+    | Xrpc_xquery.Parser.Syntax_error m | Xrpc_xquery.Lexer.Lex_error m ->
+        Message.Fault { fault_code = `Sender; reason = "module syntax error: " ^ m }
+    | Xrpc_xquery.Check.Static_error errors ->
+        Message.Fault
+          {
+            fault_code = `Sender;
+            reason =
+              "static errors: "
+              ^ String.concat "; "
+                  (List.map Xrpc_xquery.Check.error_to_string errors);
+          }
+  in
+  (match reply with
+  | Message.Fault f ->
+      Log.warn (fun m -> m "%s: fault: %s" peer.uri f.Message.reason)
+  | _ -> ());
+  let out = Message.to_string reply in
+  peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Client side: running queries                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_query_id peer ~timeout ~level : Message.query_id =
+  {
+    Message.host = peer.uri;
+    timestamp = Printf.sprintf "%.6f" (peer.clock ());
+    timeout;
+    level;
+  }
+
+type query_result = {
+  value : Xdm.sequence;
+  participants : string list;  (** remote peers involved *)
+  committed : bool;  (** distributed commit outcome (true if read-only) *)
+}
+
+(** [query peer source] parses and runs a main-module query at this peer.
+
+    - [execute at] calls go over the peer's transport (Bulk RPC when
+      [config.bulk_rpc]).
+    - With [declare option xrpc:isolation "repeatable"], a fresh queryID is
+      attached to every request and the local snapshot is pinned, giving
+      rule R'_Fr / R'_Fu semantics; updating queries then commit with 2PC
+      across all participating peers.
+    - Without it, rules R_Fr / R_Fu apply: remote updates are applied per
+      request, local updates when the query finishes. *)
+let query peer (source : string) : query_result =
+  let prog = Xrpc_xquery.Parser.parse_prog source in
+  let version = Database.snapshot peer.db in
+  let peers_acc = ref [] in
+  (* two-phase context setup: prolog processing may already need docs *)
+  let ctx0 = make_context peer ~version ~query_id:None ~peers_acc in
+  let ctx = Runner.load_prolog ctx0 ~resolver:(module_resolver peer) prog in
+  Xrpc_xquery.Check.check_prog_exn ctx prog;
+  let isolation_level = Xctx.isolation ctx in
+  let timeout =
+    match Xctx.option_value ctx (Qname.make ~uri:Qname.ns_xrpc "timeout") with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> peer.config.default_timeout)
+    | None -> peer.config.default_timeout
+  in
+  let query_id =
+    match isolation_level with
+    | `Repeatable -> Some (fresh_query_id peer ~timeout ~level:Message.Repeatable)
+    | `Snapshot -> Some (fresh_query_id peer ~timeout ~level:Message.Snapshot)
+    | `None -> None
+  in
+  let fragments =
+    Xctx.option_value ctx (Qname.make ~uri:Qname.ns_xrpc "call-by-fragment")
+    = Some "true"
+  in
+  let ctx = { ctx with Xctx.query_id; fragments } in
+  let body =
+    match prog.Xrpc_xquery.Ast.body with
+    | Some b -> b
+    | None -> err "cannot execute a library module"
+  in
+  let value = Xrpc_xquery.Eval.eval ctx body in
+  let pul = List.rev !(ctx.Xctx.pul) in
+  let participants =
+    List.filter (fun p -> Xrpc_uri.peer_key_of_string p
+                          <> Xrpc_uri.peer_key_of_string peer.uri)
+      !peers_acc
+  in
+  let committed =
+    match (query_id, participants) with
+    | Some qid, _ :: _ ->
+        (* distributed transaction: register participants, 2PC *)
+        let transport =
+          match peer.transport with
+          | Some t -> t
+          | None -> err "2PC requires a transport"
+        in
+        let ok = Two_pc.run ~transport qid participants in
+        if ok then Database.commit peer.db pul;
+        ok
+    | _ ->
+        (* local-only (or non-isolated) commit *)
+        if pul <> [] then Database.commit peer.db pul;
+        true
+  in
+  { value; participants; committed }
+
+(** Convenience: result sequence only; raises on failed distributed commit. *)
+let query_seq peer source =
+  let r = query peer source in
+  if not r.committed then err "distributed commit failed";
+  r.value

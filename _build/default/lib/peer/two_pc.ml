@@ -1,0 +1,40 @@
+(** Two-phase-commit coordinator, in the style of WS-AtomicTransaction
+    (§2.3).
+
+    The paper deliberately keeps 2PC out of the XRPC protocol proper and
+    relies on the web-service transaction standard; we model that standard
+    with Prepare/Commit/Rollback SOAP messages on the same channel.  The
+    query-originating peer is the coordinator: it learns the full
+    participant list from the peer lists piggybacked on XRPC responses,
+    asks every participant to prepare (logging its pending update lists),
+    and commits only on a unanimous yes vote. *)
+
+module Message = Xrpc_soap.Message
+module Transport = Xrpc_net.Transport
+
+type vote = { peer : string; ok : bool; info : string }
+
+type outcome = {
+  committed : bool;
+  votes : vote list;  (** prepare-phase votes *)
+}
+
+let tx transport ~dest op qid =
+  let body = Message.to_string (Message.Tx_request (op, qid)) in
+  match Message.of_string (transport.Transport.send ~dest body) with
+  | Message.Tx_response { ok; info } -> { peer = dest; ok; info }
+  | Message.Fault f -> { peer = dest; ok = false; info = f.Message.reason }
+  | _ -> { peer = dest; ok = false; info = "malformed transaction reply" }
+
+(** [run_detailed ~transport qid participants] drives the full protocol and
+    reports per-peer votes. *)
+let run_detailed ~transport (qid : Message.query_id) (participants : string list)
+    : outcome =
+  let votes = List.map (fun dest -> tx transport ~dest Message.Prepare qid) participants in
+  let all_ok = List.for_all (fun v -> v.ok) votes in
+  let second = if all_ok then Message.Commit else Message.Rollback in
+  let _ = List.map (fun dest -> tx transport ~dest second qid) participants in
+  { committed = all_ok; votes }
+
+let run ~transport qid participants =
+  (run_detailed ~transport qid participants).committed

@@ -1,0 +1,1 @@
+lib/soap/marshal.ml: Array Hashtbl List Printf Qname Store String Tree Xdm Xrpc_xml Xs

@@ -1,0 +1,1 @@
+lib/soap/message.ml: List Marshal Option Printf Qname Serialize String Tree Xdm Xml_parse Xrpc_xml

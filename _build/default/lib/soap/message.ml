@@ -1,0 +1,357 @@
+(** SOAP XRPC messages (§2.1, §2.2, §3.2 of the paper).
+
+    A request names a module (URI + at-hint location), a function and its
+    arity, and carries one or more [xrpc:call] bodies — more than one makes
+    it a {e Bulk RPC} (§3.2).  The optional [queryID] child selects
+    repeatable-read isolation (§2.2); responses piggyback the list of
+    participating peers needed for 2PC registration (§2.3).  Faults use the
+    SOAP Fault format.  The same channel also carries the
+    WS-AtomicTransaction-style Prepare/Commit/Rollback control messages. *)
+
+open Xrpc_xml
+
+(** Repeatable-read isolation handle: originating host, UTC start timestamp
+    and a {e relative} timeout in seconds (§2.2, "SOAP XRPC Extension:
+    Isolation"). *)
+type isolation_level = Repeatable | Snapshot
+
+type query_id = {
+  host : string;
+  timestamp : string;
+  timeout : int;
+  level : isolation_level;
+      (** [Snapshot] asks peers to pin the state as of [timestamp] (the
+          distributed snapshot isolation sketched in §2.2); [Repeatable]
+          pins at first contact *)
+}
+
+type request = {
+  module_uri : string;  (** target namespace of the module *)
+  location : string;  (** at-hint URL of the module source *)
+  method_ : string;  (** function local name *)
+  arity : int;
+  updating : bool;  (** calls an XQUF updating function *)
+  fragments : bool;
+      (** footnote-4 extension: descendant node parameters are sent as
+          [xrpc:nodeid] references into earlier parameters *)
+  query_id : query_id option;
+  calls : Xdm.sequence list list;
+      (** one entry per call; each call is [arity] parameter sequences *)
+}
+
+type response = {
+  resp_module : string;
+  resp_method : string;
+  results : Xdm.sequence list;  (** one result sequence per call *)
+  peers : string list;  (** piggybacked participating peers (§2.3) *)
+}
+
+type fault = { fault_code : [ `Sender | `Receiver ]; reason : string }
+
+type tx_op = Prepare | Commit | Rollback
+
+type t =
+  | Request of request
+  | Response of response
+  | Fault of fault
+  | Tx_request of tx_op * query_id
+  | Tx_response of { ok : bool; info : string }
+
+exception Protocol_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let query_id_key (q : query_id) = q.host ^ "@" ^ q.timestamp
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let xrpc local = Qname.make ~prefix:"xrpc" ~uri:Qname.ns_xrpc local
+let env local = Qname.make ~prefix:"env" ~uri:Qname.ns_env local
+
+let envelope body_children =
+  Tree.elem (env "Envelope")
+    ~attrs:
+      [
+        Tree.attr (Qname.make ~prefix:"xmlns" "xrpc") Qname.ns_xrpc;
+        Tree.attr (Qname.make ~prefix:"xmlns" "env") Qname.ns_env;
+        Tree.attr (Qname.make ~prefix:"xmlns" "xs") Qname.ns_xs;
+        Tree.attr (Qname.make ~prefix:"xmlns" "xsi") Qname.ns_xsi;
+        Tree.attr
+          (Qname.make ~prefix:"xsi" ~uri:Qname.ns_xsi "schemaLocation")
+          "http://monetdb.cwi.nl/XQuery http://monetdb.cwi.nl/XQuery/XRPC.xsd";
+      ]
+    [ Tree.elem (env "Body") body_children ]
+
+let query_id_elem (q : query_id) =
+  Tree.elem (xrpc "queryID")
+    ~attrs:
+      ([
+         Tree.attr (Qname.make "host") q.host;
+         Tree.attr (Qname.make "timestamp") q.timestamp;
+         Tree.attr (Qname.make "timeout") (string_of_int q.timeout);
+       ]
+      @
+      match q.level with
+      | Repeatable -> []
+      | Snapshot -> [ Tree.attr (Qname.make "level") "snapshot" ])
+    []
+
+let to_tree = function
+  | Request r ->
+      let calls =
+        List.map
+          (fun params ->
+            Tree.elem (xrpc "call")
+              (Marshal.s2n_call ~fragments:r.fragments params))
+          r.calls
+      in
+      let qid = match r.query_id with None -> [] | Some q -> [ query_id_elem q ] in
+      envelope
+        [
+          Tree.elem (xrpc "request")
+            ~attrs:
+              ([
+                 Tree.attr (Qname.make "module") r.module_uri;
+                 Tree.attr (Qname.make "method") r.method_;
+                 Tree.attr (Qname.make "arity") (string_of_int r.arity);
+                 Tree.attr (Qname.make "location") r.location;
+               ]
+              @ (if r.updating then [ Tree.attr (Qname.make "updCall") "true" ] else [])
+              @ if r.fragments then [ Tree.attr (Qname.make "fragments") "true" ] else [])
+            (qid @ calls);
+        ]
+  | Response r ->
+      let seqs = List.map Marshal.s2n r.results in
+      let peers =
+        match r.peers with
+        | [] -> []
+        | ps ->
+            [
+              Tree.elem (xrpc "participatingPeers")
+                (List.map
+                   (fun p ->
+                     Tree.elem (xrpc "peer")
+                       ~attrs:[ Tree.attr (Qname.make "uri") p ]
+                       [])
+                   ps);
+            ]
+      in
+      envelope
+        [
+          Tree.elem (xrpc "response")
+            ~attrs:
+              [
+                Tree.attr (Qname.make "module") r.resp_module;
+                Tree.attr (Qname.make "method") r.resp_method;
+              ]
+            (peers @ seqs);
+        ]
+  | Fault f ->
+      let code = match f.fault_code with `Sender -> "env:Sender" | `Receiver -> "env:Receiver" in
+      envelope
+        [
+          Tree.elem (env "Fault")
+            [
+              Tree.elem (env "Code") [ Tree.elem (env "Value") [ Tree.Text code ] ];
+              Tree.elem (env "Reason")
+                [
+                  Tree.elem (env "Text")
+                    ~attrs:[ Tree.attr (Qname.make ~prefix:"xml" ~uri:Qname.ns_xml "lang") "en" ]
+                    [ Tree.Text f.reason ];
+                ];
+            ];
+        ]
+  | Tx_request (op, q) ->
+      let opname =
+        match op with Prepare -> "prepare" | Commit -> "commit" | Rollback -> "rollback"
+      in
+      envelope
+        [
+          Tree.elem (xrpc "transaction")
+            ~attrs:[ Tree.attr (Qname.make "operation") opname ]
+            [ query_id_elem q ];
+        ]
+  | Tx_response r ->
+      envelope
+        [
+          Tree.elem (xrpc "transactionResult")
+            ~attrs:
+              [
+                Tree.attr (Qname.make "ok") (if r.ok then "true" else "false");
+                Tree.attr (Qname.make "info") r.info;
+              ]
+            [];
+        ]
+
+(** Serialize a message to its on-the-wire form (with XML declaration). *)
+let to_string m = Serialize.document_to_string (Tree.Document [ to_tree m ])
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_attr attrs local =
+  List.find_map
+    (fun (a : Tree.attr) ->
+      if a.name.Qname.local = local then Some a.value else None)
+    attrs
+
+let elem_children children =
+  List.filter_map
+    (function Tree.Element _ as e -> Some e | _ -> None)
+    children
+
+let parse_query_id = function
+  | Tree.Element { attrs; _ } ->
+      {
+        host = Option.value ~default:"" (find_attr attrs "host");
+        timestamp = Option.value ~default:"" (find_attr attrs "timestamp");
+        timeout =
+          (match find_attr attrs "timeout" with
+          | Some s -> ( try int_of_string s with _ -> 30)
+          | None -> 30);
+        level =
+          (match find_attr attrs "level" with
+          | Some "snapshot" -> Snapshot
+          | _ -> Repeatable);
+      }
+  | _ -> err "malformed queryID"
+
+let of_tree tree =
+  let body =
+    match tree with
+    | Tree.Document [ Tree.Element { name; children; _ } ]
+      when name.Qname.local = "Envelope" -> (
+        match
+          List.find_opt
+            (function
+              | Tree.Element { name; _ } -> name.Qname.local = "Body"
+              | _ -> false)
+            (elem_children children)
+        with
+        | Some (Tree.Element { children; _ }) -> elem_children children
+        | _ -> err "SOAP envelope without Body")
+    | _ -> err "not a SOAP envelope"
+  in
+  match body with
+  | [ Tree.Element { name; attrs; children } ] when name.Qname.local = "request" ->
+      let get what =
+        match find_attr attrs what with
+        | Some v -> v
+        | None -> err "request missing %s attribute" what
+      in
+      let kids = elem_children children in
+      let query_id =
+        List.find_opt
+          (function
+            | Tree.Element { name; _ } -> name.Qname.local = "queryID"
+            | _ -> false)
+          kids
+        |> Option.map parse_query_id
+      in
+      let calls =
+        List.filter_map
+          (function
+            | Tree.Element { name; children; _ } when name.Qname.local = "call" ->
+                Some (Marshal.n2s_call (elem_children children))
+            | _ -> None)
+          kids
+      in
+      Request
+        {
+          module_uri = get "module";
+          location = Option.value ~default:"" (find_attr attrs "location");
+          method_ = get "method";
+          arity = (try int_of_string (get "arity") with _ -> 0);
+          updating = find_attr attrs "updCall" = Some "true";
+          fragments = find_attr attrs "fragments" = Some "true";
+          query_id;
+          calls;
+        }
+  | [ Tree.Element { name; attrs; children } ] when name.Qname.local = "response" ->
+      let kids = elem_children children in
+      let peers =
+        List.concat_map
+          (function
+            | Tree.Element { name; children; _ }
+              when name.Qname.local = "participatingPeers" ->
+                List.filter_map
+                  (function
+                    | Tree.Element { name; attrs; _ }
+                      when name.Qname.local = "peer" ->
+                        find_attr attrs "uri"
+                    | _ -> None)
+                  (elem_children children)
+            | _ -> [])
+          kids
+      in
+      let results =
+        List.filter_map
+          (function
+            | Tree.Element { name; _ } as e when name.Qname.local = "sequence" ->
+                Some (Marshal.n2s e)
+            | _ -> None)
+          kids
+      in
+      Response
+        {
+          resp_module = Option.value ~default:"" (find_attr attrs "module");
+          resp_method = Option.value ~default:"" (find_attr attrs "method");
+          results;
+          peers;
+        }
+  | [ Tree.Element { name; children; _ } ] when name.Qname.local = "Fault" ->
+      let kids = elem_children children in
+      let code =
+        match
+          List.find_opt
+            (function
+              | Tree.Element { name; _ } -> name.Qname.local = "Code"
+              | _ -> false)
+            kids
+        with
+        | Some c when String.length (Tree.string_value c) > 0
+                      && String.length (Tree.string_value c) >= 6
+                      && String.sub (String.trim (Tree.string_value c))
+                           (String.length (String.trim (Tree.string_value c)) - 6) 6
+                         = "Sender" -> `Sender
+        | _ -> `Receiver
+      in
+      let reason =
+        match
+          List.find_opt
+            (function
+              | Tree.Element { name; _ } -> name.Qname.local = "Reason"
+              | _ -> false)
+            kids
+        with
+        | Some r -> String.trim (Tree.string_value r)
+        | None -> ""
+      in
+      Fault { fault_code = code; reason }
+  | [ Tree.Element { name; attrs; children } ] when name.Qname.local = "transaction" ->
+      let op =
+        match find_attr attrs "operation" with
+        | Some "prepare" -> Prepare
+        | Some "commit" -> Commit
+        | Some "rollback" -> Rollback
+        | _ -> err "unknown transaction operation"
+      in
+      let qid =
+        match elem_children children with
+        | q :: _ -> parse_query_id q
+        | [] -> err "transaction without queryID"
+      in
+      Tx_request (op, qid)
+  | [ Tree.Element { name; attrs; _ } ] when name.Qname.local = "transactionResult" ->
+      Tx_response
+        {
+          ok = find_attr attrs "ok" = Some "true";
+          info = Option.value ~default:"" (find_attr attrs "info");
+        }
+  | _ -> err "unrecognized SOAP body"
+
+(** Parse an on-the-wire message. *)
+let of_string s = of_tree (Xml_parse.document s)

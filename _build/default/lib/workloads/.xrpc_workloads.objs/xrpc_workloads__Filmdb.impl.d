@@ -1,0 +1,1 @@
+lib/workloads/filmdb.ml: Printf Xrpc_peer

@@ -1,0 +1,1 @@
+lib/workloads/testmod.ml: Printf

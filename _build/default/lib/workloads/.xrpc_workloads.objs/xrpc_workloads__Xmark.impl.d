@@ -1,0 +1,1 @@
+lib/workloads/xmark.ml: Array Buffer List Printf String

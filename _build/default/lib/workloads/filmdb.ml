@@ -1,0 +1,85 @@
+(** The running example of §2: film databases and the [films] module. *)
+
+(** Contents of "filmDB.xml" as printed in the paper. *)
+let film_db_xml =
+  {|<films>
+<film><name>The Rock</name><actor>Sean Connery</actor></film>
+<film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+<film><name>Green Card</name><actor>Gerard Depardieu</actor></film>
+</films>|}
+
+(** A second peer's variant (used by the multi-destination examples, where
+    z.example.org holds different films). *)
+let film_db_xml_z =
+  {|<films>
+<film><name>Sound Of Music</name><actor>Julie Andrews</actor></film>
+<film><name>The Princess Diaries</name><actor>Julie Andrews</actor></film>
+<film><name>Dr. No</name><actor>Sean Connery</actor></film>
+</films>|}
+
+(** The module film.xq stored at x.example.org (§2). *)
+let film_module =
+  {|module namespace film = "films";
+declare function film:filmsByActor($actor as xs:string) as node()*
+{ doc("filmDB.xml")//name[../actor = $actor] };
+declare function film:actors() as xs:string*
+{ distinct-values(doc("filmDB.xml")//actor/string(.)) };
+declare updating function film:addFilm($name as xs:string, $actor as xs:string)
+{ insert node <film><name>{$name}</name><actor>{$actor}</actor></film>
+  into exactly-one(doc("filmDB.xml")/films) };
+declare updating function film:deleteFilm($name as xs:string)
+{ delete nodes doc("filmDB.xml")//film[name = $name] };
+|}
+
+let module_ns = "films"
+let module_at = "http://x.example.org/film.xq"
+
+(** Install the film database + module on a peer. *)
+let install (peer : Xrpc_peer.Peer.t) ?(variant = `Y) () =
+  let xml = match variant with `Y -> film_db_xml | `Z -> film_db_xml_z in
+  Xrpc_peer.Database.add_doc_xml peer.Xrpc_peer.Peer.db "filmDB.xml" xml;
+  Xrpc_peer.Peer.register_module peer ~uri:module_ns ~location:module_at
+    film_module
+
+(** Query Q1 of the paper. *)
+let q1 ~dest =
+  Printf.sprintf
+    {|import module namespace f="films" at "http://x.example.org/film.xq";
+<films> {
+  execute at {%S} {f:filmsByActor("Sean Connery")}
+} </films>|}
+    dest
+
+(** Query Q2: multiple calls to one peer (Bulk RPC target). *)
+let q2 ~dest =
+  Printf.sprintf
+    {|import module namespace f="films" at "http://x.example.org/film.xq";
+<films> {
+  for $actor in ("Julie Andrews", "Sean Connery")
+  let $dst := %S
+  return execute at {$dst} {f:filmsByActor($actor)}
+} </films>|}
+    dest
+
+(** Query Q3: multiple calls to multiple peers (Figure 1's example). *)
+let q3 ~dest1 ~dest2 =
+  Printf.sprintf
+    {|import module namespace f="films" at "http://x.example.org/film.xq";
+<films> {
+  for $actor in ("Julie Andrews", "Sean Connery")
+  for $dst in (%S, %S)
+  return execute at {$dst} {f:filmsByActor($actor)}
+} </films>|}
+    dest1 dest2
+
+(** Query Q6: two call sites inside one loop — the out-of-order example. *)
+let q6 ~dest =
+  Printf.sprintf
+    {|import module namespace f="films" at "http://x.example.org/film.xq";
+for $name in ("Julie", "Sean")
+let $connery := concat($name, " ", "Connery")
+let $andrews := concat($name, " ", "Andrews")
+return (
+  execute at {%S} {f:filmsByActor($connery)},
+  execute at {%S} {f:filmsByActor($andrews)} )|}
+    dest dest

@@ -1,0 +1,44 @@
+(** The micro-benchmark module of §3.3 / §4 (echoVoid and friends). *)
+
+let test_module =
+  {|module namespace tst = "test";
+declare function tst:echoVoid() { () };
+declare function tst:echo($x as item()*) as item()* { $x };
+declare function tst:ping($i as xs:integer) as xs:integer { $i };
+declare function tst:payload($n as xs:integer) as xs:string
+{ string-join(for $i in 1 to $n return "0123456789abcdef", "") };
+|}
+
+let module_ns = "test"
+let module_at = "http://x.example.org/test.xq"
+
+(** The echoVoid driver query of §3.3: [$x] XRPC calls in a for-loop. *)
+let echo_void_query ~dest ~iterations =
+  Printf.sprintf
+    {|import module namespace t="test" at "http://x.example.org/test.xq";
+for $i in (1 to %d)
+return execute at {%S} {t:echoVoid()}|}
+    iterations dest
+
+(** Request-payload scaling: ship an [$n]-times-16-byte string out. *)
+let upload_query ~dest ~chunks =
+  Printf.sprintf
+    {|import module namespace t="test" at "http://x.example.org/test.xq";
+let $payload := string-join(for $i in 1 to %d return "0123456789abcdef", "")
+return string-length(execute at {%S} {t:echo($payload)})|}
+    chunks dest
+
+(** Response-payload scaling: ask the peer to generate the payload. *)
+let download_query ~dest ~chunks =
+  Printf.sprintf
+    {|import module namespace t="test" at "http://x.example.org/test.xq";
+string-length(execute at {%S} {t:payload(%d)})|}
+    dest chunks
+
+(** getPerson driver for the §4 wrapper experiment. *)
+let get_person_query ~dest ~iterations ~persons_count =
+  Printf.sprintf
+    {|import module namespace func="functions" at "http://example.org/functions.xq";
+for $i in (1 to %d)
+return execute at {%S} {func:getPerson("persons.xml", concat("person", string($i mod %d)))}|}
+    iterations dest persons_count

@@ -1,0 +1,124 @@
+(** Deterministic XMark-like data generator.
+
+    The paper's §5 experiment splits an XMark auction document between two
+    peers: "persons.xml" (1.1 MB, 250 persons) at peer A and
+    "auctions.xml" (50 MB, 4875 closed auctions) at peer B, with 6 matches
+    between persons and closed-auction buyers.  We generate documents with
+    the same {e structure} (person/@id, closed_auction/buyer/@person,
+    annotation payload) and controllable scale.  A linear-congruential
+    generator keeps output deterministic across runs. *)
+
+let first_names =
+  [| "Sean"; "Julie"; "Gerard"; "Ying"; "Peter"; "Maria"; "Ivan"; "Chen";
+     "Aisha"; "Lars"; "Noor"; "Pablo"; "Keiko"; "Anna"; "Tomas"; "Fatima" |]
+
+let last_names =
+  [| "Connery"; "Andrews"; "Depardieu"; "Zhang"; "Boncz"; "Garcia"; "Petrov";
+     "Wei"; "Khan"; "Nilsen"; "Haddad"; "Moreno"; "Tanaka"; "Kovacs";
+     "Novak"; "Rossi" |]
+
+type rng = { mutable state : int }
+
+let rng seed = { state = (seed lor 1) land 0x3FFFFFFF }
+
+let next r bound =
+  r.state <- (r.state * 1103515245 + 12345) land 0x3FFFFFFF;
+  r.state mod bound
+
+let words =
+  [| "vintage"; "pristine"; "rare"; "signed"; "boxed"; "antique"; "mint";
+     "restored"; "original"; "limited"; "edition"; "collector"; "classic";
+     "handmade"; "imported"; "certified" |]
+
+let sentence r n =
+  String.concat " " (List.init n (fun _ -> words.(next r (Array.length words))))
+
+(** [persons ~count] generates the "persons.xml" document: [site/people/
+    person] with @id ["personN"], name, emailaddress and a profile blob. *)
+let persons ?(seed = 42) ~count () =
+  let r = rng seed in
+  let buf = Buffer.create (count * 256) in
+  Buffer.add_string buf "<site><people>";
+  for i = 0 to count - 1 do
+    let first = first_names.(next r (Array.length first_names)) in
+    let last = last_names.(next r (Array.length last_names)) in
+    Printf.bprintf buf
+      "<person id=\"person%d\"><name>%s %s</name><emailaddress>mailto:%s.%s@example.org</emailaddress><profile income=\"%d\"><interest category=\"category%d\"/><education>%s</education></profile></person>"
+      i first last
+      (String.lowercase_ascii first)
+      (String.lowercase_ascii last)
+      (20000 + next r 80000)
+      (next r 20)
+      (sentence r 4)
+  done;
+  Buffer.add_string buf "</people></site>";
+  Buffer.contents buf
+
+(** [auctions ~count ~matches ~persons_count] generates "auctions.xml":
+    [site] with [items], [open_auctions] (filler, like the real XMark
+    where closed auctions are only a fraction of the document — this is
+    what makes predicate pushdown ship less than data shipping) and
+    [closed_auctions/closed_auction] with [buyer/@person], [itemref],
+    price and a verbose [annotation] (the payload Q7 returns).  Exactly
+    [matches] closed auctions reference {e distinct} person ids below
+    [persons_count]; all others reference ids beyond it, reproducing the
+    paper's 6-match join selectivity. *)
+let auctions ?(seed = 7) ~count ~matches ~persons_count () =
+  let r = rng seed in
+  let buf = Buffer.create (count * 1024) in
+  Buffer.add_string buf "<site><regions><europe>";
+  for i = 0 to count - 1 do
+    Printf.bprintf buf
+      "<item id=\"item%d\"><name>%s</name><payment>Cash</payment><description><text>%s</text></description><quantity>%d</quantity></item>"
+      i (sentence r 3) (sentence r 20) (1 + next r 5)
+  done;
+  Buffer.add_string buf "</europe></regions><open_auctions>";
+  for i = 0 to (count / 2) - 1 do
+    Printf.bprintf buf
+      "<open_auction id=\"open%d\"><initial>%d.00</initial><bidder><personref person=\"person%d\"/><increase>%d.00</increase></bidder><itemref item=\"item%d\"/></open_auction>"
+      i (10 + next r 100)
+      (persons_count + next r 1000)
+      (1 + next r 20)
+      (next r count)
+  done;
+  Buffer.add_string buf "</open_auctions><closed_auctions>";
+  (* spread the matching auctions evenly through the document *)
+  let match_every = if matches = 0 then max_int else max 1 (count / matches) in
+  let matched = ref 0 in
+  for i = 0 to count - 1 do
+    let is_match = i mod match_every = 0 && !matched < matches in
+    let buyer =
+      if is_match then !matched * (max 1 (persons_count / max 1 matches))
+      else persons_count + next r (10 * persons_count)
+    in
+    if is_match then incr matched;
+    Printf.bprintf buf
+      "<closed_auction><seller person=\"person%d\"/><buyer person=\"person%d\"/><itemref item=\"item%d\"/><price>%d.%02d</price><date>%02d/%02d/2001</date><quantity>1</quantity><annotation><author person=\"person%d\"/><description><text>%s</text></description><happiness>%d</happiness></annotation></closed_auction>"
+      (persons_count + next r 1000)
+      buyer i
+      (10 + next r 490)
+      (next r 100)
+      (1 + next r 12)
+      (1 + next r 28)
+      (persons_count + next r 1000)
+      (sentence r 24)
+      (1 + next r 10)
+  done;
+  Buffer.add_string buf "</closed_auctions></site>";
+  Buffer.contents buf
+
+(** The getPerson function of §4's wrapper example. *)
+let functions_module =
+  {|module namespace func = "functions";
+declare function func:getPerson($doc as xs:string, $pid as xs:string) as node()?
+{ zero-or-one(doc($doc)//person[@id = $pid]) };
+|}
+
+let functions_ns = "functions"
+let functions_at = "http://example.org/functions.xq"
+
+(** Default Q7 scale: paper-shaped but laptop-sized. *)
+type scale = { persons : int; auctions : int; matches : int }
+
+let default_scale = { persons = 250; auctions = 4875; matches = 6 }
+let small_scale = { persons = 50; auctions = 400; matches = 6 }

@@ -1,0 +1,1 @@
+lib/xml/qname.ml: Hashtbl String

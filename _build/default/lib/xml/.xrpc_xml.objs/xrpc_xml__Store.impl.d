@@ -1,0 +1,1 @@
+lib/xml/store.ml: Array Buffer Int List Qname Tree

@@ -1,0 +1,1 @@
+lib/xml/xdm.ml: List Printf Qname Serialize Store String Tree Xs

@@ -1,0 +1,1 @@
+lib/xml/xml_parse.ml: Buffer Char List Printf Qname String Tree

@@ -1,0 +1,1 @@
+lib/xml/xs.ml: Bool Float Format Printf Qname String

@@ -1,0 +1,243 @@
+(** Shredded document store — the pre/size/level encoding used by
+    MonetDB/XQuery (§3 of the paper).
+
+    A {!Tree.t} is shredded into pre-order arrays; a node is identified by
+    [(doc_id, pre)].  All XPath axes are answered from the arrays:
+    descendants of [pre] are the contiguous range [pre+1 .. pre+size.(pre)],
+    parents come from the [parent] array.  Attributes occupy their own pre
+    slots (kind [Attr]) directly after their owner element, which keeps node
+    identity uniform. *)
+
+type kind = Doc | Elem | Attr | Txt | Comm | Pi
+
+type t = {
+  doc_id : int;  (** globally unique store id; also orders documents *)
+  uri : string;  (** document URI, or "" for constructed fragments *)
+  tree : Tree.t;  (** the original immutable tree *)
+  kind : kind array;
+  name : Qname.t option array;  (** element/attribute/PI names *)
+  value : string array;  (** text/comment/attr content; PI data *)
+  parent : int array;  (** parent pre, -1 for the root *)
+  size : int array;  (** number of descendants (incl. attributes) *)
+  level : int array;
+}
+
+(** A node reference: a store plus a preorder rank within it. *)
+type node = { store : t; pre : int }
+
+let next_doc_id = ref 0
+
+let fresh_doc_id () =
+  incr next_doc_id;
+  !next_doc_id
+
+(** [shred ?uri tree] builds a store for [tree] with a fresh [doc_id]. *)
+let shred ?(uri = "") tree =
+  let n = Tree.node_count tree in
+  let kind = Array.make n Doc
+  and name = Array.make n None
+  and value = Array.make n ""
+  and parent = Array.make n (-1)
+  and size = Array.make n 0
+  and level = Array.make n 0 in
+  let next = ref 0 in
+  let rec go par lev t =
+    let pre = !next in
+    incr next;
+    parent.(pre) <- par;
+    level.(pre) <- lev;
+    (match t with
+    | Tree.Document cs ->
+        kind.(pre) <- Doc;
+        List.iter (go pre (lev + 1)) cs
+    | Tree.Element { name = nm; attrs; children } ->
+        kind.(pre) <- Elem;
+        name.(pre) <- Some nm;
+        List.iter
+          (fun (a : Tree.attr) ->
+            let apre = !next in
+            incr next;
+            kind.(apre) <- Attr;
+            name.(apre) <- Some a.name;
+            value.(apre) <- a.value;
+            parent.(apre) <- pre;
+            level.(apre) <- lev + 1)
+          attrs;
+        List.iter (go pre (lev + 1)) children
+    | Tree.Text s ->
+        kind.(pre) <- Txt;
+        value.(pre) <- s
+    | Tree.Comment s ->
+        kind.(pre) <- Comm;
+        value.(pre) <- s
+    | Tree.Pi { target; data } ->
+        kind.(pre) <- Pi;
+        name.(pre) <- Some (Qname.make target);
+        value.(pre) <- data);
+    size.(pre) <- !next - pre - 1
+  in
+  go (-1) 0 tree;
+  { doc_id = fresh_doc_id (); uri; tree; kind; name; value; parent; size;
+    level }
+
+let root store = { store; pre = 0 }
+let node_count t = Array.length t.kind
+let kind n = n.store.kind.(n.pre)
+let name n = n.store.name.(n.pre)
+let parent n =
+  let p = n.store.parent.(n.pre) in
+  if p < 0 then None else Some { n with pre = p }
+
+(** Document order across stores: by [doc_id], then preorder rank. *)
+let compare_nodes a b =
+  match Int.compare a.store.doc_id b.store.doc_id with
+  | 0 -> Int.compare a.pre b.pre
+  | c -> c
+
+let equal_nodes a b = compare_nodes a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Axes                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_attr n = kind n = Attr
+
+(** Children (non-attribute nodes whose parent is [n]), in document order. *)
+let children n =
+  let s = n.store in
+  let stop = n.pre + s.size.(n.pre) in
+  let rec loop pre acc =
+    if pre > stop then List.rev acc
+    else
+      let acc =
+        if s.parent.(pre) = n.pre && s.kind.(pre) <> Attr then
+          { n with pre } :: acc
+        else acc
+      in
+      (* skip whole subtrees that are not direct children *)
+      let pre' =
+        if s.parent.(pre) = n.pre then pre + s.size.(pre) + 1 else pre + 1
+      in
+      loop pre' acc
+  in
+  loop (n.pre + 1) []
+
+let attributes n =
+  let s = n.store in
+  let rec loop pre acc =
+    if pre < Array.length s.kind && s.kind.(pre) = Attr
+       && s.parent.(pre) = n.pre
+    then loop (pre + 1) ({ n with pre } :: acc)
+    else List.rev acc
+  in
+  if kind n = Elem then loop (n.pre + 1) [] else []
+
+let descendants n =
+  let s = n.store in
+  let stop = n.pre + s.size.(n.pre) in
+  let rec loop pre acc =
+    if pre > stop then List.rev acc
+    else
+      let acc = if s.kind.(pre) <> Attr then { n with pre } :: acc else acc in
+      loop (pre + 1) acc
+  in
+  loop (n.pre + 1) []
+
+let descendant_or_self n =
+  if kind n = Attr then [ n ] else n :: descendants n
+
+let rec ancestors n =
+  match parent n with None -> [] | Some p -> p :: ancestors p
+
+let following_siblings n =
+  match parent n with
+  | None -> []
+  | Some p -> List.filter (fun c -> c.pre > n.pre) (children p)
+
+let preceding_siblings n =
+  match parent n with
+  | None -> []
+  | Some p -> List.filter (fun c -> c.pre < n.pre) (children p)
+
+let following n =
+  let s = n.store in
+  let start = n.pre + s.size.(n.pre) + 1 in
+  let rec loop pre acc =
+    if pre >= Array.length s.kind then List.rev acc
+    else
+      let acc = if s.kind.(pre) <> Attr then { n with pre } :: acc else acc in
+      loop (pre + 1) acc
+  in
+  loop start []
+
+let preceding n =
+  let ancs = List.map (fun a -> a.pre) (ancestors n) in
+  let rec loop pre acc =
+    if pre >= n.pre then List.rev acc
+    else
+      let acc =
+        if n.store.kind.(pre) <> Attr && not (List.mem pre ancs) then
+          { n with pre } :: acc
+        else acc
+      in
+      loop (pre + 1) acc
+  in
+  loop 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** XDM string value of a node. *)
+let string_value n =
+  let s = n.store in
+  match s.kind.(n.pre) with
+  | Txt | Comm | Attr -> s.value.(n.pre)
+  | Pi -> s.value.(n.pre)
+  | Doc | Elem ->
+      let buf = Buffer.create 64 in
+      let stop = n.pre + s.size.(n.pre) in
+      for pre = n.pre to stop do
+        if s.kind.(pre) = Txt then Buffer.add_string buf s.value.(pre)
+      done;
+      Buffer.contents buf
+
+(** Reconstruct the immutable subtree rooted at [n] (used for call-by-value
+    marshaling and for applying updates). *)
+let rec to_tree n =
+  let s = n.store in
+  match s.kind.(n.pre) with
+  | Txt -> Tree.Text s.value.(n.pre)
+  | Comm -> Tree.Comment s.value.(n.pre)
+  | Attr ->
+      (* An attribute extracted on its own loses its owner; represent it as
+         a single-attribute element is wrong, so expose via [attr_tree]. *)
+      Tree.Text s.value.(n.pre)
+  | Pi ->
+      Tree.Pi
+        {
+          target = (match s.name.(n.pre) with Some q -> q.local | None -> "");
+          data = s.value.(n.pre);
+        }
+  | Doc -> Tree.Document (List.map to_tree (children n))
+  | Elem ->
+      let nm = match s.name.(n.pre) with Some q -> q | None -> assert false in
+      let attrs =
+        List.map
+          (fun a ->
+            {
+              Tree.name =
+                (match a.store.name.(a.pre) with
+                | Some q -> q
+                | None -> assert false);
+              value = a.store.value.(a.pre);
+            })
+          (attributes n)
+      in
+      Tree.Element { name = nm; attrs; children = List.map to_tree (children n) }
+
+(** Attribute node as a [Tree.attr]; raises if [n] is not an attribute. *)
+let attr_tree n =
+  match (kind n, name n) with
+  | Attr, Some q -> { Tree.name = q; value = n.store.value.(n.pre) }
+  | _ -> invalid_arg "Store.attr_tree: not an attribute node"

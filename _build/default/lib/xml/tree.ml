@@ -1,0 +1,54 @@
+(** Immutable XML node trees.
+
+    Trees are the value representation of documents and constructed nodes.
+    They carry no identity; identity is assigned when a tree is shredded into
+    a {!Store} (the MonetDB-style encoding).  Keeping trees immutable makes
+    the repeatable-read snapshots of §2.2 free: a snapshot is just a
+    reference to the old tree. *)
+
+type attr = { name : Qname.t; value : string }
+
+type t =
+  | Document of t list
+  | Element of { name : Qname.t; attrs : attr list; children : t list }
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+let document children = Document children
+let elem ?(attrs = []) name children = Element { name; attrs; children }
+let text s = Text s
+let attr name value = { name; value }
+
+(** [string_value t] concatenates all descendant text, per XDM. *)
+let rec string_value = function
+  | Text s -> s
+  | Comment _ | Pi _ -> ""
+  | Document cs | Element { children = cs; _ } ->
+      String.concat "" (List.map string_value cs)
+
+(** Number of nodes in the tree, counting attributes (used to size stores). *)
+let rec node_count = function
+  | Text _ | Comment _ | Pi _ -> 1
+  | Document cs -> 1 + List.fold_left (fun a c -> a + node_count c) 0 cs
+  | Element { attrs; children; _ } ->
+      1 + List.length attrs
+      + List.fold_left (fun a c -> a + node_count c) 0 children
+
+let rec equal a b =
+  match (a, b) with
+  | Document xs, Document ys -> equal_lists xs ys
+  | Text x, Text y | Comment x, Comment y -> String.equal x y
+  | Pi x, Pi y -> x.target = y.target && x.data = y.data
+  | Element x, Element y ->
+      Qname.equal x.name y.name
+      && List.length x.attrs = List.length y.attrs
+      && List.for_all2
+           (fun (a : attr) (b : attr) ->
+             Qname.equal a.name b.name && String.equal a.value b.value)
+           x.attrs y.attrs
+      && equal_lists x.children y.children
+  | _ -> false
+
+and equal_lists xs ys =
+  List.length xs = List.length ys && List.for_all2 equal xs ys

@@ -1,0 +1,1 @@
+lib/xquery/builtins.ml: Buffer Char Context Float Hashtbl List Printf Qname Store Str String Update Xdm Xrpc_xml Xs

@@ -1,0 +1,1 @@
+lib/xquery/check.ml: Ast Builtins Context List Printf Qname Xrpc_xml

@@ -1,0 +1,1 @@
+lib/xquery/context.ml: Ast Hashtbl List Map Qname Store String Update Xdm Xrpc_soap Xrpc_xml

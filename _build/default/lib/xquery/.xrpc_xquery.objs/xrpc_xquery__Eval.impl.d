@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Builtins Context Hashtbl List Printf Qname Store String Tree Update Xdm Xrpc_soap Xrpc_xml Xs

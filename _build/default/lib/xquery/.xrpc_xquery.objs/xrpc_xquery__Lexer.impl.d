@@ -1,0 +1,1 @@
+lib/xquery/lexer.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer Lexer List Printf Qname String Xrpc_xml Xs

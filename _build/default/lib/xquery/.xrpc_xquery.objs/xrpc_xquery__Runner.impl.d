@@ -1,0 +1,1 @@
+lib/xquery/runner.ml: Ast Context Eval List Option Parser Printf Qname Update Xdm Xrpc_xml

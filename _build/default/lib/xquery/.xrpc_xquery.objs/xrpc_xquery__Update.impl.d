@@ -1,0 +1,1 @@
+lib/xquery/update.ml: Hashtbl List Option Printf Qname Store Tree Xrpc_xml

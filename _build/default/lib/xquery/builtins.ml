@@ -1,0 +1,452 @@
+(** Built-in function library ([fn:] namespace plus the [xrpc:host] /
+    [xrpc:path] helpers of §5).
+
+    Each builtin is a function of the dynamic context and the evaluated
+    argument sequences.  Lookup is by (namespace, local name, arity).
+    [xs:TYPE(...)] constructor functions are handled directly by the
+    evaluator as casts. *)
+
+open Xrpc_xml
+
+type impl = Context.t -> Xdm.sequence list -> Xdm.sequence
+
+let registry : (string * string * int, impl) Hashtbl.t = Hashtbl.create 128
+
+let register ?(uri = Qname.ns_fn) local arity impl =
+  Hashtbl.replace registry (uri, local, arity) impl
+
+let find (q : Qname.t) arity =
+  match Hashtbl.find_opt registry (q.Qname.uri, q.Qname.local, arity) with
+  | Some f -> Some f
+  | None ->
+      (* the fn: namespace is also reachable with no prefix *)
+      if q.Qname.uri = "" then
+        Hashtbl.find_opt registry (Qname.ns_fn, q.Qname.local, arity)
+      else None
+
+let dyn = Xdm.dyn_error
+
+let one_string = function
+  | [] -> ""
+  | seq -> Xs.to_string (Xdm.one_atom ~what:"string" seq)
+
+let opt_string = function [] -> None | seq -> Some (one_string seq)
+
+let one_int seq =
+  match Xdm.one_atom ~what:"integer" seq with
+  | Xs.Integer i -> i
+  | a -> int_of_float (Xs.to_float a)
+
+let one_node = function
+  | [ Xdm.Node n ] -> n
+  | [ _ ] -> dyn "expected a node"
+  | [] -> dyn "expected a node, got empty sequence"
+  | _ -> dyn "expected a single node"
+
+let num_seq seq = List.map Xs.to_float (Xdm.atomize seq)
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  (* accessors *)
+  register "doc" 1 (fun ctx args ->
+      match List.nth args 0 with
+      | [] -> []
+      | seq ->
+          let uri = one_string seq in
+          [ Xdm.Node (Store.root (ctx.Context.doc_resolver uri)) ]);
+  register "doc-available" 1 (fun ctx args ->
+      match opt_string (List.nth args 0) with
+      | None -> [ Xdm.bool false ]
+      | Some uri -> (
+          try
+            ignore (ctx.Context.doc_resolver uri);
+            [ Xdm.bool true ]
+          with _ -> [ Xdm.bool false ]));
+  register "root" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> []
+      | seq ->
+          let n = one_node seq in
+          [ Xdm.Node (Store.root n.Store.store) ]);
+  register "root" 0 (fun ctx _ ->
+      let n = Context.context_node ctx in
+      [ Xdm.Node (Store.root n.Store.store) ]);
+  register "position" 0 (fun ctx _ -> [ Xdm.int ctx.Context.ctx_pos ]);
+  register "last" 0 (fun ctx _ -> [ Xdm.int ctx.Context.ctx_size ]);
+  register "string" 0 (fun ctx _ ->
+      match ctx.Context.ctx_item with
+      | Some i -> [ Xdm.str (Xdm.string_value i) ]
+      | None -> dyn "fn:string(): no context item");
+  register "string" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> [ Xdm.str "" ]
+      | [ i ] -> [ Xdm.str (Xdm.string_value i) ]
+      | _ -> dyn "fn:string(): more than one item");
+  register "data" 1 (fun _ args ->
+      List.map (fun a -> Xdm.Atomic a) (Xdm.atomize (List.nth args 0)));
+  register "number" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> [ Xdm.Atomic (Xs.Double Float.nan) ]
+      | seq -> (
+          try [ Xdm.Atomic (Xs.Double (Xs.to_float (Xdm.one_atom ~what:"number" seq))) ]
+          with _ -> [ Xdm.Atomic (Xs.Double Float.nan) ]));
+  register "name" 0 (fun ctx _ ->
+      let n = Context.context_node ctx in
+      [ Xdm.str (match Store.name n with Some q -> Qname.to_string q | None -> "") ]);
+  register "name" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> [ Xdm.str "" ]
+      | seq ->
+          let n = one_node seq in
+          [ Xdm.str (match Store.name n with Some q -> Qname.to_string q | None -> "") ]);
+  register "local-name" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> [ Xdm.str "" ]
+      | seq ->
+          let n = one_node seq in
+          [ Xdm.str (match Store.name n with Some q -> q.Qname.local | None -> "") ]);
+  register "namespace-uri" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> [ Xdm.str "" ]
+      | seq ->
+          let n = one_node seq in
+          [ Xdm.str (match Store.name n with Some q -> q.Qname.uri | None -> "") ]);
+
+  (* boolean *)
+  register "true" 0 (fun _ _ -> [ Xdm.bool true ]);
+  register "false" 0 (fun _ _ -> [ Xdm.bool false ]);
+  register "boolean" 1 (fun _ args -> [ Xdm.bool (Xdm.ebv (List.nth args 0)) ]);
+  register "not" 1 (fun _ args -> [ Xdm.bool (not (Xdm.ebv (List.nth args 0))) ]);
+
+  (* sequences *)
+  register "count" 1 (fun _ args -> [ Xdm.int (List.length (List.nth args 0)) ]);
+  register "empty" 1 (fun _ args -> [ Xdm.bool (List.nth args 0 = []) ]);
+  register "exists" 1 (fun _ args -> [ Xdm.bool (List.nth args 0 <> []) ]);
+  register "zero-or-one" 1 (fun _ args ->
+      match List.nth args 0 with
+      | ([] | [ _ ]) as s -> s
+      | _ -> dyn "FORG0003: zero-or-one() with more than one item");
+  register "exactly-one" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [ _ ] as s -> s
+      | _ -> dyn "FORG0005: exactly-one() without exactly one item");
+  register "one-or-more" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> dyn "FORG0004: one-or-more() with empty sequence"
+      | s -> s);
+  register "reverse" 1 (fun _ args -> List.rev (List.nth args 0));
+  register "distinct-values" 1 (fun _ args ->
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun a ->
+          let key = (Xs.type_name (Xs.type_of a), Xs.to_string a) in
+          let key =
+            if Xs.is_numeric a then ("num", Xs.float_to_string (Xs.to_float a))
+            else key
+          in
+          if Hashtbl.mem seen key then None
+          else (
+            Hashtbl.add seen key ();
+            Some (Xdm.Atomic a)))
+        (Xdm.atomize (List.nth args 0)));
+  register "subsequence" 2 (fun _ args ->
+      let seq = List.nth args 0 in
+      let start = one_int (List.nth args 1) in
+      List.filteri (fun i _ -> i + 1 >= start) seq);
+  register "subsequence" 3 (fun _ args ->
+      let seq = List.nth args 0 in
+      let start = one_int (List.nth args 1) in
+      let len = one_int (List.nth args 2) in
+      List.filteri (fun i _ -> i + 1 >= start && i + 1 < start + len) seq);
+  register "insert-before" 3 (fun _ args ->
+      let seq = List.nth args 0 in
+      let pos = max 1 (one_int (List.nth args 1)) in
+      let ins = List.nth args 2 in
+      let rec go i = function
+        | rest when i = pos -> ins @ rest
+        | [] -> ins
+        | x :: rest -> x :: go (i + 1) rest
+      in
+      go 1 seq);
+  register "remove" 2 (fun _ args ->
+      let seq = List.nth args 0 in
+      let pos = one_int (List.nth args 1) in
+      List.filteri (fun i _ -> i + 1 <> pos) seq);
+  register "index-of" 2 (fun _ args ->
+      let seq = Xdm.atomize (List.nth args 0) in
+      let target = Xdm.one_atom ~what:"search value" (List.nth args 1) in
+      List.filteri (fun _ _ -> true) seq
+      |> List.mapi (fun i a -> (i + 1, a))
+      |> List.filter_map (fun (i, a) ->
+             if (try Xs.equal_values a target with Xs.Type_error _ -> false)
+             then Some (Xdm.int i)
+             else None));
+  register "deep-equal" 2 (fun _ args ->
+      [ Xdm.bool (Xdm.deep_equal (List.nth args 0) (List.nth args 1)) ]);
+
+  (* aggregates *)
+  register "sum" 1 (fun _ args ->
+      let xs = num_seq (List.nth args 0) in
+      let s = List.fold_left ( +. ) 0. xs in
+      if Float.is_integer s then [ Xdm.int (int_of_float s) ]
+      else [ Xdm.Atomic (Xs.Double s) ]);
+  register "avg" 1 (fun _ args ->
+      match num_seq (List.nth args 0) with
+      | [] -> []
+      | xs ->
+          [ Xdm.Atomic
+              (Xs.Double (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))) ]);
+  register "min" 1 (fun _ args ->
+      match num_seq (List.nth args 0) with
+      | [] -> []
+      | x :: xs -> [ Xdm.Atomic (Xs.Double (List.fold_left min x xs)) ]);
+  register "max" 1 (fun _ args ->
+      match num_seq (List.nth args 0) with
+      | [] -> []
+      | x :: xs -> [ Xdm.Atomic (Xs.Double (List.fold_left max x xs)) ]);
+
+  (* numerics *)
+  register "floor" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> []
+      | seq -> (
+          match Xdm.one_atom ~what:"number" seq with
+          | Xs.Integer i -> [ Xdm.int i ]
+          | a -> [ Xdm.Atomic (Xs.Double (Float.floor (Xs.to_float a))) ]));
+  register "ceiling" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> []
+      | seq -> (
+          match Xdm.one_atom ~what:"number" seq with
+          | Xs.Integer i -> [ Xdm.int i ]
+          | a -> [ Xdm.Atomic (Xs.Double (Float.ceil (Xs.to_float a))) ]));
+  register "round" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> []
+      | seq -> (
+          match Xdm.one_atom ~what:"number" seq with
+          | Xs.Integer i -> [ Xdm.int i ]
+          | a -> [ Xdm.Atomic (Xs.Double (Float.round (Xs.to_float a))) ]));
+  register "abs" 1 (fun _ args ->
+      match List.nth args 0 with
+      | [] -> []
+      | seq -> (
+          match Xdm.one_atom ~what:"number" seq with
+          | Xs.Integer i -> [ Xdm.int (abs i) ]
+          | a -> [ Xdm.Atomic (Xs.Double (Float.abs (Xs.to_float a))) ]));
+
+  (* strings *)
+  for arity = 2 to 10 do
+    register "concat" arity (fun _ args ->
+        [ Xdm.str (String.concat "" (List.map one_string args)) ])
+  done;
+  register "string-join" 2 (fun _ args ->
+      let parts = List.map Xs.to_string (Xdm.atomize (List.nth args 0)) in
+      [ Xdm.str (String.concat (one_string (List.nth args 1)) parts) ]);
+  register "string-length" 1 (fun _ args ->
+      [ Xdm.int (String.length (one_string (List.nth args 0))) ]);
+  register "substring" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      let start = one_int (List.nth args 1) in
+      let from = max 0 (start - 1) in
+      [ Xdm.str
+          (if from >= String.length s then ""
+           else String.sub s from (String.length s - from)) ]);
+  register "substring" 3 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      let start = one_int (List.nth args 1) in
+      let len = one_int (List.nth args 2) in
+      let from = max 0 (start - 1) in
+      let upto = min (String.length s) (start - 1 + len) in
+      [ Xdm.str (if upto <= from then "" else String.sub s from (upto - from)) ]);
+  register "contains" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) and sub = one_string (List.nth args 1) in
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      [ Xdm.bool (n = 0 || go 0) ]);
+  register "starts-with" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) and pre = one_string (List.nth args 1) in
+      [ Xdm.bool
+          (String.length pre <= String.length s
+          && String.sub s 0 (String.length pre) = pre) ]);
+  register "ends-with" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) and suf = one_string (List.nth args 1) in
+      [ Xdm.bool
+          (String.length suf <= String.length s
+          && String.sub s (String.length s - String.length suf) (String.length suf)
+             = suf) ]);
+  register "substring-before" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) and sub = one_string (List.nth args 1) in
+      let n = String.length sub in
+      let rec go i =
+        if i + n > String.length s then None
+        else if String.sub s i n = sub then Some i
+        else go (i + 1)
+      in
+      [ Xdm.str (match go 0 with Some i -> String.sub s 0 i | None -> "") ]);
+  register "substring-after" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) and sub = one_string (List.nth args 1) in
+      let n = String.length sub in
+      let rec go i =
+        if i + n > String.length s then None
+        else if String.sub s i n = sub then Some (i + n)
+        else go (i + 1)
+      in
+      [ Xdm.str
+          (match go 0 with
+          | Some i -> String.sub s i (String.length s - i)
+          | None -> "") ]);
+  register "upper-case" 1 (fun _ args ->
+      [ Xdm.str (String.uppercase_ascii (one_string (List.nth args 0))) ]);
+  register "lower-case" 1 (fun _ args ->
+      [ Xdm.str (String.lowercase_ascii (one_string (List.nth args 0))) ]);
+  register "normalize-space" 1 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      let words =
+        String.split_on_char ' ' (String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s)
+        |> List.filter (fun w -> w <> "")
+      in
+      [ Xdm.str (String.concat " " words) ]);
+
+  register "translate" 3 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      let from = one_string (List.nth args 1) in
+      let into = one_string (List.nth args 2) in
+      let buf = Buffer.create (String.length s) in
+      String.iter
+        (fun c ->
+          match String.index_opt from c with
+          | Some i -> if i < String.length into then Buffer.add_char buf into.[i]
+          | None -> Buffer.add_char buf c)
+        s;
+      [ Xdm.str (Buffer.contents buf) ]);
+  register "string-to-codepoints" 1 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      List.init (String.length s) (fun i -> Xdm.int (Char.code s.[i])));
+  register "codepoints-to-string" 1 (fun _ args ->
+      let codes = List.map (fun a -> int_of_float (Xs.to_float a))
+          (Xdm.atomize (List.nth args 0)) in
+      [ Xdm.str (String.concat "" (List.map (fun c -> String.make 1 (Char.chr (c land 255))) codes)) ]);
+  register "compare" 2 (fun _ args ->
+      [ Xdm.int (compare (one_string (List.nth args 0)) (one_string (List.nth args 1))) ]);
+
+  (* regular expressions — XPath regex syntax approximated by OCaml's Str
+     (covers the common subset: classes, alternation, +, *, ?, anchors) *)
+  let compile_re pattern =
+    (* translate a few XPath-isms Str spells differently *)
+    let buf = Buffer.create (String.length pattern + 8) in
+    let n = String.length pattern in
+    let i = ref 0 in
+    while !i < n do
+      (match pattern.[!i] with
+      | '(' -> Buffer.add_string buf "\\("
+      | ')' -> Buffer.add_string buf "\\)"
+      | '|' -> Buffer.add_string buf "\\|"
+      | '\\' when !i + 1 < n ->
+          (match pattern.[!i + 1] with
+          | 'd' -> Buffer.add_string buf "[0-9]"
+          | 'D' -> Buffer.add_string buf "[^0-9]"
+          | 's' -> Buffer.add_string buf "[ \t\n\r]"
+          | 'S' -> Buffer.add_string buf "[^ \t\n\r]"
+          | 'w' -> Buffer.add_string buf "[A-Za-z0-9_]"
+          | c ->
+              Buffer.add_char buf '\\';
+              Buffer.add_char buf c);
+          incr i
+      | c -> Buffer.add_char buf c);
+      incr i
+    done;
+    Str.regexp (Buffer.contents buf)
+  in
+  let re_search re s =
+    try
+      ignore (Str.search_forward re s 0);
+      true
+    with Not_found -> false
+  in
+  register "matches" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      let re = compile_re (one_string (List.nth args 1)) in
+      [ Xdm.bool (re_search re s) ]);
+  register "replace" 3 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      let re = compile_re (one_string (List.nth args 1)) in
+      let replacement =
+        (* XPath uses $1..$9 for groups; Str uses \1..\9 *)
+        Str.global_replace (Str.regexp "\\$\\([0-9]\\)") "\\\\\\1"
+          (one_string (List.nth args 2))
+      in
+      [ Xdm.str (Str.global_replace re replacement s) ]);
+  register "tokenize" 2 (fun _ args ->
+      let s = one_string (List.nth args 0) in
+      let re = compile_re (one_string (List.nth args 1)) in
+      if s = "" then []
+      else List.map (fun t -> Xdm.str t) (Str.split_delim re s));
+
+  (* dates and times: component extraction over ISO-8601 lexical forms *)
+  let component what f =
+    register what 1 (fun _ args ->
+        match List.nth args 0 with
+        | [] -> []
+        | seq ->
+            let s = Xs.to_string (Xdm.one_atom ~what seq) in
+            [ Xdm.int (f s) ])
+  in
+  let int_at s i len =
+    try int_of_string (String.sub s i len) with _ -> dyn "bad date %S" s
+  in
+  let time_offset s =
+    (* position of the HH:MM:SS block: after 'T' for dateTime, 0 for time *)
+    match String.index_opt s 'T' with Some i -> i + 1 | None -> 0
+  in
+  component "year-from-date" (fun s -> int_at s 0 4);
+  component "month-from-date" (fun s -> int_at s 5 2);
+  component "day-from-date" (fun s -> int_at s 8 2);
+  component "year-from-dateTime" (fun s -> int_at s 0 4);
+  component "month-from-dateTime" (fun s -> int_at s 5 2);
+  component "day-from-dateTime" (fun s -> int_at s 8 2);
+  component "hours-from-dateTime" (fun s -> int_at s (time_offset s) 2);
+  component "minutes-from-dateTime" (fun s -> int_at s (time_offset s + 3) 2);
+  component "seconds-from-dateTime" (fun s -> int_at s (time_offset s + 6) 2);
+  component "hours-from-time" (fun s -> int_at s 0 2);
+  component "minutes-from-time" (fun s -> int_at s 3 2);
+  component "seconds-from-time" (fun s -> int_at s 6 2);
+
+  (* diagnostics *)
+  register "error" 0 (fun _ _ -> dyn "FOER0000: fn:error()");
+  register "error" 1 (fun _ args -> dyn "%s" (one_string (List.nth args 0)));
+  register "error" 2 (fun _ args ->
+      dyn "%s: %s" (one_string (List.nth args 0)) (one_string (List.nth args 1)));
+  register "trace" 2 (fun _ args ->
+      let seq = List.nth args 0 in
+      Printf.eprintf "trace: %s %s\n%!" (one_string (List.nth args 1))
+        (Xdm.to_display seq);
+      seq);
+
+  (* XQUF fn:put — emits a Put primitive (applied at commit time) *)
+  register "put" 2 (fun ctx args ->
+      let n = one_node (List.nth args 0) in
+      let uri = one_string (List.nth args 1) in
+      ctx.Context.pul := Update.Put (Store.to_tree n, uri) :: !(ctx.Context.pul);
+      []);
+
+  (* §5 helper functions: split an xrpc:// URL into host part and path *)
+  register ~uri:Qname.ns_xrpc "host" 1 (fun _ args ->
+      let url = one_string (List.nth args 0) in
+      if String.length url >= 7 && String.sub url 0 7 = "xrpc://" then
+        let rest = String.sub url 7 (String.length url - 7) in
+        match String.index_opt rest '/' with
+        | Some i -> [ Xdm.str ("xrpc://" ^ String.sub rest 0 i) ]
+        | None -> [ Xdm.str url ]
+      else [ Xdm.str "localhost" ]);
+  register ~uri:Qname.ns_xrpc "path" 1 (fun _ args ->
+      let url = one_string (List.nth args 0) in
+      if String.length url >= 7 && String.sub url 0 7 = "xrpc://" then
+        let rest = String.sub url 7 (String.length url - 7) in
+        match String.index_opt rest '/' with
+        | Some i -> [ Xdm.str (String.sub rest (i + 1) (String.length rest - i - 1)) ]
+        | None -> [ Xdm.str "" ]
+      else [ Xdm.str url ])

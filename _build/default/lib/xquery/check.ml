@@ -1,0 +1,191 @@
+(** Static checking — the XQuery static errors our dynamic evaluator would
+    otherwise only hit mid-query.
+
+    XQuery 1.0 requires unbound variable references (XPST0008) and unknown
+    function calls (XPST0017) to be {e static} errors, raised before any
+    evaluation.  For XRPC this matters doubly: a peer should reject a bad
+    module at compile time (one fault) rather than halfway through a bulk
+    request with side effects already queued.  The checker walks the AST
+    with the statically-known variable environment and the function
+    registry (user functions + builtins + [xs:] constructors). *)
+
+open Xrpc_xml
+
+type error = { code : string; message : string }
+
+let errf code fmt =
+  Printf.ksprintf (fun message -> { code; message }) fmt
+
+let error_to_string e = Printf.sprintf "%s: %s" e.code e.message
+
+exception Static_error of error list
+
+let known_function (ctx : Context.t) (q : Qname.t) arity =
+  q.Qname.uri = Qname.ns_xs
+  || Context.find_function ctx q arity <> None
+  || Builtins.find q arity <> None
+
+(** [check_expr ctx ~bound e] returns the static errors of [e] given the
+    variables in scope. *)
+let check_expr (ctx : Context.t) ~(bound : Ast.Var_set.t) (e : Ast.expr) :
+    error list =
+  let errors = ref [] in
+  let note e = errors := e :: !errors in
+  let var_known bound (q : Qname.t) =
+    Ast.Var_set.mem (Ast.var_set_key q) bound
+    || Context.Var_map.mem (Context.var_key q) ctx.Context.vars
+  in
+  let rec go bound (e : Ast.expr) =
+    match e with
+    | Ast.Var q ->
+        if not (var_known bound q) then
+          note (errf "XPST0008" "undefined variable $%s" (Qname.to_string q))
+    | Ast.Literal _ | Ast.Context_item | Ast.Root -> ()
+    | Ast.Call (q, args) ->
+        if not (known_function ctx q (List.length args)) then
+          note
+            (errf "XPST0017" "unknown function %s#%d" (Qname.expanded q)
+               (List.length args));
+        List.iter (go bound) args
+    | Ast.Execute_at (d, q, args) ->
+        (* the target function must at least be known locally (imported),
+           so its module URI and updating-ness are available to build the
+           request — the paper's module-based transport requires it *)
+        if not (known_function ctx q (List.length args)) then
+          note
+            (errf "XPST0017"
+               "execute at: function %s#%d is not imported (import its module first)"
+               (Qname.expanded q) (List.length args));
+        go bound d;
+        List.iter (go bound) args
+    | Ast.Sequence es -> List.iter (go bound) es
+    | Ast.Range (a, b)
+    | Ast.Arith (_, a, b)
+    | Ast.Compare (_, a, b)
+    | Ast.And (a, b)
+    | Ast.Or (a, b)
+    | Ast.Union (a, b)
+    | Ast.Intersect (a, b)
+    | Ast.Except (a, b)
+    | Ast.Path (a, b)
+    | Ast.Comp_elem (a, b)
+    | Ast.Comp_attr (a, b)
+    | Ast.Insert (_, a, b)
+    | Ast.Replace_node (a, b)
+    | Ast.Replace_value (a, b)
+    | Ast.Rename_node (a, b) ->
+        go bound a;
+        go bound b
+    | Ast.Neg a
+    | Ast.Text_ctor a
+    | Ast.Comment_ctor a
+    | Ast.Doc_ctor a
+    | Ast.Delete a
+    | Ast.Instance_of (a, _)
+    | Ast.Cast_as (a, _, _)
+    | Ast.Castable_as (a, _, _)
+    | Ast.Treat_as (a, _) ->
+        go bound a
+    | Ast.If (c, t, e) ->
+        go bound c;
+        go bound t;
+        go bound e
+    | Ast.Flwor (clauses, order_by, ret) ->
+        let bound =
+          List.fold_left
+            (fun bound clause ->
+              match clause with
+              | Ast.For (v, posv, e) ->
+                  go bound e;
+                  let bound = Ast.Var_set.add (Ast.var_set_key v) bound in
+                  (match posv with
+                  | Some p -> Ast.Var_set.add (Ast.var_set_key p) bound
+                  | None -> bound)
+              | Ast.Let (v, e) ->
+                  go bound e;
+                  Ast.Var_set.add (Ast.var_set_key v) bound
+              | Ast.Where e ->
+                  go bound e;
+                  bound)
+            bound clauses
+        in
+        List.iter (fun (e, _) -> go bound e) order_by;
+        go bound ret
+    | Ast.Quantified (_, binds, sat) ->
+        let bound =
+          List.fold_left
+            (fun bound (v, e) ->
+              go bound e;
+              Ast.Var_set.add (Ast.var_set_key v) bound)
+            bound binds
+        in
+        go bound sat
+    | Ast.Step (_, _, preds) -> List.iter (go bound) preds
+    | Ast.Filter (e, preds) ->
+        go bound e;
+        List.iter (go bound) preds
+    | Ast.Elem_ctor (_, attrs, content) ->
+        List.iter
+          (fun (_, parts) ->
+            List.iter
+              (function Ast.A_expr e -> go bound e | Ast.A_text _ -> ())
+              parts)
+          attrs;
+        List.iter (go bound) content
+    | Ast.Typeswitch (op, cases, (dv, de)) ->
+        go bound op;
+        List.iter
+          (fun (_, v, e) ->
+            let bound =
+              match v with
+              | Some v -> Ast.Var_set.add (Ast.var_set_key v) bound
+              | None -> bound
+            in
+            go bound e)
+          cases;
+        let bound =
+          match dv with
+          | Some v -> Ast.Var_set.add (Ast.var_set_key v) bound
+          | None -> bound
+        in
+        go bound de
+  in
+  go bound e;
+  List.rev !errors
+
+(** [check_prog ctx prog] — static errors of a whole program: every
+    function body is checked under its parameters, the main expression
+    under the prolog-declared variables.  [ctx] must already have the
+    prolog loaded (functions registered, imports resolved, variables
+    bound). *)
+let check_prog (ctx : Context.t) (prog : Ast.prog) : error list =
+  let fn_errors =
+    List.concat_map
+      (fun decl ->
+        match decl with
+        | Ast.P_function { fn_body = Some body; fn_params; fn_name; _ } ->
+            let bound =
+              List.fold_left
+                (fun s (p, _) -> Ast.Var_set.add (Ast.var_set_key p) s)
+                Ast.Var_set.empty fn_params
+            in
+            List.map
+              (fun e ->
+                { e with
+                  message =
+                    Printf.sprintf "in function %s: %s"
+                      (Qname.to_string fn_name) e.message })
+              (check_expr ctx ~bound body)
+        | _ -> [])
+      prog.Ast.prolog
+  in
+  let body_errors =
+    match prog.Ast.body with
+    | Some body -> check_expr ctx ~bound:Ast.Var_set.empty body
+    | None -> []
+  in
+  fn_errors @ body_errors
+
+(** Raise {!Static_error} if the program has static errors. *)
+let check_prog_exn ctx prog =
+  match check_prog ctx prog with [] -> () | errors -> raise (Static_error errors)

@@ -1,0 +1,866 @@
+(** The XQuery evaluator, including [execute at] and loop-lifted Bulk RPC.
+
+    Evaluation is a straightforward tree walk over {!Ast.expr} — this plays
+    the role Saxon plays in the paper (a non-bulk engine) — {e except} for
+    one crucial feature: when [bulk_rpc] is enabled, FLWOR clauses and
+    return expressions that are [execute at] applications are evaluated
+    set-at-a-time.  All iterations' destinations and parameters are
+    computed first, destinations are deduplicated (the δ(dst.item) of
+    Figure 2), one Bulk RPC request per destination is dispatched (in
+    parallel when there are several), and the per-call results are mapped
+    back to their iterations (the mapp tables of Figure 1). *)
+
+open Xrpc_xml
+module Message = Xrpc_soap.Message
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Node tests and axes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let kind_matches (k : Ast.kind_test) (n : Store.node) =
+  match (k, Store.kind n) with
+  | Ast.K_node, _ -> true
+  | Ast.K_text, Store.Txt -> true
+  | Ast.K_comment, Store.Comm -> true
+  | Ast.K_document, Store.Doc -> true
+  | Ast.K_pi None, Store.Pi -> true
+  | Ast.K_pi (Some t), Store.Pi -> (
+      match Store.name n with Some q -> q.Qname.local = t | None -> false)
+  | Ast.K_element None, Store.Elem -> true
+  | Ast.K_element (Some q), Store.Elem -> (
+      match Store.name n with Some q' -> Qname.equal q q' | None -> false)
+  | Ast.K_attribute None, Store.Attr -> true
+  | Ast.K_attribute (Some q), Store.Attr -> (
+      match Store.name n with Some q' -> Qname.equal q q' | None -> false)
+  | _ -> false
+
+let test_matches ~(principal : [ `Element | `Attribute ]) (t : Ast.node_test)
+    (n : Store.node) =
+  let principal_kind =
+    match (principal, Store.kind n) with
+    | `Element, Store.Elem -> true
+    | `Attribute, Store.Attr -> true
+    | _ -> false
+  in
+  match t with
+  | Ast.Kind_test k -> kind_matches k n
+  | Ast.Any_name -> principal_kind
+  | Ast.Name_test q ->
+      principal_kind
+      && (match Store.name n with Some q' -> Qname.equal q q' | None -> false)
+  | Ast.Ns_wildcard uri ->
+      principal_kind
+      && (match Store.name n with Some q' -> q'.Qname.uri = uri | None -> false)
+  | Ast.Local_wildcard local ->
+      principal_kind
+      && (match Store.name n with
+         | Some q' -> q'.Qname.local = local
+         | None -> false)
+
+(** Nodes reached over [axis] from [n], in axis order (reverse axes yield
+    reverse document order, per XPath). *)
+let axis_nodes (axis : Ast.axis) (n : Store.node) =
+  match axis with
+  | Ast.Child -> Store.children n
+  | Ast.Descendant -> Store.descendants n
+  | Ast.Descendant_or_self -> Store.descendant_or_self n
+  | Ast.Self -> [ n ]
+  | Ast.Parent -> ( match Store.parent n with Some p -> [ p ] | None -> [])
+  | Ast.Ancestor -> Store.ancestors n
+  | Ast.Ancestor_or_self -> n :: Store.ancestors n
+  | Ast.Attribute -> Store.attributes n
+  | Ast.Following_sibling -> Store.following_siblings n
+  | Ast.Preceding_sibling -> List.rev (Store.preceding_siblings n)
+  | Ast.Following -> Store.following n
+  | Ast.Preceding -> List.rev (Store.preceding n)
+
+let is_forward = function
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Preceding_sibling
+  | Ast.Preceding ->
+      false
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Sequence-type matching                                              *)
+(* ------------------------------------------------------------------ *)
+
+let item_type_matches (it : Ast.item_type) (item : Xdm.item) =
+  match (it, item) with
+  | Ast.It_item, _ -> true
+  | Ast.It_node, Xdm.Node _ -> true
+  | Ast.It_text, Xdm.Node n -> Store.kind n = Store.Txt
+  | Ast.It_comment, Xdm.Node n -> Store.kind n = Store.Comm
+  | Ast.It_pi, Xdm.Node n -> Store.kind n = Store.Pi
+  | Ast.It_document, Xdm.Node n -> Store.kind n = Store.Doc
+  | Ast.It_element q, Xdm.Node n ->
+      kind_matches (Ast.K_element q) n
+  | Ast.It_attribute q, Xdm.Node n -> kind_matches (Ast.K_attribute q) n
+  | Ast.It_atomic t, Xdm.Atomic a ->
+      t = Xs.type_of a
+      || (t = Xs.TDecimal && Xs.type_of a = Xs.TInteger)
+      || t = Xs.TUntypedAtomic && Xs.type_of a = Xs.TUntypedAtomic
+  | _ -> false
+
+let seq_type_matches (st : Ast.seq_type) (seq : Xdm.sequence) =
+  match st with
+  | Ast.Seq_empty -> seq = []
+  | Ast.Seq (it, occ) -> (
+      let all = List.for_all (item_type_matches it) seq in
+      all
+      &&
+      match occ with
+      | Ast.Exactly_one -> List.length seq = 1
+      | Ast.Zero_or_one -> List.length seq <= 1
+      | Ast.One_or_more -> seq <> []
+      | Ast.Zero_or_more -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let value_compare op (a : Xs.t) (b : Xs.t) =
+  let c = Xs.compare_values a b in
+  match op with
+  | Ast.V_eq | Ast.G_eq -> c = 0
+  | Ast.V_ne | Ast.G_ne -> c <> 0
+  | Ast.V_lt | Ast.G_lt -> c < 0
+  | Ast.V_le | Ast.G_le -> c <= 0
+  | Ast.V_gt | Ast.G_gt -> c > 0
+  | Ast.V_ge | Ast.G_ge -> c >= 0
+  | _ -> err "not a value comparison"
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Turn a content sequence into attributes + child trees, per the XQuery
+    content-construction rules: adjacent atomic values become a single text
+    node (space separated); node items are copied (call-by-value — they get
+    fresh identity when the new element is shredded). *)
+let content_to_trees (seq : Xdm.sequence) : Tree.attr list * Tree.t list =
+  let attrs = ref [] in
+  let out = ref [] in
+  let pending = ref [] in
+  let flush () =
+    if !pending <> [] then (
+      let s = String.concat " " (List.rev !pending) in
+      out := Tree.Text s :: !out;
+      pending := [])
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Xdm.Atomic a -> pending := Xs.to_string a :: !pending
+      | Xdm.Node n -> (
+          flush ();
+          match Store.kind n with
+          | Store.Attr -> attrs := Store.attr_tree n :: !attrs
+          | Store.Doc ->
+              (* document nodes contribute their children *)
+              List.iter (fun c -> out := Store.to_tree c :: !out) (Store.children n)
+          | _ -> out := Store.to_tree n :: !out))
+    seq;
+  flush ();
+  (List.rev !attrs, List.rev !out)
+
+let node_of_tree tree = Xdm.Node (Store.root (Store.shred tree))
+
+(* XQDY0025: a constructed element must not have two attributes with the
+   same expanded name *)
+let check_attr_duplicates (attrs : Tree.attr list) =
+  let rec go seen = function
+    | [] -> ()
+    | (a : Tree.attr) :: rest ->
+        if List.exists (Qname.equal a.name) seen then
+          Xdm.dyn_error "XQDY0025: duplicate attribute %s on constructed element"
+            (Qname.to_string a.name)
+        else go (a.name :: seen) rest
+  in
+  go [] attrs;
+  attrs
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let max_depth = 4096
+
+(** Ablation switch: loop-invariant FLWOR clause hoisting (benchmarks
+    disable it to quantify what set-oriented evaluation buys). *)
+let hoisting_enabled = ref true
+
+let rec eval (ctx : Context.t) (e : Ast.expr) : Xdm.sequence =
+  match e with
+  | Ast.Literal a -> [ Xdm.Atomic a ]
+  | Ast.Var q -> Context.lookup_var ctx q
+  | Ast.Context_item -> (
+      match ctx.Context.ctx_item with
+      | Some i -> [ i ]
+      | None -> Xdm.dyn_error "XPDY0002: context item is undefined")
+  | Ast.Root ->
+      let n = Context.context_node ctx in
+      [ Xdm.Node (Store.root n.Store.store) ]
+  | Ast.Sequence es -> List.concat_map (eval ctx) es
+  | Ast.Range (a, b) -> (
+      match (eval ctx a, eval ctx b) with
+      | [], _ | _, [] -> []
+      | sa, sb ->
+          let lo =
+            match Xdm.one_atom ~what:"range start" sa with
+            | Xs.Integer i -> i
+            | a -> int_of_float (Xs.to_float a)
+          in
+          let hi =
+            match Xdm.one_atom ~what:"range end" sb with
+            | Xs.Integer i -> i
+            | a -> int_of_float (Xs.to_float a)
+          in
+          if hi < lo then []
+          else List.init (hi - lo + 1) (fun i -> Xdm.int (lo + i)))
+  | Ast.Arith (op, a, b) -> (
+      match (eval ctx a, eval ctx b) with
+      | [], _ | _, [] -> []
+      | sa, sb ->
+          let x = Xdm.one_atom ~what:"operand" sa in
+          let y = Xdm.one_atom ~what:"operand" sb in
+          let x = match x with Xs.Untyped s -> Xs.Double (Xs.parse_float s) | x -> x in
+          let y = match y with Xs.Untyped s -> Xs.Double (Xs.parse_float s) | y -> y in
+          let o =
+            match op with
+            | Ast.Add -> `Add
+            | Ast.Sub -> `Sub
+            | Ast.Mul -> `Mul
+            | Ast.Div -> `Div
+            | Ast.Idiv -> `Idiv
+            | Ast.Mod -> `Mod
+          in
+          [ Xdm.Atomic (Xs.arith o x y) ])
+  | Ast.Neg a -> (
+      match eval ctx a with
+      | [] -> []
+      | s -> (
+          match Xdm.one_atom ~what:"operand" s with
+          | Xs.Integer i -> [ Xdm.int (-i) ]
+          | v -> [ Xdm.Atomic (Xs.Double (-.Xs.to_float v)) ]))
+  | Ast.And (a, b) ->
+      [ Xdm.bool (Xdm.ebv (eval ctx a) && Xdm.ebv (eval ctx b)) ]
+  | Ast.Or (a, b) ->
+      [ Xdm.bool (Xdm.ebv (eval ctx a) || Xdm.ebv (eval ctx b)) ]
+  | Ast.Compare (op, a, b) -> eval_compare ctx op a b
+  | Ast.Union (a, b) ->
+      let nodes =
+        List.map Xdm.node_only (eval ctx a) @ List.map Xdm.node_only (eval ctx b)
+      in
+      List.map (fun n -> Xdm.Node n) (Xdm.doc_order_dedup nodes)
+  | Ast.Intersect (a, b) ->
+      let na = List.map Xdm.node_only (eval ctx a) in
+      let nb = List.map Xdm.node_only (eval ctx b) in
+      List.map
+        (fun n -> Xdm.Node n)
+        (Xdm.doc_order_dedup
+           (List.filter (fun n -> List.exists (Store.equal_nodes n) nb) na))
+  | Ast.Except (a, b) ->
+      let na = List.map Xdm.node_only (eval ctx a) in
+      let nb = List.map Xdm.node_only (eval ctx b) in
+      List.map
+        (fun n -> Xdm.Node n)
+        (Xdm.doc_order_dedup
+           (List.filter
+              (fun n -> not (List.exists (Store.equal_nodes n) nb))
+              na))
+  | Ast.If (c, t, e) -> if Xdm.ebv (eval ctx c) then eval ctx t else eval ctx e
+  | Ast.Flwor (clauses, order_by, ret) -> eval_flwor ctx clauses order_by ret
+  | Ast.Quantified (q, binds, sat) ->
+      let rec go ctx = function
+        | [] -> Xdm.ebv (eval ctx sat)
+        | (v, e) :: rest ->
+            let items = eval ctx e in
+            let test item = go (Context.bind_var ctx v [ item ]) rest in
+            if q = `Some then List.exists test items else List.for_all test items
+      in
+      [ Xdm.bool (go ctx binds) ]
+  | Ast.Path (a, b) ->
+      let input = eval ctx a in
+      let n = List.length input in
+      let results =
+        List.concat
+          (List.mapi
+             (fun i item ->
+               eval (Context.with_context_item ctx item (i + 1) n) b)
+             input)
+      in
+      let nodes, atomics =
+        List.partition (function Xdm.Node _ -> true | _ -> false) results
+      in
+      if atomics = [] then
+        List.map
+          (fun n -> Xdm.Node n)
+          (Xdm.doc_order_dedup (List.map Xdm.node_only nodes))
+      else if nodes = [] then atomics
+      else Xdm.dyn_error "XPTY0018: path step mixes nodes and atomic values"
+  | Ast.Step (axis, test, preds) ->
+      let n = Context.context_node ctx in
+      let principal = if axis = Ast.Attribute then `Attribute else `Element in
+      let candidates =
+        List.filter (test_matches ~principal test) (axis_nodes axis n)
+      in
+      let filtered =
+        apply_predicates ctx preds (List.map (fun n -> Xdm.Node n) candidates)
+      in
+      if is_forward axis then filtered
+      else
+        (* reverse axes: result back in document order *)
+        List.map
+          (fun n -> Xdm.Node n)
+          (Xdm.doc_order_dedup (List.map Xdm.node_only filtered))
+  | Ast.Filter (e, preds) -> apply_predicates ctx preds (eval ctx e)
+  | Ast.Call (q, args) -> eval_call ctx q args
+  | Ast.Execute_at (dest, f, args) -> (
+      match bulk_execute ctx [ ctx ] dest f args with
+      | [ seq ] -> seq
+      | _ -> assert false)
+  | Ast.Elem_ctor (name, attr_specs, content) ->
+      let attrs =
+        List.map
+          (fun (aname, parts) ->
+            let v =
+              String.concat ""
+                (List.map
+                   (function
+                     | Ast.A_text s -> s
+                     | Ast.A_expr e ->
+                         String.concat " "
+                           (List.map Xs.to_string (Xdm.atomize (eval ctx e))))
+                   parts)
+            in
+            Tree.attr aname v)
+          attr_specs
+      in
+      let content_seq = List.concat_map (eval ctx) content in
+      let content_attrs, children = content_to_trees content_seq in
+      let attrs = check_attr_duplicates (attrs @ content_attrs) in
+      [ node_of_tree (Tree.Element { name; attrs; children }) ]
+  | Ast.Comp_elem (name_e, content_e) ->
+      let name = eval_name ctx name_e ~default_ns:true in
+      let content_attrs, children = content_to_trees (eval ctx content_e) in
+      let attrs = check_attr_duplicates content_attrs in
+      [ node_of_tree (Tree.Element { name; attrs; children }) ]
+  | Ast.Comp_attr (name_e, content_e) ->
+      let name = eval_name ctx name_e ~default_ns:false in
+      let v =
+        String.concat " "
+          (List.map Xs.to_string (Xdm.atomize (eval ctx content_e)))
+      in
+      (* a standalone attribute node: carried by a hidden owner element *)
+      let store =
+        Store.shred
+          (Tree.elem (Qname.make ~prefix:"xrpc" ~uri:Qname.ns_xrpc "attr-carrier")
+             ~attrs:[ Tree.attr name v ] [])
+      in
+      (match Store.attributes (Store.root store) with
+      | a :: _ -> [ Xdm.Node a ]
+      | [] -> assert false)
+  | Ast.Text_ctor e -> (
+      match Xdm.atomize (eval ctx e) with
+      | [] -> []
+      | vals ->
+          [ node_of_tree (Tree.Text (String.concat " " (List.map Xs.to_string vals))) ])
+  | Ast.Comment_ctor e ->
+      let s = String.concat " " (List.map Xs.to_string (Xdm.atomize (eval ctx e))) in
+      [ node_of_tree (Tree.Comment s) ]
+  | Ast.Doc_ctor e ->
+      let _, children = content_to_trees (eval ctx e) in
+      [ node_of_tree (Tree.Document children) ]
+  | Ast.Typeswitch (operand, cases, (dv, de)) -> (
+      let v = eval ctx operand in
+      let rec try_cases = function
+        | [] ->
+            let ctx =
+              match dv with Some var -> Context.bind_var ctx var v | None -> ctx
+            in
+            eval ctx de
+        | (st, var, e) :: rest ->
+            if seq_type_matches st v then
+              let ctx =
+                match var with
+                | Some var -> Context.bind_var ctx var v
+                | None -> ctx
+              in
+              eval ctx e
+            else try_cases rest
+      in
+      try_cases cases)
+  | Ast.Instance_of (e, st) -> [ Xdm.bool (seq_type_matches st (eval ctx e)) ]
+  | Ast.Treat_as (e, st) ->
+      let v = eval ctx e in
+      if seq_type_matches st v then v
+      else Xdm.dyn_error "XPDY0050: treat as failed"
+  | Ast.Cast_as (e, t, allow_empty) -> (
+      match eval ctx e with
+      | [] ->
+          if allow_empty then []
+          else Xdm.dyn_error "XPTY0004: cast of empty sequence"
+      | seq -> [ Xdm.Atomic (Xs.cast (Xdm.one_atom ~what:"cast operand" seq) t) ])
+  | Ast.Castable_as (e, t, allow_empty) -> (
+      match eval ctx e with
+      | [] -> [ Xdm.bool allow_empty ]
+      | [ i ] -> (
+          try
+            ignore (Xs.cast (Xdm.atomize_item i) t);
+            [ Xdm.bool true ]
+          with _ -> [ Xdm.bool false ])
+      | _ -> [ Xdm.bool false ])
+  (* ---- XQUF ---- *)
+  | Ast.Insert (pos, src_e, target_e) ->
+      let attrs, trees = content_to_trees (eval ctx src_e) in
+      let target = Xdm.node_only (Xdm.one_item ~what:"insert target" (eval ctx target_e)) in
+      let add p = ctx.Context.pul := p :: !(ctx.Context.pul) in
+      if attrs <> [] then add (Update.Insert_attributes (target, attrs));
+      (if trees <> [] then
+         match pos with
+         | Ast.Into | Ast.As_last -> add (Update.Insert_into (target, trees))
+         | Ast.As_first -> add (Update.Insert_first (target, trees))
+         | Ast.Before -> add (Update.Insert_before (target, trees))
+         | Ast.After -> add (Update.Insert_after (target, trees)));
+      []
+  | Ast.Delete target_e ->
+      List.iter
+        (fun item ->
+          ctx.Context.pul :=
+            Update.Delete_node (Xdm.node_only item) :: !(ctx.Context.pul))
+        (eval ctx target_e);
+      []
+  | Ast.Replace_node (target_e, src_e) ->
+      let target = Xdm.node_only (Xdm.one_item ~what:"replace target" (eval ctx target_e)) in
+      let attrs, trees = content_to_trees (eval ctx src_e) in
+      (if Store.kind target = Store.Attr then
+         ctx.Context.pul := Update.Replace_attr (target, attrs) :: !(ctx.Context.pul)
+       else
+         ctx.Context.pul := Update.Replace_node (target, trees) :: !(ctx.Context.pul));
+      []
+  | Ast.Replace_value (target_e, src_e) ->
+      let target = Xdm.node_only (Xdm.one_item ~what:"replace target" (eval ctx target_e)) in
+      let v =
+        String.concat " " (List.map Xs.to_string (Xdm.atomize (eval ctx src_e)))
+      in
+      ctx.Context.pul := Update.Replace_value (target, v) :: !(ctx.Context.pul);
+      []
+  | Ast.Rename_node (target_e, name_e) ->
+      let target = Xdm.node_only (Xdm.one_item ~what:"rename target" (eval ctx target_e)) in
+      let name = eval_name ctx name_e ~default_ns:false in
+      ctx.Context.pul := Update.Rename (target, name) :: !(ctx.Context.pul);
+      []
+
+and eval_name ctx e ~default_ns =
+  ignore default_ns;
+  match Xdm.one_atom ~what:"name" (eval ctx e) with
+  | Xs.QName q -> q
+  | v ->
+      let prefix, local = Qname.split (Xs.to_string v) in
+      Qname.make ~prefix local
+
+and eval_compare ctx op a b =
+  let sa = eval ctx a and sb = eval ctx b in
+  match op with
+  | Ast.N_is | Ast.N_before | Ast.N_after -> (
+      match (sa, sb) with
+      | [], _ | _, [] -> []
+      | [ Xdm.Node x ], [ Xdm.Node y ] ->
+          let c = Store.compare_nodes x y in
+          [ Xdm.bool
+              (match op with
+              | Ast.N_is -> c = 0
+              | Ast.N_before -> c < 0
+              | _ -> c > 0) ]
+      | _ -> Xdm.dyn_error "node comparison requires single nodes")
+  | Ast.V_eq | Ast.V_ne | Ast.V_lt | Ast.V_le | Ast.V_gt | Ast.V_ge -> (
+      match (sa, sb) with
+      | [], _ | _, [] -> []
+      | _ ->
+          let x = Xdm.one_atom ~what:"operand" sa in
+          let y = Xdm.one_atom ~what:"operand" sb in
+          [ Xdm.bool (value_compare op x y) ])
+  | _ ->
+      (* general comparison: existential over atomized operands *)
+      let xs = Xdm.atomize sa and ys = Xdm.atomize sb in
+      let sat =
+        List.exists
+          (fun x ->
+            List.exists
+              (fun y ->
+                let x, y = Xs.coerce_general x y in
+                value_compare op x y)
+              ys)
+          xs
+      in
+      [ Xdm.bool sat ]
+
+and apply_predicates ctx preds seq =
+  List.fold_left
+    (fun seq pred ->
+      let size = List.length seq in
+      List.filteri
+        (fun i item ->
+          let ictx = Context.with_context_item ctx item (i + 1) size in
+          let r = eval ictx pred in
+          match r with
+          | [ Xdm.Atomic a ] when Xs.is_numeric a ->
+              int_of_float (Xs.to_float a) = i + 1
+          | r -> Xdm.ebv r)
+        seq)
+    seq preds
+
+(* ---- FLWOR with loop-lifted Bulk RPC ---------------------------- *)
+
+and eval_flwor ctx clauses order_by ret =
+  let bulk = ctx.Context.bulk_rpc && ctx.Context.dispatcher <> None in
+  let tuples = ref [ ctx ] in
+  (* loop-invariant clause hoisting: a clause expression that references no
+     variable bound earlier in this FLWOR evaluates identically for every
+     tuple, so evaluate it once against the incoming context (what a
+     set-oriented engine gets for free from loop-lifting) *)
+  let bound = ref Ast.Var_set.empty in
+  let invariant e =
+    !hoisting_enabled && Ast.Var_set.disjoint (Ast.free_vars e) !bound
+  in
+  let bind_clause_vars v posv =
+    bound := Ast.Var_set.add (Ast.var_set_key v) !bound;
+    match posv with
+    | Some p -> bound := Ast.Var_set.add (Ast.var_set_key p) !bound
+    | None -> ()
+  in
+  let expand_for v posv items tctx =
+    List.mapi
+      (fun i item ->
+        let tctx = Context.bind_var tctx v [ item ] in
+        match posv with
+        | Some pv -> Context.bind_var tctx pv [ Xdm.int (i + 1) ]
+        | None -> tctx)
+      items
+  in
+  List.iter
+    (fun clause ->
+      (match clause with
+      | Ast.For (v, posv, Ast.Execute_at (d, f, args)) when bulk ->
+          let results = bulk_execute ctx !tuples d f args in
+          tuples :=
+            List.concat
+              (List.map2 (fun tctx seq -> expand_for v posv seq tctx) !tuples
+                 results)
+      | Ast.Let (v, Ast.Execute_at (d, f, args)) when bulk ->
+          let results = bulk_execute ctx !tuples d f args in
+          tuples :=
+            List.map2 (fun tctx seq -> Context.bind_var tctx v seq) !tuples results
+      | Ast.For (v, posv, e) when invariant e && List.length !tuples > 1 ->
+          let items = eval ctx e in
+          tuples := List.concat_map (expand_for v posv items) !tuples
+      | Ast.Let (v, e) when invariant e && List.length !tuples > 1 ->
+          let value = eval ctx e in
+          tuples := List.map (fun tctx -> Context.bind_var tctx v value) !tuples
+      | Ast.For (v, posv, e) ->
+          tuples :=
+            List.concat_map (fun tctx -> expand_for v posv (eval tctx e) tctx)
+              !tuples
+      | Ast.Let (v, e) ->
+          tuples :=
+            List.map (fun tctx -> Context.bind_var tctx v (eval tctx e)) !tuples
+      | Ast.Where e ->
+          tuples := List.filter (fun tctx -> Xdm.ebv (eval tctx e)) !tuples);
+      match clause with
+      | Ast.For (v, posv, _) -> bind_clause_vars v posv
+      | Ast.Let (v, _) -> bind_clause_vars v None
+      | Ast.Where _ -> ())
+    clauses;
+  (* order by *)
+  (if order_by <> [] then
+     let keyed =
+       List.map
+         (fun tctx ->
+           let keys =
+             List.map
+               (fun (e, desc) ->
+                 let k =
+                   match eval tctx e with
+                   | [] -> None
+                   | seq -> Some (Xdm.one_atom ~what:"order key" seq)
+                 in
+                 (k, desc))
+               order_by
+           in
+           (keys, tctx))
+         !tuples
+     in
+     let cmp (ka, _) (kb, _) =
+       let rec go = function
+         | [] -> 0
+         | ((x, desc), (y, _)) :: rest -> (
+             let c =
+               match (x, y) with
+               | None, None -> 0
+               | None, Some _ -> -1
+               | Some _, None -> 1
+               | Some x, Some y -> Xs.compare_values x y
+             in
+             match if desc then -c else c with 0 -> go rest | c -> c)
+       in
+       go (List.combine ka kb)
+     in
+     tuples := List.map snd (List.stable_sort cmp keyed));
+  (* return *)
+  match ret with
+  | Ast.Execute_at (d, f, args) when bulk ->
+      List.concat (bulk_execute ctx !tuples d f args)
+  | Ast.Sequence es
+    when bulk && es <> []
+         && List.for_all
+              (function Ast.Execute_at _ -> true | _ -> false)
+              es ->
+      (* Q6 pattern: each call site is bulk-dispatched across all
+         iterations (out-of-order execution, §3.2), then results are
+         stitched back in query order. *)
+      let per_site =
+        List.map
+          (fun e ->
+            match e with
+            | Ast.Execute_at (d, f, args) -> bulk_execute ctx !tuples d f args
+            | _ -> assert false)
+          es
+      in
+      List.concat
+        (List.mapi
+           (fun i _ -> List.concat_map (fun site -> List.nth site i) per_site)
+           !tuples)
+  | _ -> List.concat_map (fun tctx -> eval tctx ret) !tuples
+
+(* ---- Function calls --------------------------------------------- *)
+
+and eval_call ctx (q : Qname.t) args =
+  if q.Qname.uri = Qname.ns_xs then (
+    (* xs:TYPE(...) constructor function *)
+    match args with
+    | [ arg ] -> (
+        match Xs.type_of_name q.Qname.local with
+        | Some t -> (
+            match eval ctx arg with
+            | [] -> []
+            | seq -> [ Xdm.Atomic (Xs.cast (Xdm.one_atom ~what:"cast" seq) t) ])
+        | None -> err "unknown type constructor xs:%s" q.Qname.local)
+    | _ -> err "type constructor expects one argument")
+  else
+    let arity = List.length args in
+    match Context.find_function ctx q arity with
+    | Some f -> apply_function ctx f (List.map (eval ctx) args)
+    | None -> (
+        match Builtins.find q arity with
+        | Some impl -> impl ctx (List.map (eval ctx) args)
+        | None ->
+            err "XPST0017: unknown function %s#%d" (Qname.expanded q) arity)
+
+(* The function conversion rules of XPath 2.0 §3.1.5: for a declared atomic
+   parameter type, atomize the argument, cast untyped values to the expected
+   type, apply numeric promotion, and enforce the occurrence indicator.
+   This is also where XRPC's "the caller performs parameter up-casting"
+   (§2.2) happens — arguments are converted before they are marshaled. *)
+and convert_argument ~fname (q : Qname.t) (ty : Ast.seq_type option)
+    (v : Xdm.sequence) : Xdm.sequence =
+  match ty with
+  | None -> v
+  | Some st -> (
+      let converted =
+        match st with
+        | Ast.Seq (Ast.It_atomic t, _) ->
+            List.map
+              (fun item ->
+                let a = Xdm.atomize_item item in
+                let a =
+                  match (a, t) with
+                  | Xs.Untyped s, t -> Xs.of_string t s
+                  (* numeric promotion: integer -> decimal -> float -> double *)
+                  | Xs.Integer _, (Xs.TDecimal | Xs.TFloat | Xs.TDouble)
+                  | Xs.Decimal _, (Xs.TFloat | Xs.TDouble)
+                  | Xs.Float _, Xs.TDouble ->
+                      Xs.cast a t
+                  | Xs.AnyURI _, Xs.TString -> Xs.cast a t
+                  | a, _ -> a
+                in
+                Xdm.Atomic a)
+              v
+        | _ -> v
+      in
+      if seq_type_matches st converted then converted
+      else
+        err "XPTY0004: argument $%s of %s does not match its declared type"
+          q.Qname.local fname)
+
+and apply_function ctx (f : Context.func) (arg_values : Xdm.sequence list) =
+  if ctx.Context.call_depth > max_depth then err "stack overflow (recursion)";
+  match f.Context.decl.Ast.fn_body with
+  | None -> err "external function %s has no implementation"
+              (Qname.to_string f.Context.decl.Ast.fn_name)
+  | Some body ->
+      let params = f.Context.decl.Ast.fn_params in
+      let fname = Qname.to_string f.Context.decl.Ast.fn_name in
+      if List.length params <> List.length arg_values then
+        err "wrong number of arguments for %s" fname;
+      let call_ctx =
+        List.fold_left2
+          (fun c (p, ty) v ->
+            Context.bind_var c p (convert_argument ~fname p ty v))
+          { ctx with
+            Context.vars = Context.Var_map.empty;
+            ctx_item = None;
+            call_depth = ctx.Context.call_depth + 1 }
+          params arg_values
+      in
+      let result = eval call_ctx body in
+      (* the declared return type is checked (no conversion: the body is
+         the implementation's responsibility) *)
+      (match f.Context.decl.Ast.fn_return with
+      | Some st when not f.Context.decl.Ast.fn_updating ->
+          if not (seq_type_matches st result) then
+            err "XPTY0004: result of %s does not match its declared type" fname
+      | _ -> ());
+      result
+
+(* ---- Bulk RPC ----------------------------------------------------- *)
+
+(** [bulk_execute ctx tuples dest f args] evaluates the XRPC application
+    [execute at {dest}{f(args)}] for every tuple context in [tuples] with a
+    single Bulk RPC per distinct destination, dispatched in parallel.
+    Returns one result sequence per tuple, in tuple order. *)
+and bulk_execute base_ctx tuples dest_e fname args =
+  let dispatcher =
+    match base_ctx.Context.dispatcher with
+    | Some d -> d
+    | None -> err "execute at: no RPC dispatcher configured"
+  in
+  let arity = List.length args in
+  (* function metadata: module URI comes from the function QName; the
+     at-hint from the prolog import *)
+  let finfo = Context.find_function base_ctx fname arity in
+  let module_uri =
+    match finfo with
+    | Some f -> f.Context.fn_module_uri
+    | None -> fname.Qname.uri
+  in
+  let location =
+    match finfo with
+    | Some f when f.Context.fn_location <> "" -> f.Context.fn_location
+    | _ -> (
+        match List.assoc_opt fname.Qname.uri !(base_ctx.Context.imports) with
+        | Some at -> at
+        | None -> "")
+  in
+  let updating =
+    match finfo with Some f -> f.Context.decl.Ast.fn_updating | None -> false
+  in
+  (* per-tuple destination and parameters *)
+  let calls =
+    List.map
+      (fun tctx ->
+        let dest =
+          Xs.to_string (Xdm.one_atom ~what:"destination" (eval tctx dest_e))
+        in
+        let params = List.map (eval tctx) args in
+        (dest, params))
+      tuples
+  in
+  (* loop-invariant hoisting: if every iteration issues the identical
+     non-updating call, one call suffices and its result is shared (the
+     paper's Q7_1 pattern, where Q_B1() has no loop-dependent argument) *)
+  let hoisted =
+    match calls with
+    | (d0, p0) :: (_ :: _ as rest)
+      when (not updating)
+           && List.for_all
+                (fun (d, p) ->
+                  d = d0
+                  && List.length p = List.length p0
+                  && List.for_all2 Xdm.deep_equal p p0)
+                rest ->
+        let req =
+          {
+            Message.module_uri;
+            location;
+            method_ = fname.Qname.local;
+            arity;
+            updating;
+            fragments = base_ctx.Context.fragments;
+            query_id = base_ctx.Context.query_id;
+            calls = [ p0 ];
+          }
+        in
+        let result =
+          match dispatcher.Context.call ~dest:d0 req with
+          | Message.Response { results = [ r ]; _ } -> r
+          | Message.Response _ -> err "XRPC response result count mismatch"
+          | Message.Fault f -> err "XRPC fault from %s: %s" d0 f.Message.reason
+          | _ -> err "unexpected XRPC reply from %s" d0
+        in
+        Some (List.map (fun _ -> result) calls)
+    | _ -> None
+  in
+  match hoisted with
+  | Some results -> results
+  | None ->
+  (* δ over destinations, in order of first occurrence *)
+  let dests =
+    List.fold_left
+      (fun acc (d, _) -> if List.mem d acc then acc else d :: acc)
+      [] calls
+    |> List.rev
+  in
+  let requests =
+    List.map
+      (fun dest ->
+        let params_for_dest =
+          List.filter_map
+            (fun (d, ps) -> if d = dest then Some ps else None)
+            calls
+        in
+        ( dest,
+          {
+            Message.module_uri;
+            location;
+            method_ = fname.Qname.local;
+            arity;
+            updating;
+            fragments = base_ctx.Context.fragments;
+            query_id = base_ctx.Context.query_id;
+            calls = params_for_dest;
+          } ))
+      dests
+  in
+  let responses =
+    match requests with
+    | [ (dest, req) ] -> [ dispatcher.Context.call ~dest req ]
+    | reqs -> dispatcher.Context.call_parallel reqs
+  in
+  (* map back: walk tuples in order, pulling the next result for their
+     destination (the mapp tables of Figure 1) *)
+  let per_dest : (string, Xdm.sequence list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter2
+    (fun dest response ->
+      match response with
+      | Message.Response r -> Hashtbl.replace per_dest dest (ref r.Message.results)
+      | Message.Fault f ->
+          err "XRPC fault from %s: %s" dest f.Message.reason
+      | _ -> err "unexpected XRPC reply from %s" dest)
+    dests responses;
+  List.map
+    (fun (dest, params) ->
+      if updating then []
+      else
+        let q = Hashtbl.find per_dest dest in
+        match !q with
+        | r :: rest ->
+            q := rest;
+            r
+        | [] ->
+            err "XRPC response from %s is missing %d result(s)" dest
+              (List.length params))
+    calls

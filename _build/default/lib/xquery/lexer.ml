@@ -1,0 +1,233 @@
+(** Hand-written tokenizer for the XQuery subset.
+
+    XQuery keywords are context-sensitive, so the lexer emits plain names
+    and lets the recursive-descent parser decide.  Direct element
+    constructors are not tokenized here at all: the parser detects a [<] in
+    primary-expression position, rewinds to the token's source offset, and
+    parses the constructor at character level (see {!Parser}). *)
+
+type token =
+  | Name of string * string  (** prefix (possibly ""), local *)
+  | Star_colon of string  (** [*:local] *)
+  | Ns_star of string  (** [prefix:*] *)
+  | Int_lit of int
+  | Dec_lit of float
+  | Dbl_lit of float
+  | Str_lit of string
+  | Var of string * string  (** [$prefix:local] *)
+  | Sym of string
+  | Eof
+
+exception Lex_error of string
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable tok : token;  (** current lookahead *)
+  mutable tok_start : int;  (** source offset where [tok] begins *)
+}
+
+let error fmt = Printf.ksprintf (fun s -> raise (Lex_error s)) fmt
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_at lx k =
+  if lx.pos + k < String.length lx.src then Some lx.src.[lx.pos + k] else None
+
+let peek lx = peek_at lx 0
+
+(* skip whitespace and (: nested comments :) *)
+let rec skip_trivia lx =
+  (match peek lx with
+  | Some c when is_space c ->
+      lx.pos <- lx.pos + 1;
+      skip_trivia lx
+  | Some '(' when peek_at lx 1 = Some ':' ->
+      lx.pos <- lx.pos + 2;
+      let depth = ref 1 in
+      while !depth > 0 do
+        match (peek lx, peek_at lx 1) with
+        | Some '(', Some ':' ->
+            depth := !depth + 1;
+            lx.pos <- lx.pos + 2
+        | Some ':', Some ')' ->
+            depth := !depth - 1;
+            lx.pos <- lx.pos + 2
+        | Some _, _ -> lx.pos <- lx.pos + 1
+        | None, _ -> error "unterminated comment"
+      done;
+      skip_trivia lx
+  | _ -> ())
+
+let read_ncname lx =
+  let start = lx.pos in
+  (match peek lx with
+  | Some c when is_name_start c -> lx.pos <- lx.pos + 1
+  | _ -> error "expected name at offset %d" lx.pos);
+  while lx.pos < String.length lx.src && is_name_char lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let read_string_lit lx quote =
+  lx.pos <- lx.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | None -> error "unterminated string literal"
+    | Some c when c = quote ->
+        lx.pos <- lx.pos + 1;
+        (* doubled quote = escaped quote *)
+        if peek lx = Some quote then (
+          Buffer.add_char buf quote;
+          lx.pos <- lx.pos + 1;
+          loop ())
+    | Some '&' ->
+        (* predefined entity references in string literals *)
+        let stop =
+          match String.index_from_opt lx.src lx.pos ';' with
+          | Some i -> i
+          | None -> error "unterminated entity reference"
+        in
+        let ent = String.sub lx.src (lx.pos + 1) (stop - lx.pos - 1) in
+        Buffer.add_string buf
+          (match ent with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "quot" -> "\""
+          | "apos" -> "'"
+          | e -> error "unknown entity &%s;" e);
+        lx.pos <- stop + 1;
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        lx.pos <- lx.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let read_number lx =
+  let start = lx.pos in
+  while lx.pos < String.length lx.src && is_digit lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  let has_dot =
+    peek lx = Some '.'
+    && match peek_at lx 1 with Some c -> is_digit c | None -> false
+  in
+  if has_dot then (
+    lx.pos <- lx.pos + 1;
+    while lx.pos < String.length lx.src && is_digit lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done);
+  let has_exp =
+    match peek lx with Some ('e' | 'E') -> true | _ -> false
+  in
+  if has_exp then begin
+    lx.pos <- lx.pos + 1;
+    (match peek lx with
+    | Some ('+' | '-') -> lx.pos <- lx.pos + 1
+    | _ -> ());
+    while lx.pos < String.length lx.src && is_digit lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  let s = String.sub lx.src start (lx.pos - start) in
+  if has_exp then Dbl_lit (float_of_string s)
+  else if has_dot then Dec_lit (float_of_string s)
+  else Int_lit (int_of_string s)
+
+let two_char_syms =
+  [ ":="; "!="; "<="; ">="; "<<"; ">>"; "//"; ".."; "::" ]
+
+let scan lx =
+  skip_trivia lx;
+  lx.tok_start <- lx.pos;
+  match peek lx with
+  | None -> Eof
+  | Some c when is_digit c -> read_number lx
+  | Some '.' when (match peek_at lx 1 with Some d -> is_digit d | None -> false)
+    ->
+      read_number lx
+  | Some (('"' | '\'') as q) -> Str_lit (read_string_lit lx q)
+  | Some '$' ->
+      lx.pos <- lx.pos + 1;
+      skip_trivia lx;
+      let a = read_ncname lx in
+      if peek lx = Some ':' && peek_at lx 1 <> Some ':' then (
+        lx.pos <- lx.pos + 1;
+        let b = read_ncname lx in
+        Var (a, b))
+      else Var ("", a)
+  | Some '*' when peek_at lx 1 = Some ':'
+                  && (match peek_at lx 2 with
+                     | Some c -> is_name_start c
+                     | None -> false) ->
+      lx.pos <- lx.pos + 2;
+      Star_colon (read_ncname lx)
+  | Some c when is_name_start c ->
+      let a = read_ncname lx in
+      if peek lx = Some ':' && peek_at lx 1 <> Some ':'
+         && peek_at lx 1 <> Some '=' then (
+        match peek_at lx 1 with
+        | Some '*' ->
+            lx.pos <- lx.pos + 2;
+            Ns_star a
+        | Some c2 when is_name_start c2 ->
+            lx.pos <- lx.pos + 1;
+            let b = read_ncname lx in
+            Name (a, b)
+        | _ -> Name ("", a))
+      else Name ("", a)
+  | Some _ ->
+      let two =
+        if lx.pos + 2 <= String.length lx.src then
+          String.sub lx.src lx.pos 2
+        else ""
+      in
+      if List.mem two two_char_syms then (
+        lx.pos <- lx.pos + 2;
+        Sym two)
+      else
+        let c = lx.src.[lx.pos] in
+        lx.pos <- lx.pos + 1;
+        Sym (String.make 1 c)
+
+let make src =
+  let lx = { src; pos = 0; tok = Eof; tok_start = 0 } in
+  lx.tok <- scan lx;
+  lx
+
+(** Advance to the next token. *)
+let next lx = lx.tok <- scan lx
+
+(** Rewind the stream so the current token's first character is unread —
+    used by the parser to hand direct constructors to a char-level parser. *)
+let rewind_to_token lx = lx.pos <- lx.tok_start
+
+(** Re-prime the lookahead after external char-level parsing moved [pos]. *)
+let reprime lx = lx.tok <- scan lx
+
+let token_to_string = function
+  | Name ("", l) -> l
+  | Name (p, l) -> p ^ ":" ^ l
+  | Star_colon l -> "*:" ^ l
+  | Ns_star p -> p ^ ":*"
+  | Int_lit i -> string_of_int i
+  | Dec_lit f | Dbl_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Var ("", l) -> "$" ^ l
+  | Var (p, l) -> "$" ^ p ^ ":" ^ l
+  | Sym s -> s
+  | Eof -> "<eof>"

@@ -1,0 +1,152 @@
+(** Program execution: prolog processing, module imports, query runs.
+
+    A module resolver maps a module namespace URI plus its at-hint location
+    to XQuery source text.  Peers resolve module URIs against their module
+    registry (or, in a fuller deployment, fetch the at-hint over HTTP —
+    exactly what [import module ... at "http://x.example.org/film.xq"]
+    suggests in the paper's examples). *)
+
+open Xrpc_xml
+
+exception Module_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Module_error s)) fmt
+
+type module_resolver = uri:string -> location:string -> string
+
+(** [load_prolog ctx ~resolver prog] processes a parsed program's prolog:
+    registers functions, loads imported modules (recursively), binds global
+    variables, and records [declare option] values.  Returns the extended
+    context. *)
+let rec load_prolog (ctx : Context.t) ~(resolver : module_resolver)
+    ?(visited = ref []) (prog : Ast.prog) : Context.t =
+  let module_uri, location =
+    match prog.Ast.module_decl with
+    | Some (_pfx, uri) -> (uri, "")
+    | None -> ("", "")
+  in
+  (* pass 1: imports and functions (so bodies can call forward/recursively) *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.P_import_module (_pfx, uri, at) ->
+          let at = Option.value ~default:"" at in
+          ctx.Context.imports := (uri, at) :: !(ctx.Context.imports);
+          if not (List.mem uri !visited) then (
+            visited := uri :: !visited;
+            let source = resolver ~uri ~location:at in
+            let sub = Parser.parse_prog source in
+            (match sub.Ast.module_decl with
+            | Some (_, sub_uri) when sub_uri <> uri ->
+                err "module at %s declares namespace %s, expected %s" at
+                  sub_uri uri
+            | Some _ -> ()
+            | None -> err "imported %s is not a library module" uri);
+            let ctx' = load_prolog ctx ~resolver ~visited sub in
+            (* module-level variable bindings flow into the importer *)
+            ignore ctx')
+      | Ast.P_function f ->
+          let location =
+            if location <> "" then location
+            else
+              match
+                List.assoc_opt f.Ast.fn_name.Qname.uri !(ctx.Context.imports)
+              with
+              | Some at -> at
+              | None -> ""
+          in
+          let module_uri =
+            if module_uri <> "" then module_uri else f.Ast.fn_name.Qname.uri
+          in
+          Context.register_function ctx ~module_uri ~location f
+      | Ast.P_option (q, v) -> Context.set_option ctx q v
+      | _ -> ())
+    prog.Ast.prolog;
+  (* pass 2: global variables, in declaration order *)
+  List.fold_left
+    (fun ctx decl ->
+      match decl with
+      | Ast.P_var (v, e) -> Context.bind_var ctx v (Eval.eval ctx e)
+      | _ -> ctx)
+    ctx prog.Ast.prolog
+
+(** Check whether a program's body contains any updating expression or call
+    to a declared updating function — used by peers to classify queries. *)
+let prog_is_updating (ctx : Context.t) (prog : Ast.prog) =
+  let rec expr_updating (e : Ast.expr) =
+    match e with
+    | Ast.Insert _ | Ast.Delete _ | Ast.Replace_node _ | Ast.Replace_value _
+    | Ast.Rename_node _ ->
+        true
+    | Ast.Call (q, args) ->
+        (match Context.find_function ctx q (List.length args) with
+        | Some f -> f.Context.decl.Ast.fn_updating
+        | None -> q.Qname.local = "put" && (q.Qname.uri = Qname.ns_fn || q.Qname.uri = ""))
+        || List.exists expr_updating args
+    | Ast.Execute_at (d, q, args) ->
+        (match Context.find_function ctx q (List.length args) with
+        | Some f -> f.Context.decl.Ast.fn_updating
+        | None -> false)
+        || expr_updating d
+        || List.exists expr_updating args
+    | Ast.Sequence es -> List.exists expr_updating es
+    | Ast.Range (a, b)
+    | Ast.Arith (_, a, b)
+    | Ast.Compare (_, a, b)
+    | Ast.And (a, b)
+    | Ast.Or (a, b)
+    | Ast.Union (a, b)
+    | Ast.Intersect (a, b)
+    | Ast.Except (a, b)
+    | Ast.Path (a, b)
+    | Ast.Comp_elem (a, b)
+    | Ast.Comp_attr (a, b) ->
+        expr_updating a || expr_updating b
+    | Ast.If (c, t, e) -> expr_updating c || expr_updating t || expr_updating e
+    | Ast.Flwor (clauses, order_by, ret) ->
+        List.exists
+          (function
+            | Ast.For (_, _, e) | Ast.Let (_, e) | Ast.Where e ->
+                expr_updating e)
+          clauses
+        || List.exists (fun (e, _) -> expr_updating e) order_by
+        || expr_updating ret
+    | Ast.Quantified (_, binds, sat) ->
+        List.exists (fun (_, e) -> expr_updating e) binds || expr_updating sat
+    | Ast.Step (_, _, preds) -> List.exists expr_updating preds
+    | Ast.Filter (e, preds) ->
+        expr_updating e || List.exists expr_updating preds
+    | Ast.Elem_ctor (_, attrs, content) ->
+        List.exists
+          (fun (_, parts) ->
+            List.exists
+              (function Ast.A_expr e -> expr_updating e | Ast.A_text _ -> false)
+              parts)
+          attrs
+        || List.exists expr_updating content
+    | Ast.Text_ctor e | Ast.Comment_ctor e | Ast.Doc_ctor e | Ast.Neg e
+    | Ast.Instance_of (e, _)
+    | Ast.Cast_as (e, _, _)
+    | Ast.Castable_as (e, _, _)
+    | Ast.Treat_as (e, _) ->
+        expr_updating e
+    | Ast.Typeswitch (op, cases, (_, de)) ->
+        expr_updating op
+        || List.exists (fun (_, _, e) -> expr_updating e) cases
+        || expr_updating de
+    | Ast.Literal _ | Ast.Var _ | Ast.Context_item | Ast.Root -> false
+  in
+  match prog.Ast.body with Some e -> expr_updating e | None -> false
+
+(** Parse-and-run a main-module query.  Returns the result sequence and the
+    pending update list the query produced (empty for read-only queries —
+    it is the {e caller's} job to [Update.apply] the PUL, per XQUF). *)
+let run ?(ctx = Context.empty ()) ~(resolver : module_resolver) (source : string)
+    : Xdm.sequence * Update.pul =
+  let prog = Parser.parse_prog source in
+  let ctx = load_prolog ctx ~resolver prog in
+  match prog.Ast.body with
+  | None -> err "cannot execute a library module"
+  | Some body ->
+      let result = Eval.eval ctx body in
+      (result, List.rev !(ctx.Context.pul))

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Lazy List Printf QCheck QCheck_alcotest Store String Xdm Xml_parse Xrpc_algebra Xrpc_soap Xrpc_workloads Xrpc_xml Xrpc_xquery

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest List String Xrpc_workloads Xrpc_xquery

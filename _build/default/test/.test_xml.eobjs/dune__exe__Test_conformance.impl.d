@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Lazy List Store Xdm Xml_parse Xrpc_xml Xrpc_xquery Xs

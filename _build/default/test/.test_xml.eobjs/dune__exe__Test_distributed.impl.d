@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Fun List Printf String Xdm Xrpc_core Xrpc_net Xrpc_peer Xrpc_soap Xrpc_workloads Xrpc_xml Xrpc_xquery Xs

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Atomic Char Float Fun List Printf String Thread Unix Xrpc_net Xrpc_peer Xrpc_soap Xrpc_workloads Xrpc_xml

@@ -1,0 +1,1 @@
+test/test_peer.ml: Alcotest List Printf Qname Store String Xdm Xrpc_peer Xrpc_soap Xrpc_workloads Xrpc_xml

@@ -1,0 +1,1 @@
+test/test_soap.ml: Alcotest Float List Printf QCheck QCheck_alcotest Qname Serialize Store String Tree Xdm Xml_parse Xrpc_soap Xrpc_xml Xs

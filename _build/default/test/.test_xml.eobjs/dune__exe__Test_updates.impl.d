@@ -1,0 +1,1 @@
+test/test_updates.ml: Alcotest List Serialize Store String Xdm Xrpc_peer Xrpc_xml Xrpc_xquery

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Qname Store String Xml_parse Xrpc_workloads Xrpc_xml Xrpc_xquery

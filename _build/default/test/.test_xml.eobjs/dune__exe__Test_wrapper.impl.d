@@ -1,0 +1,1 @@
+test/test_wrapper.ml: Alcotest List Option Printf Qname Store String Xdm Xrpc_core Xrpc_net Xrpc_peer Xrpc_soap Xrpc_workloads Xrpc_xml Xrpc_xquery Xs

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qname Serialize Store String Tree Xdm Xml_parse Xrpc_workloads Xrpc_xml Xs

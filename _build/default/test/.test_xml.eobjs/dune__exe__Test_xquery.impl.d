@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Lazy List Option Printf QCheck QCheck_alcotest Qname Store String Xdm Xml_parse Xrpc_workloads Xrpc_xml Xrpc_xquery Xs

@@ -1,0 +1,110 @@
+(* Tests for the static checker: XPST0008 (unbound variables), XPST0017
+   (unknown functions), scoping of FLWOR/quantifier/typeswitch binders,
+   and the execute-at import requirement. *)
+
+module Check = Xrpc_xquery.Check
+module Parser = Xrpc_xquery.Parser
+module Context = Xrpc_xquery.Context
+module Runner = Xrpc_xquery.Runner
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+
+let resolver ~uri ~location:_ =
+  if uri = "films" then Xrpc_workloads.Filmdb.film_module
+  else failwith ("no module " ^ uri)
+
+let errors_of src =
+  let prog = Parser.parse_prog src in
+  let ctx = Runner.load_prolog (Context.empty ()) ~resolver prog in
+  Check.check_prog ctx prog
+
+let codes src = List.map (fun e -> e.Check.code) (errors_of src)
+
+let test_clean_programs () =
+  List.iter
+    (fun src -> check int_ ("clean: " ^ src) 0 (List.length (errors_of src)))
+    [
+      "for $x in 1 to 3 return $x";
+      "let $a := 1 return $a + count(())";
+      "declare variable $g := 5; $g * 2";
+      "declare function local:f($p) { $p }; local:f(1)";
+      "some $v in (1,2) satisfies $v > 1";
+      "typeswitch (1) case $i as xs:integer return $i default $d return $d";
+      {|import module namespace f="films" at "x";
+        execute at {"xrpc://y"} {f:filmsByActor("A")}|};
+      {|<e a="{1 + 1}">{2}</e>|};
+      "xs:integer(\"3\")";
+    ]
+
+let test_unbound_variable () =
+  check (Alcotest.list Alcotest.string) "XPST0008" [ "XPST0008" ] (codes "$nope");
+  check (Alcotest.list Alcotest.string) "out of scope after flwor"
+    [ "XPST0008" ]
+    (codes "(for $x in (1) return $x, $x)");
+  check (Alcotest.list Alcotest.string) "where sees binder" []
+    (codes "for $x in (1) where $x > 0 return $x");
+  check (Alcotest.list Alcotest.string) "for binding cannot self-reference"
+    [ "XPST0008" ]
+    (codes "for $x in $x return 1")
+
+let test_unknown_function () =
+  (* an unbound prefix is already a (parse-time) static error *)
+  (match errors_of "no:such()" with
+  | exception Parser.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "unbound prefix should not parse");
+  check (Alcotest.list Alcotest.string) "XPST0017" [ "XPST0017" ]
+    (codes {|declare namespace no = "nowhere"; no:such()|});
+  check (Alcotest.list Alcotest.string) "wrong arity" [ "XPST0017" ]
+    (codes "count(1, 2, 3)")
+
+let test_function_body_checked () =
+  let errs =
+    errors_of "declare function local:f($p) { $q }; 1"
+  in
+  check int_ "error in body" 1 (List.length errs);
+  check bool_ "names the function" true
+    (let m = (List.hd errs).Check.message in
+     let sub = "local:f" in
+     let n = String.length sub in
+     let rec go i = i + n <= String.length m && (String.sub m i n = sub || go (i + 1)) in
+     go 0)
+
+let test_execute_at_requires_import () =
+  match
+    codes
+      {|declare namespace g = "ghost";
+        execute at {"xrpc://y"} {g:unknownRemote(1)}|}
+  with
+  | [ "XPST0017" ] -> ()
+  | other -> Alcotest.fail ("expected XPST0017, got " ^ String.concat "," other)
+
+let test_typeswitch_scoping () =
+  check (Alcotest.list Alcotest.string) "case var only in its branch"
+    [ "XPST0008" ]
+    (codes
+       "typeswitch (1) case $i as xs:integer return 0 default return $i")
+
+let test_quantifier_scoping () =
+  check (Alcotest.list Alcotest.string) "satisfies sees binders" []
+    (codes "every $a in (1), $b in (2) satisfies $a < $b");
+  check (Alcotest.list Alcotest.string) "binder leaks nowhere"
+    [ "XPST0008" ]
+    (codes "(some $a in (1) satisfies $a > 0, $a)")
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "clean programs" `Quick test_clean_programs;
+          Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+          Alcotest.test_case "unknown function" `Quick test_unknown_function;
+          Alcotest.test_case "function bodies" `Quick test_function_body_checked;
+          Alcotest.test_case "execute at import" `Quick
+            test_execute_at_requires_import;
+          Alcotest.test_case "typeswitch scoping" `Quick test_typeswitch_scoping;
+          Alcotest.test_case "quantifier scoping" `Quick test_quantifier_scoping;
+        ] );
+    ]

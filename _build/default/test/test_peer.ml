@@ -1,0 +1,424 @@
+(* Tests for the peer engine: request handling, bulk calls, the function
+   cache, queryID isolation (pin / expiry / late requests), the bulk
+   hash-join optimizer, and the 2PC participant. *)
+
+open Xrpc_xml
+module Message = Xrpc_soap.Message
+module Peer = Xrpc_peer.Peer
+module Database = Xrpc_peer.Database
+module Isolation = Xrpc_peer.Isolation
+module Func_cache = Xrpc_peer.Func_cache
+module Filmdb = Xrpc_workloads.Filmdb
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+(* a standalone peer with a controllable clock *)
+let make_peer ?clock () =
+  let now = ref 0. in
+  let clock = match clock with Some c -> c | None -> fun () -> !now in
+  let peer = Peer.create ~clock "xrpc://y.example.org" in
+  Filmdb.install peer ();
+  (peer, now)
+
+let film_request ?(actors = [ "Sean Connery" ]) ?query_id () =
+  {
+    Message.module_uri = "films";
+    location = Filmdb.module_at;
+    method_ = "filmsByActor";
+    arity = 1;
+    updating = false;
+    fragments = false;
+    query_id;
+    calls = List.map (fun a -> [ [ Xdm.str a ] ]) actors;
+  }
+
+let handle peer req =
+  Message.of_string (Peer.handle_raw peer (Message.to_string (Message.Request req)))
+
+let test_single_call () =
+  let peer, _ = make_peer () in
+  match handle peer (film_request ()) with
+  | Message.Response r ->
+      check int_ "one result" 1 (List.length r.Message.results);
+      check string_ "films" "<name>The Rock</name> <name>Goldfinger</name>"
+        (Xdm.to_display (List.hd r.Message.results));
+      check bool_ "self in peers" true (List.mem peer.Peer.uri r.Message.peers)
+  | _ -> Alcotest.fail "expected response"
+
+let test_bulk_call () =
+  let peer, _ = make_peer () in
+  match handle peer (film_request ~actors:[ "Julie Andrews"; "Sean Connery"; "Gerard Depardieu" ] ()) with
+  | Message.Response r ->
+      check int_ "three results" 3 (List.length r.Message.results);
+      let lengths = List.map List.length r.Message.results in
+      check (Alcotest.list int_) "per-call results" [ 0; 2; 1 ] lengths
+  | _ -> Alcotest.fail "expected response"
+
+let test_unknown_module_fault () =
+  let peer, _ = make_peer () in
+  match handle peer { (film_request ()) with Message.module_uri = "nope" } with
+  | Message.Fault f ->
+      check bool_ "mentions module" true
+        (String.length f.Message.reason > 0)
+  | _ -> Alcotest.fail "expected fault"
+
+let test_unknown_function_fault () =
+  let peer, _ = make_peer () in
+  match handle peer { (film_request ()) with Message.method_ = "noSuch" } with
+  | Message.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_runtime_error_becomes_fault () =
+  let peer, _ = make_peer () in
+  Peer.register_module peer ~uri:"bad"
+    {|module namespace b = "bad";
+declare function b:boom() { error("XYZ: kaboom") };|};
+  let req =
+    {
+      Message.module_uri = "bad";
+      location = "";
+      method_ = "boom";
+      arity = 0;
+      updating = false;
+      fragments = false;
+      query_id = None;
+      calls = [ [] ];
+    }
+  in
+  match handle peer req with
+  | Message.Fault f ->
+      check bool_ "reason propagated" true
+        (String.length f.Message.reason >= 3 && String.sub f.Message.reason 0 3 = "XYZ")
+  | _ -> Alcotest.fail "expected fault"
+
+let test_malformed_message_fault () =
+  let peer, _ = make_peer () in
+  match Message.of_string (Peer.handle_raw peer "this is not xml") with
+  | Message.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+(* ---- function cache (§3.3) ---- *)
+
+let test_func_cache_hits () =
+  let peer, _ = make_peer () in
+  ignore (handle peer (film_request ()));
+  ignore (handle peer (film_request ()));
+  ignore (handle peer (film_request ()));
+  check int_ "one miss" 1 peer.Peer.func_cache.Func_cache.misses;
+  check int_ "two hits" 2 peer.Peer.func_cache.Func_cache.hits
+
+let test_func_cache_disabled () =
+  let peer, _ = make_peer () in
+  peer.Peer.func_cache.Func_cache.enabled <- false;
+  ignore (handle peer (film_request ()));
+  ignore (handle peer (film_request ()));
+  check int_ "two misses" 2 peer.Peer.func_cache.Func_cache.misses
+
+let test_func_cache_on_compile_hook () =
+  let peer, _ = make_peer () in
+  let compiles = ref 0 in
+  peer.Peer.func_cache.Func_cache.on_compile <- (fun _ -> incr compiles);
+  ignore (handle peer (film_request ()));
+  ignore (handle peer (film_request ()));
+  check int_ "hook fired once" 1 !compiles
+
+let test_func_cache_invalidated_on_module_update () =
+  let peer, _ = make_peer () in
+  ignore (handle peer (film_request ()));
+  Peer.register_module peer ~uri:Filmdb.module_ns ~location:Filmdb.module_at
+    Filmdb.film_module;
+  ignore (handle peer (film_request ()));
+  check int_ "recompiled" 2 peer.Peer.func_cache.Func_cache.misses
+
+(* ---- isolation (§2.2) ---- *)
+
+let qid ?(timeout = 10) ts =
+  { Message.host = "xrpc://origin"; timestamp = ts; timeout; level = Message.Repeatable }
+
+let test_repeatable_read_pins_snapshot () =
+  let peer, _ = make_peer () in
+  let q = qid "1.0" in
+  (* first isolated request pins the snapshot *)
+  (match handle peer (film_request ~query_id:q ()) with
+  | Message.Response r ->
+      check int_ "2 films before" 2 (List.length (List.hd r.Message.results))
+  | _ -> Alcotest.fail "resp");
+  (* another transaction commits a new film *)
+  let upd =
+    {
+      Message.module_uri = "films";
+      location = Filmdb.module_at;
+      method_ = "addFilm";
+      arity = 2;
+      updating = true;
+      fragments = false;
+      query_id = None;
+      calls = [ [ [ Xdm.str "Dr. No" ]; [ Xdm.str "Sean Connery" ] ] ];
+    }
+  in
+  (match handle peer upd with
+  | Message.Response _ -> ()
+  | _ -> Alcotest.fail "update failed");
+  (* the isolated query still sees the old state; a fresh one sees 3 *)
+  (match handle peer (film_request ~query_id:q ()) with
+  | Message.Response r ->
+      check int_ "repeatable read" 2 (List.length (List.hd r.Message.results))
+  | _ -> Alcotest.fail "resp");
+  match handle peer (film_request ()) with
+  | Message.Response r ->
+      check int_ "fresh sees commit" 3 (List.length (List.hd r.Message.results))
+  | _ -> Alcotest.fail "resp"
+
+let test_isolation_timeout_expiry () =
+  let peer, now = make_peer () in
+  let q = qid ~timeout:5 "2.0" in
+  ignore (handle peer (film_request ~query_id:q ()));
+  check int_ "pinned" 1 (Isolation.live_count peer.Peer.isolation);
+  now := 6.0;
+  (* resources freed after the timeout... *)
+  check int_ "expired" 0 (Isolation.live_count peer.Peer.isolation);
+  (* ...and late requests with the same queryID are rejected *)
+  match handle peer (film_request ~query_id:q ()) with
+  | Message.Fault f ->
+      check bool_ "expired error" true
+        (String.length f.Message.reason > 0)
+  | _ -> Alcotest.fail "expected fault for expired queryID"
+
+let test_isolation_distinct_queries_distinct_snapshots () =
+  let peer, _ = make_peer () in
+  let q1 = qid "3.0" and q2 = qid "4.0" in
+  ignore (handle peer (film_request ~query_id:q1 ()));
+  ignore (handle peer (film_request ~query_id:q2 ()));
+  check int_ "two entries" 2 (Isolation.live_count peer.Peer.isolation)
+
+let test_snapshot_isolation_pins_query_timestamp () =
+  (* distributed snapshot isolation (§2.2, "Other Isolation Levels"): the
+     peer pins the state as of the query's global timestamp, even when its
+     first request arrives after later commits; repeatable read (pin at
+     first contact) sees the newer state *)
+  let peer, now = make_peer () in
+  (* a query starts globally at t=1.0 ... *)
+  let snap_qid =
+    { Message.host = "xrpc://origin"; timestamp = "1.0"; timeout = 100;
+      level = Message.Snapshot }
+  in
+  let repeat_qid =
+    { Message.host = "xrpc://origin2"; timestamp = "1.0"; timeout = 100;
+      level = Message.Repeatable }
+  in
+  (* ... at t=2.0 another transaction commits a film at this peer ... *)
+  now := 2.0;
+  ignore
+    (handle peer
+       {
+         Message.module_uri = "films";
+         location = Filmdb.module_at;
+         method_ = "addFilm";
+         arity = 2;
+         updating = true;
+         fragments = false;
+         query_id = None;
+         calls = [ [ [ Xdm.str "Later" ]; [ Xdm.str "Sean Connery" ] ] ];
+       });
+  (* ... and at t=3.0 the queries' first requests arrive *)
+  now := 3.0;
+  (match handle peer (film_request ~query_id:snap_qid ()) with
+  | Message.Response r ->
+      check int_ "snapshot level sees t=1.0 state" 2
+        (List.length (List.hd r.Message.results))
+  | _ -> Alcotest.fail "resp");
+  match handle peer (film_request ~query_id:repeat_qid ()) with
+  | Message.Response r ->
+      check int_ "repeatable level sees first-contact state" 3
+        (List.length (List.hd r.Message.results))
+  | _ -> Alcotest.fail "resp"
+
+(* ---- deferred updates + 2PC participant (§2.3) ---- *)
+
+let add_film_request ~query_id name =
+  {
+    Message.module_uri = "films";
+    location = Filmdb.module_at;
+    method_ = "addFilm";
+    arity = 2;
+    updating = true;
+    fragments = false;
+    query_id;
+    calls = [ [ [ Xdm.str name ]; [ Xdm.str "Sean Connery" ] ] ];
+  }
+
+let count_films peer =
+  let v = Database.snapshot peer.Peer.db in
+  let store = Database.doc_exn v "filmDB.xml" in
+  List.length
+    (List.filter
+       (fun n -> Store.kind n = Store.Elem
+                 && (match Store.name n with Some q -> q.Qname.local = "film" | None -> false))
+       (Store.descendants (Store.root store)))
+
+let tx peer op q =
+  Message.of_string
+    (Peer.handle_raw peer (Message.to_string (Message.Tx_request (op, q))))
+
+let test_rfu_applies_immediately () =
+  let peer, _ = make_peer () in
+  (match handle peer (add_film_request ~query_id:None "Immediate") with
+  | Message.Response r -> check int_ "no results for updating call" 0
+                            (List.length r.Message.results)
+  | _ -> Alcotest.fail "resp");
+  check int_ "applied (R_Fu)" 4 (count_films peer)
+
+let test_rfu_prime_defers_until_commit () =
+  let peer, _ = make_peer () in
+  let q = qid "5.0" in
+  ignore (handle peer (add_film_request ~query_id:(Some q) "Deferred"));
+  check int_ "not applied yet (R'_Fu)" 3 (count_films peer);
+  (match tx peer Message.Prepare q with
+  | Message.Tx_response { ok = true; _ } -> ()
+  | _ -> Alcotest.fail "prepare");
+  check int_ "still not applied after prepare" 3 (count_films peer);
+  (match tx peer Message.Commit q with
+  | Message.Tx_response { ok = true; _ } -> ()
+  | _ -> Alcotest.fail "commit");
+  check int_ "applied at commit" 4 (count_films peer)
+
+let test_rollback_discards () =
+  let peer, _ = make_peer () in
+  let q = qid "6.0" in
+  ignore (handle peer (add_film_request ~query_id:(Some q) "Doomed"));
+  ignore (tx peer Message.Rollback q);
+  check int_ "discarded" 3 (count_films peer);
+  (* after rollback the queryID is spent *)
+  match handle peer (film_request ~query_id:q ()) with
+  | Message.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault after rollback"
+
+let test_prepare_conflict_detection () =
+  let peer, _ = make_peer () in
+  let q1 = qid "7.0" and q2 = qid "8.0" in
+  ignore (handle peer (add_film_request ~query_id:(Some q1) "One"));
+  ignore (handle peer (add_film_request ~query_id:(Some q2) "Two"));
+  (match tx peer Message.Prepare q1 with
+  | Message.Tx_response { ok = true; _ } -> ()
+  | _ -> Alcotest.fail "first prepare should succeed");
+  (match tx peer Message.Prepare q2 with
+  | Message.Tx_response { ok = false; _ } -> ()
+  | _ -> Alcotest.fail "conflicting prepare should be refused");
+  ignore (tx peer Message.Commit q1);
+  ignore (tx peer Message.Rollback q2);
+  check int_ "only one applied" 4 (count_films peer)
+
+let test_read_only_participant_votes_yes () =
+  let peer, _ = make_peer () in
+  match tx peer Message.Prepare (qid "9.0") with
+  | Message.Tx_response { ok = true; _ } -> ()
+  | _ -> Alcotest.fail "read-only prepare"
+
+(* ---- bulk hash join (§1 set-orientation / §4 Saxon) ---- *)
+
+let test_bulk_hash_join_used_and_correct () =
+  let peer, _ = make_peer () in
+  Peer.register_module peer ~uri:Xrpc_workloads.Xmark.functions_ns
+    ~location:Xrpc_workloads.Xmark.functions_at
+    Xrpc_workloads.Xmark.functions_module;
+  Database.add_doc_xml peer.Peer.db "persons.xml"
+    (Xrpc_workloads.Xmark.persons ~count:20 ());
+  let req ids =
+    {
+      Message.module_uri = Xrpc_workloads.Xmark.functions_ns;
+      location = Xrpc_workloads.Xmark.functions_at;
+      method_ = "getPerson";
+      arity = 2;
+      updating = false;
+      fragments = false;
+      query_id = None;
+      calls =
+        List.map
+          (fun i ->
+            [ [ Xdm.str "persons.xml" ];
+              [ Xdm.str (Printf.sprintf "person%d" i) ] ])
+          ids;
+    }
+  in
+  match handle peer (req [ 3; 7; 99; 0 ]) with
+  | Message.Response r ->
+      let sizes = List.map List.length r.Message.results in
+      check (Alcotest.list int_) "hits and misses" [ 1; 1; 0; 1 ] sizes;
+      (* result contents match the single-call (non-joined) plan *)
+      (match (handle peer (req [ 7 ]), r.Message.results) with
+      | Message.Response single, _ :: bulk7 :: _ ->
+          check bool_ "join plan = scan plan" true
+            (Xdm.deep_equal (List.hd single.Message.results) bulk7)
+      | _ -> Alcotest.fail "single call")
+  | _ -> Alcotest.fail "resp"
+
+let test_get_document_internal () =
+  let peer, _ = make_peer () in
+  let req =
+    {
+      Message.module_uri = Qname.ns_xrpc;
+      location = "";
+      method_ = "getDocument";
+      arity = 1;
+      updating = false;
+      fragments = false;
+      query_id = None;
+      calls = [ [ [ Xdm.str "filmDB.xml" ] ] ];
+    }
+  in
+  match handle peer req with
+  | Message.Response { results = [ [ Xdm.Node n ] ]; _ } ->
+      check bool_ "document node" true (Store.kind n = Store.Doc)
+  | _ -> Alcotest.fail "expected document"
+
+let () =
+  Alcotest.run "peer"
+    [
+      ( "requests",
+        [
+          Alcotest.test_case "single call" `Quick test_single_call;
+          Alcotest.test_case "bulk call" `Quick test_bulk_call;
+          Alcotest.test_case "unknown module" `Quick test_unknown_module_fault;
+          Alcotest.test_case "unknown function" `Quick test_unknown_function_fault;
+          Alcotest.test_case "runtime error fault" `Quick
+            test_runtime_error_becomes_fault;
+          Alcotest.test_case "malformed message" `Quick test_malformed_message_fault;
+          Alcotest.test_case "getDocument" `Quick test_get_document_internal;
+        ] );
+      ( "function-cache",
+        [
+          Alcotest.test_case "hits" `Quick test_func_cache_hits;
+          Alcotest.test_case "disabled" `Quick test_func_cache_disabled;
+          Alcotest.test_case "compile hook" `Quick test_func_cache_on_compile_hook;
+          Alcotest.test_case "invalidation" `Quick
+            test_func_cache_invalidated_on_module_update;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "repeatable read" `Quick
+            test_repeatable_read_pins_snapshot;
+          Alcotest.test_case "timeout expiry" `Quick test_isolation_timeout_expiry;
+          Alcotest.test_case "distinct snapshots" `Quick
+            test_isolation_distinct_queries_distinct_snapshots;
+          Alcotest.test_case "distributed snapshot isolation" `Quick
+            test_snapshot_isolation_pins_query_timestamp;
+        ] );
+      ( "updates-2pc",
+        [
+          Alcotest.test_case "R_Fu immediate" `Quick test_rfu_applies_immediately;
+          Alcotest.test_case "R'_Fu deferred" `Quick
+            test_rfu_prime_defers_until_commit;
+          Alcotest.test_case "rollback" `Quick test_rollback_discards;
+          Alcotest.test_case "prepare conflict" `Quick
+            test_prepare_conflict_detection;
+          Alcotest.test_case "read-only participant" `Quick
+            test_read_only_participant_votes_yes;
+        ] );
+      ( "bulk-optimization",
+        [
+          Alcotest.test_case "hash join" `Quick test_bulk_hash_join_used_and_correct;
+        ] );
+    ]

@@ -1,0 +1,420 @@
+(* Tests for the SOAP XRPC protocol layer: s2n/n2s marshaling, message
+   construction/parsing, the queryID isolation extension, Bulk RPC bodies,
+   faults, and call-by-value guarantees (§2.1–§2.2 of the paper). *)
+
+open Xrpc_xml
+module Marshal = Xrpc_soap.Marshal
+module Message = Xrpc_soap.Message
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let roundtrip seq = Marshal.n2s (Marshal.s2n seq)
+
+(* ------------------------------------------------------------------ *)
+(* s2n / n2s                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_roundtrip () =
+  let seq =
+    [
+      Xdm.Atomic (Xs.Integer 2);
+      Xdm.Atomic (Xs.Double 3.1);
+      Xdm.Atomic (Xs.String "Sean Connery");
+      Xdm.Atomic (Xs.Boolean true);
+      Xdm.Atomic (Xs.Untyped "u");
+    ]
+  in
+  let back = roundtrip seq in
+  check int_ "length" 5 (List.length back);
+  check bool_ "types preserved" true
+    (List.for_all2
+       (fun a b ->
+         match (a, b) with
+         | Xdm.Atomic x, Xdm.Atomic y ->
+             Xs.type_of x = Xs.type_of y && Xs.equal_values x y
+         | _ -> false)
+       seq back)
+
+let test_paper_example_n2s () =
+  (* the n2s example of §2.2: ("abc", 42) *)
+  let xml =
+    {|<xrpc:sequence xmlns:xrpc="http://monetdb.cwi.nl/XQuery"
+       xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">
+<xrpc:atomic-value xsi:type="xs:string">abc</xrpc:atomic-value>
+<xrpc:atomic-value xsi:type="xs:integer">42</xrpc:atomic-value>
+</xrpc:sequence>|}
+  in
+  match Xml_parse.document xml with
+  | Tree.Document [ e ] ->
+      let seq = Marshal.n2s e in
+      check bool_ "abc,42" true
+        (seq = [ Xdm.Atomic (Xs.String "abc"); Xdm.Atomic (Xs.Integer 42) ])
+  | _ -> Alcotest.fail "parse"
+
+let test_element_roundtrip () =
+  let store = Store.shred (Xml_parse.document "<name g=\"x\">The Rock</name>") in
+  let node = List.hd (Store.children (Store.root store)) in
+  match roundtrip [ Xdm.Node node ] with
+  | [ Xdm.Node n ] ->
+      check bool_ "same tree" true
+        (Tree.equal (Store.to_tree node) (Store.to_tree n));
+      check bool_ "fresh identity" false (Store.equal_nodes node n)
+  | _ -> Alcotest.fail "shape"
+
+let test_call_by_value_severs_upward_axes () =
+  (* §2.2: upward/sideways axes on unmarshaled node parameters are empty *)
+  let store =
+    Store.shred (Xml_parse.document "<films><film><name>X</name></film><film/></films>")
+  in
+  let films = List.hd (Store.children (Store.root store)) in
+  let film1 = List.hd (Store.children films) in
+  match roundtrip [ Xdm.Node film1 ] with
+  | [ Xdm.Node n ] ->
+      check bool_ "parent empty" true (Store.parent n = None);
+      check int_ "no following" 0 (List.length (Store.following n));
+      check int_ "no siblings" 0 (List.length (Store.following_siblings n))
+  | _ -> Alcotest.fail "shape"
+
+let test_marshal_destroys_descendant_relationship () =
+  (* §2.2: two parameters in a descendant relationship arrive unrelated *)
+  let store = Store.shred (Xml_parse.document "<a><b><c/></b></a>") in
+  let a = List.hd (Store.children (Store.root store)) in
+  let b = List.hd (Store.children a) in
+  match roundtrip [ Xdm.Node a; Xdm.Node b ] with
+  | [ Xdm.Node a'; Xdm.Node b' ] ->
+      check bool_ "different stores" true
+        (a'.Store.store.Store.doc_id <> b'.Store.store.Store.doc_id);
+      check bool_ "no ancestry" true
+        (not (List.exists (fun x -> Store.equal_nodes x a') (Store.ancestors b')))
+  | _ -> Alcotest.fail "shape"
+
+let test_mixed_node_kinds () =
+  let store =
+    Store.shred ~uri:"d.xml"
+      (Xml_parse.document "<a x=\"v\"><!--c--><?pi data?>text</a>")
+  in
+  let a = List.hd (Store.children (Store.root store)) in
+  let doc = Store.root store in
+  let attr = List.hd (Store.attributes a) in
+  let kids = Store.children a in
+  let seq = Xdm.Node doc :: Xdm.Node attr :: List.map (fun n -> Xdm.Node n) kids in
+  let back = roundtrip seq in
+  check int_ "all items back" (List.length seq) (List.length back);
+  let kinds =
+    List.map (function Xdm.Node n -> Store.kind n | _ -> Alcotest.fail "atomic") back
+  in
+  check bool_ "kinds preserved" true
+    (kinds = [ Store.Doc; Store.Attr; Store.Comm; Store.Pi; Store.Txt ])
+
+let test_empty_sequence () =
+  check int_ "empty" 0 (List.length (roundtrip []))
+
+let test_untyped_without_annotation () =
+  let xml =
+    {|<xrpc:sequence xmlns:xrpc="http://monetdb.cwi.nl/XQuery">
+<xrpc:atomic-value>plain</xrpc:atomic-value></xrpc:sequence>|}
+  in
+  match Xml_parse.document xml with
+  | Tree.Document [ e ] -> (
+      match Marshal.n2s e with
+      | [ Xdm.Atomic (Xs.Untyped "plain") ] -> ()
+      | _ -> Alcotest.fail "expected untypedAtomic")
+  | _ -> Alcotest.fail "parse"
+
+(* ---- footnote-4 extension: call-by-fragment ---- *)
+
+let fragment_roundtrip params =
+  let trees = Marshal.s2n_call ~fragments:true params in
+  (trees, Marshal.n2s_call trees)
+
+let test_fragments_preserve_ancestry () =
+  (* two parameters in a descendant relationship: plain call-by-value
+     destroys it (tested above); the nodeid extension preserves it *)
+  let store = Store.shred (Xml_parse.document "<a><b><c/></b></a>") in
+  let a = List.hd (Store.children (Store.root store)) in
+  let b = List.hd (Store.children a) in
+  match fragment_roundtrip [ [ Xdm.Node a ]; [ Xdm.Node b ] ] with
+  | _, [ [ Xdm.Node a' ]; [ Xdm.Node b' ] ] ->
+      check bool_ "same fragment" true
+        (a'.Store.store.Store.doc_id = b'.Store.store.Store.doc_id);
+      check bool_ "ancestry preserved" true
+        (List.exists (fun x -> Store.equal_nodes x a') (Store.ancestors b'));
+      check string_ "b still correct" "b"
+        (match Store.name b' with Some q -> q.Qname.local | None -> "?")
+  | _ -> Alcotest.fail "shape"
+
+let test_fragments_compress_message () =
+  let big =
+    Store.shred
+      (Xml_parse.document
+         ("<root>" ^ String.concat ""
+            (List.init 50 (fun i ->
+                 Printf.sprintf "<x i=\"%d\">%s</x>" i (String.make 120 'p')))
+          ^ "</root>"))
+  in
+  let root_el = List.hd (Store.children (Store.root big)) in
+  let sub = List.nth (Store.children root_el) 10 in
+  let params = [ [ Xdm.Node root_el ]; [ Xdm.Node sub ] ] in
+  let plain = Marshal.s2n_call ~fragments:false params in
+  let compressed = Marshal.s2n_call ~fragments:true params in
+  let size ts =
+    List.fold_left (fun n t -> n + String.length (Serialize.to_string t)) 0 ts
+  in
+  check bool_ "smaller on the wire" true (size compressed < size plain)
+
+let test_fragments_plain_params_unchanged () =
+  (* unrelated parameters marshal exactly as without the extension *)
+  let s1 = Store.shred (Xml_parse.document "<p/>") in
+  let params = [ [ Xdm.Atomic (Xs.Integer 1) ];
+                 [ Xdm.Node (List.hd (Store.children (Store.root s1))) ] ] in
+  match fragment_roundtrip params with
+  | _, [ [ Xdm.Atomic (Xs.Integer 1) ]; [ Xdm.Node n ] ] ->
+      check bool_ "element intact" true
+        (match Store.name n with Some q -> q.Qname.local = "p" | None -> false)
+  | _ -> Alcotest.fail "shape"
+
+let test_fragments_wire_roundtrip () =
+  let store = Store.shred (Xml_parse.document "<a><b>inner</b></a>") in
+  let a = List.hd (Store.children (Store.root store)) in
+  let b = List.hd (Store.children a) in
+  let r =
+    {
+      Message.module_uri = "m"; location = ""; method_ = "f"; arity = 2;
+      updating = false; fragments = true; query_id = None;
+      calls = [ [ [ Xdm.Node a ]; [ Xdm.Node b ] ] ];
+    }
+  in
+  match Message.of_string (Message.to_string (Message.Request r)) with
+  | Message.Request { fragments = true; calls = [ [ [ Xdm.Node a' ]; [ Xdm.Node b' ] ] ]; _ } ->
+      check bool_ "ancestry over the wire" true
+        (List.exists (fun x -> Store.equal_nodes x a') (Store.ancestors b'))
+  | _ -> Alcotest.fail "wire shape"
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_request ?(query_id = None) ?(calls = 1) () =
+  {
+    Message.module_uri = "films";
+    location = "http://x.example.org/film.xq";
+    method_ = "filmsByActor";
+    arity = 1;
+    updating = false;
+    fragments = false;
+    query_id;
+    calls =
+      List.init calls (fun i -> [ [ Xdm.str (Printf.sprintf "Actor %d" i) ] ]);
+  }
+
+let test_request_roundtrip () =
+  let r = sample_request () in
+  match Message.of_string (Message.to_string (Message.Request r)) with
+  | Message.Request r' ->
+      check string_ "module" r.Message.module_uri r'.Message.module_uri;
+      check string_ "method" r.Message.method_ r'.Message.method_;
+      check int_ "arity" r.Message.arity r'.Message.arity;
+      check string_ "location" r.Message.location r'.Message.location;
+      check int_ "calls" 1 (List.length r'.Message.calls)
+  | _ -> Alcotest.fail "wrong message kind"
+
+let test_bulk_request_roundtrip () =
+  let r = sample_request ~calls:5 () in
+  match Message.of_string (Message.to_string (Message.Request r)) with
+  | Message.Request r' ->
+      check int_ "bulk calls preserved" 5 (List.length r'.Message.calls);
+      let params =
+        List.map
+          (fun call -> Xdm.string_value (List.hd (List.hd call)))
+          r'.Message.calls
+      in
+      check bool_ "order" true
+        (params = [ "Actor 0"; "Actor 1"; "Actor 2"; "Actor 3"; "Actor 4" ])
+  | _ -> Alcotest.fail "wrong kind"
+
+let test_query_id_roundtrip () =
+  let qid = { Message.host = "xrpc://x"; timestamp = "123.456"; timeout = 42; level = Message.Repeatable } in
+  let r = sample_request ~query_id:(Some qid) () in
+  match Message.of_string (Message.to_string (Message.Request r)) with
+  | Message.Request { query_id = Some q; _ } ->
+      check string_ "host" "xrpc://x" q.Message.host;
+      check string_ "timestamp" "123.456" q.Message.timestamp;
+      check int_ "timeout" 42 q.Message.timeout
+  | _ -> Alcotest.fail "queryID lost"
+
+let test_updating_flag_roundtrip () =
+  let r = { (sample_request ()) with Message.updating = true } in
+  match Message.of_string (Message.to_string (Message.Request r)) with
+  | Message.Request r' -> check bool_ "updating" true r'.Message.updating
+  | _ -> Alcotest.fail "wrong kind"
+
+let test_response_roundtrip_with_peers () =
+  let store = Store.shred (Xml_parse.document "<name>The Rock</name>") in
+  let resp =
+    {
+      Message.resp_module = "films";
+      resp_method = "filmsByActor";
+      results =
+        [ [ Xdm.Node (List.hd (Store.children (Store.root store))) ];
+          [ Xdm.int 7 ] ];
+      peers = [ "xrpc://y.example.org"; "xrpc://z.example.org" ];
+    }
+  in
+  match Message.of_string (Message.to_string (Message.Response resp)) with
+  | Message.Response r ->
+      check int_ "two results" 2 (List.length r.Message.results);
+      check bool_ "peers piggybacked" true
+        (r.Message.peers = [ "xrpc://y.example.org"; "xrpc://z.example.org" ])
+  | _ -> Alcotest.fail "wrong kind"
+
+let test_fault_roundtrip () =
+  let f = { Message.fault_code = `Sender; reason = "could not load module!" } in
+  match Message.of_string (Message.to_string (Message.Fault f)) with
+  | Message.Fault f' ->
+      check bool_ "code" true (f'.Message.fault_code = `Sender);
+      check string_ "reason" "could not load module!" f'.Message.reason
+  | _ -> Alcotest.fail "wrong kind"
+
+let test_tx_roundtrip () =
+  let qid = { Message.host = "h"; timestamp = "1"; timeout = 5; level = Message.Snapshot } in
+  (match
+     Message.of_string
+       (Message.to_string (Message.Tx_request (Message.Prepare, qid)))
+   with
+  | Message.Tx_request (Message.Prepare, q) ->
+      check string_ "qid host" "h" q.Message.host
+  | _ -> Alcotest.fail "prepare");
+  match
+    Message.of_string
+      (Message.to_string (Message.Tx_response { ok = true; info = "prepared" }))
+  with
+  | Message.Tx_response { ok = true; info = "prepared" } -> ()
+  | _ -> Alcotest.fail "tx response"
+
+let test_wire_format_matches_paper () =
+  (* the §2.1 example message, byte-level landmarks *)
+  let s = Message.to_string (Message.Request (sample_request ())) in
+  let contains sub =
+    check bool_ ("contains " ^ sub) true
+      (let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0)
+  in
+  contains "<?xml version=\"1.0\" encoding=\"utf-8\"?>";
+  contains "xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"";
+  contains "xmlns:xrpc=\"http://monetdb.cwi.nl/XQuery\"";
+  contains "<xrpc:request module=\"films\" method=\"filmsByActor\" arity=\"1\"";
+  contains "<xrpc:call>";
+  contains "<xrpc:atomic-value xsi:type=\"xs:string\">Actor 0</xrpc:atomic-value>"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_atomic =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Xs.Integer i) (int_range (-1000) 1000);
+        map (fun s -> Xs.String s) (oneofl [ "a"; "hello world"; "<&>"; "x\"y" ]);
+        map (fun b -> Xs.Boolean b) bool;
+        map (fun f -> Xs.Double (Float.of_int f /. 8.)) (int_range (-800) 800);
+        map (fun s -> Xs.Untyped s) (oneofl [ "u1"; "two words"; "z" ]);
+      ])
+
+let arbitrary_seq =
+  QCheck.make
+    ~print:(fun seq -> Xdm.to_display seq)
+    QCheck.Gen.(list_size (int_range 0 8) (map (fun a -> Xdm.Atomic a) gen_atomic))
+
+let prop_marshal_roundtrip =
+  QCheck.Test.make ~name:"s2n/n2s identity on atomics" ~count:300 arbitrary_seq
+    (fun seq ->
+      let back = roundtrip seq in
+      List.length back = List.length seq
+      && List.for_all2
+           (fun a b ->
+             match (a, b) with
+             | Xdm.Atomic x, Xdm.Atomic y ->
+                 Xs.type_of x = Xs.type_of y && Xs.to_string x = Xs.to_string y
+             | _ -> false)
+           seq back)
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"request wire roundtrip" ~count:100
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 5) (list_size (int_range 0 4) gen_atomic)))
+    (fun (ncalls, params) ->
+      let r =
+        {
+          Message.module_uri = "m";
+          location = "loc";
+          method_ = "f";
+          arity = 1;
+          updating = false;
+          fragments = false;
+          query_id = None;
+          calls =
+            List.init ncalls (fun _ -> [ List.map (fun a -> Xdm.Atomic a) params ]);
+        }
+      in
+      match Message.of_string (Message.to_string (Message.Request r)) with
+      | Message.Request r' ->
+          List.length r'.Message.calls = ncalls
+          && List.for_all
+               (fun call ->
+                 match call with
+                 | [ seq ] ->
+                     List.map Xdm.string_value seq
+                     = List.map (fun a -> Xs.to_string a) params
+                 | _ -> false)
+               r'.Message.calls
+      | _ -> false)
+
+let () =
+  Alcotest.run "soap"
+    [
+      ( "marshal",
+        [
+          Alcotest.test_case "atomic roundtrip" `Quick test_atomic_roundtrip;
+          Alcotest.test_case "paper n2s example" `Quick test_paper_example_n2s;
+          Alcotest.test_case "element roundtrip" `Quick test_element_roundtrip;
+          Alcotest.test_case "call-by-value severs axes" `Quick
+            test_call_by_value_severs_upward_axes;
+          Alcotest.test_case "descendant relation destroyed" `Quick
+            test_marshal_destroys_descendant_relationship;
+          Alcotest.test_case "mixed node kinds" `Quick test_mixed_node_kinds;
+          Alcotest.test_case "empty sequence" `Quick test_empty_sequence;
+          Alcotest.test_case "untyped default" `Quick test_untyped_without_annotation;
+        ] );
+      ( "call-by-fragment",
+        [
+          Alcotest.test_case "ancestry preserved" `Quick
+            test_fragments_preserve_ancestry;
+          Alcotest.test_case "message compression" `Quick
+            test_fragments_compress_message;
+          Alcotest.test_case "plain params unchanged" `Quick
+            test_fragments_plain_params_unchanged;
+          Alcotest.test_case "wire roundtrip" `Quick test_fragments_wire_roundtrip;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "bulk request" `Quick test_bulk_request_roundtrip;
+          Alcotest.test_case "queryID" `Quick test_query_id_roundtrip;
+          Alcotest.test_case "updating flag" `Quick test_updating_flag_roundtrip;
+          Alcotest.test_case "response + peers" `Quick
+            test_response_roundtrip_with_peers;
+          Alcotest.test_case "fault" `Quick test_fault_roundtrip;
+          Alcotest.test_case "transaction" `Quick test_tx_roundtrip;
+          Alcotest.test_case "wire format" `Quick test_wire_format_matches_paper;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_marshal_roundtrip; prop_wire_roundtrip ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for the XQUF machinery: update primitives, pending update lists,
+   applyUpdates document rebuilding, fn:put, and the updating semantics of
+   rules R_Fu / R'_Fu at a single peer. *)
+
+open Xrpc_xml
+module Update = Xrpc_xquery.Update
+module Context = Xrpc_xquery.Context
+module Runner = Xrpc_xquery.Runner
+module Database = Xrpc_peer.Database
+
+let check = Alcotest.check
+let string_ = Alcotest.string
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let resolver ~uri:_ ~location:_ = failwith "no modules"
+
+(* run an updating query against one document; returns the document after
+   applyUpdates *)
+let run_update ?(doc = "<films><film><name>A</name></film><film><name>B</name></film></films>")
+    query =
+  let db = Database.create () in
+  Database.add_doc_xml db "d.xml" doc;
+  let ctx =
+    {
+      (Context.empty ()) with
+      Context.doc_resolver =
+        (fun name -> Database.doc_exn (Database.snapshot db) name);
+    }
+  in
+  let result, pul = Runner.run ~ctx ~resolver query in
+  check int_ "updating query yields empty sequence" 0 (List.length result);
+  Database.commit db pul;
+  Serialize.to_string
+    (Store.to_tree (Store.root (Database.doc_exn (Database.snapshot db) "d.xml")))
+
+let stripped s =
+  (* document node serialization *)
+  s
+
+let test_insert_into () =
+  let after =
+    run_update {|insert node <film><name>C</name></film> into exactly-one(doc("d.xml")/films)|}
+  in
+  check string_ "appended"
+    "<films><film><name>A</name></film><film><name>B</name></film><film><name>C</name></film></films>"
+    (stripped after)
+
+let test_insert_as_first () =
+  let after =
+    run_update {|insert node <film><name>Z</name></film> as first into exactly-one(doc("d.xml")/films)|}
+  in
+  check bool_ "prepended" true
+    (String.length after > 30 && String.sub after 0 30 = "<films><film><name>Z</name></f")
+
+let test_insert_before_after () =
+  let after =
+    run_update
+      {|(insert node <x/> before exactly-one(doc("d.xml")//film[name="B"]),
+         insert node <y/> after exactly-one(doc("d.xml")//film[name="A"]))|}
+  in
+  check string_ "positioned"
+    "<films><film><name>A</name></film><y/><x/><film><name>B</name></film></films>"
+    after
+
+let test_delete () =
+  let after = run_update {|delete nodes doc("d.xml")//film[name = "A"]|} in
+  check string_ "deleted" "<films><film><name>B</name></film></films>" after
+
+let test_delete_multiple () =
+  let after = run_update {|delete nodes doc("d.xml")//film|} in
+  check string_ "all gone" "<films/>" after
+
+let test_replace_node () =
+  let after =
+    run_update {|replace node exactly-one(doc("d.xml")//film[name="A"]) with <film><name>R</name></film>|}
+  in
+  check string_ "replaced"
+    "<films><film><name>R</name></film><film><name>B</name></film></films>" after
+
+let test_replace_value () =
+  let after =
+    run_update {|replace value of node exactly-one(doc("d.xml")//film[1]/name) with "NEW"|}
+  in
+  check string_ "value replaced"
+    "<films><film><name>NEW</name></film><film><name>B</name></film></films>" after
+
+let test_rename () =
+  let after = run_update {|rename node exactly-one(doc("d.xml")/films) as "movies"|} in
+  check bool_ "renamed" true
+    (String.sub after 0 8 = "<movies>")
+
+let test_insert_attribute () =
+  let after =
+    run_update {|insert node attribute year {1996} into exactly-one(doc("d.xml")//film[1])|}
+  in
+  check string_ "attribute added"
+    "<films><film year=\"1996\"><name>A</name></film><film><name>B</name></film></films>"
+    after
+
+let test_delete_attribute () =
+  let after =
+    run_update ~doc:"<a x=\"1\" y=\"2\"/>" {|delete nodes doc("d.xml")/a/@x|}
+  in
+  check string_ "attr deleted" "<a y=\"2\"/>" after
+
+let test_replace_attribute_value () =
+  let after =
+    run_update ~doc:"<a x=\"1\"/>"
+      {|replace value of node exactly-one(doc("d.xml")/a/@x) with "9"|}
+  in
+  check string_ "attr value" "<a x=\"9\"/>" after
+
+let test_updates_invisible_during_query () =
+  (* XQUF: the database state is constant during evaluation; the query sees
+     pre-update state even after emitting update primitives *)
+  let db = Database.create () in
+  Database.add_doc_xml db "d.xml" "<a><b/></a>";
+  let ctx =
+    {
+      (Context.empty ()) with
+      Context.doc_resolver =
+        (fun name -> Database.doc_exn (Database.snapshot db) name);
+    }
+  in
+  let result, pul =
+    Runner.run ~ctx ~resolver
+      {|(delete nodes doc("d.xml")//b, count(doc("d.xml")//b))|}
+  in
+  check string_ "still sees b" "1" (Xdm.to_display result);
+  check int_ "one primitive" 1 (List.length pul)
+
+let test_multiple_updates_same_query () =
+  let after =
+    run_update
+      {|for $f in doc("d.xml")//film return insert node <seen/> into $f|}
+  in
+  (* insert into appends inside each target film *)
+  check string_ "both films updated"
+    "<films><film><name>A</name><seen/></film><film><name>B</name><seen/></film></films>"
+    (stripped after)
+
+let test_fn_put () =
+  let db = Database.create () in
+  Database.add_doc_xml db "d.xml" "<a/>";
+  let ctx =
+    {
+      (Context.empty ()) with
+      Context.doc_resolver =
+        (fun name -> Database.doc_exn (Database.snapshot db) name);
+    }
+  in
+  let _, pul = Runner.run ~ctx ~resolver {|put(<copy><of/></copy>, "new.xml")|} in
+  Database.commit db pul;
+  let s = Database.doc_exn (Database.snapshot db) "new.xml" in
+  check string_ "stored" "<copy><of/></copy>"
+    (Serialize.to_string (Store.to_tree (Store.root s)))
+
+let test_snapshot_isolation_of_versions () =
+  (* older snapshots keep reading the pre-commit state *)
+  let db = Database.create () in
+  Database.add_doc_xml db "d.xml" "<a><b/></a>";
+  let before = Database.snapshot db in
+  let ctx =
+    {
+      (Context.empty ()) with
+      Context.doc_resolver = (fun name -> Database.doc_exn before name);
+    }
+  in
+  let _, pul = Runner.run ~ctx ~resolver {|delete nodes doc("d.xml")//b|} in
+  Database.commit db pul;
+  let count v =
+    let s = Database.doc_exn v "d.xml" in
+    List.length (Store.descendants (Store.root s))
+  in
+  check int_ "old snapshot unchanged" 2 (count before);
+  check int_ "new version updated" 1 (count (Database.snapshot db))
+
+let test_touched_docs () =
+  let db = Database.create () in
+  Database.add_doc_xml db "d.xml" "<a><b/></a>";
+  let ctx =
+    {
+      (Context.empty ()) with
+      Context.doc_resolver =
+        (fun name -> Database.doc_exn (Database.snapshot db) name);
+    }
+  in
+  let _, pul = Runner.run ~ctx ~resolver {|delete nodes doc("d.xml")//b|} in
+  check (Alcotest.list string_) "touched" [ "d.xml" ] (Database.touched_docs pul)
+
+let test_cannot_delete_root () =
+  let db = Database.create () in
+  Database.add_doc_xml db "d.xml" "<a/>";
+  let ctx =
+    {
+      (Context.empty ()) with
+      Context.doc_resolver =
+        (fun name -> Database.doc_exn (Database.snapshot db) name);
+    }
+  in
+  let _, pul =
+    Runner.run ~ctx ~resolver {|delete nodes root(exactly-one(doc("d.xml")/a))|}
+  in
+  match Database.commit db pul with
+  | exception Update.Update_error _ -> ()
+  | () -> Alcotest.fail "expected Update_error"
+
+let test_pul_union_unordered () =
+  (* §2.3: PULs from separate calls can be unioned in any order *)
+  let doc = "<films><film><name>A</name></film><film><name>B</name></film></films>" in
+  let db1 = Database.create () and db2 = Database.create () in
+  Database.add_doc_xml db1 "d.xml" doc;
+  Database.add_doc_xml db2 "d.xml" doc;
+  let make db =
+    {
+      (Context.empty ()) with
+      Context.doc_resolver =
+        (fun name -> Database.doc_exn (Database.snapshot db) name);
+    }
+  in
+  let q1 = {|insert node <x/> into exactly-one(doc("d.xml")//film[1])|} in
+  let q2 = {|insert node <y/> into exactly-one(doc("d.xml")//film[2])|} in
+  let _, p1a = Runner.run ~ctx:(make db1) ~resolver q1 in
+  let _, p1b = Runner.run ~ctx:(make db1) ~resolver q2 in
+  let _, p2a = Runner.run ~ctx:(make db2) ~resolver q2 in
+  let _, p2b = Runner.run ~ctx:(make db2) ~resolver q1 in
+  Database.commit db1 (p1a @ p1b);
+  Database.commit db2 (p2b @ p2a);
+  let show db =
+    Serialize.to_string
+      (Store.to_tree (Store.root (Database.doc_exn (Database.snapshot db) "d.xml")))
+  in
+  check string_ "order independent" (show db1) (show db2)
+
+let () =
+  Alcotest.run "updates"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "insert into" `Quick test_insert_into;
+          Alcotest.test_case "insert as first" `Quick test_insert_as_first;
+          Alcotest.test_case "insert before/after" `Quick test_insert_before_after;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "delete multiple" `Quick test_delete_multiple;
+          Alcotest.test_case "replace node" `Quick test_replace_node;
+          Alcotest.test_case "replace value" `Quick test_replace_value;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "insert attribute" `Quick test_insert_attribute;
+          Alcotest.test_case "delete attribute" `Quick test_delete_attribute;
+          Alcotest.test_case "replace attribute value" `Quick
+            test_replace_attribute_value;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "updates invisible during query" `Quick
+            test_updates_invisible_during_query;
+          Alcotest.test_case "loop of inserts" `Quick test_multiple_updates_same_query;
+          Alcotest.test_case "fn:put" `Quick test_fn_put;
+          Alcotest.test_case "snapshot versions" `Quick
+            test_snapshot_isolation_of_versions;
+          Alcotest.test_case "touched docs" `Quick test_touched_docs;
+          Alcotest.test_case "cannot delete root" `Quick test_cannot_delete_root;
+          Alcotest.test_case "PUL union unordered" `Quick test_pul_union_unordered;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for the workload generators: determinism, the paper's join
+   selectivity, and well-formedness of everything they emit. *)
+
+open Xrpc_xml
+module Xmark = Xrpc_workloads.Xmark
+module Filmdb = Xrpc_workloads.Filmdb
+module Testmod = Xrpc_workloads.Testmod
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+
+let count_elems store local =
+  List.length
+    (List.filter
+       (fun n ->
+         Store.kind n = Store.Elem
+         && (match Store.name n with
+            | Some q -> q.Qname.local = local
+            | None -> false))
+       (Store.descendants (Store.root store)))
+
+let test_persons_shape () =
+  let xml = Xmark.persons ~count:37 () in
+  let store = Store.shred (Xml_parse.document xml) in
+  check int_ "37 persons" 37 (count_elems store "person");
+  (* every person has a unique sequential id *)
+  let ids =
+    List.filter_map
+      (fun n ->
+        if Store.kind n = Store.Attr
+           && (match Store.name n with
+              | Some q -> q.Qname.local = "id"
+              | None -> false)
+        then Some (Store.string_value n)
+        else None)
+      (List.concat_map
+         (fun n -> Store.attributes n)
+         (List.filter
+            (fun n ->
+              Store.kind n = Store.Elem
+              && (match Store.name n with
+                 | Some q -> q.Qname.local = "person"
+                 | None -> false))
+            (Store.descendants (Store.root store))))
+  in
+  check int_ "unique ids" 37 (List.length (List.sort_uniq compare ids))
+
+let test_generators_deterministic () =
+  check bool_ "persons deterministic" true
+    (String.equal (Xmark.persons ~count:20 ()) (Xmark.persons ~count:20 ()));
+  check bool_ "auctions deterministic" true
+    (String.equal
+       (Xmark.auctions ~count:50 ~matches:4 ~persons_count:20 ())
+       (Xmark.auctions ~count:50 ~matches:4 ~persons_count:20 ()));
+  check bool_ "different seeds differ" false
+    (String.equal (Xmark.persons ~count:20 ())
+       (Xmark.persons ~seed:99 ~count:20 ()))
+
+let test_join_selectivity () =
+  (* the paper's experiment needs exactly `matches` closed auctions whose
+     buyer is one of the persons — with distinct buyers *)
+  let persons_count = 40 and matches = 6 in
+  let store =
+    Store.shred
+      (Xml_parse.document
+         (Xmark.auctions ~count:200 ~matches ~persons_count ()))
+  in
+  let buyers =
+    List.filter_map
+      (fun n ->
+        match (Store.kind n, Store.name n) with
+        | Store.Elem, Some q when q.Qname.local = "buyer" -> (
+            match Store.attributes n with
+            | a :: _ -> Some (Store.string_value a)
+            | [] -> None)
+        | _ -> None)
+      (Store.descendants (Store.root store))
+  in
+  let matching =
+    List.filter
+      (fun b ->
+        match int_of_string_opt (String.sub b 6 (String.length b - 6)) with
+        | Some i -> i < persons_count
+        | None -> false)
+      buyers
+  in
+  check int_ "exactly `matches` matching buyers" matches (List.length matching);
+  check int_ "matching buyers distinct" matches
+    (List.length (List.sort_uniq compare matching))
+
+let test_auctions_structure () =
+  let store =
+    Store.shred
+      (Xml_parse.document (Xmark.auctions ~count:30 ~matches:3 ~persons_count:10 ()))
+  in
+  check int_ "closed auctions" 30 (count_elems store "closed_auction");
+  check int_ "every auction has an annotation" 30 (count_elems store "annotation");
+  check bool_ "has filler items" true (count_elems store "item" > 0);
+  check bool_ "has open auctions" true (count_elems store "open_auction" > 0)
+
+let test_film_module_parses () =
+  let prog = Xrpc_xquery.Parser.parse_prog Filmdb.film_module in
+  check bool_ "library module" true (prog.Xrpc_xquery.Ast.module_decl <> None);
+  let decls =
+    List.filter_map
+      (function Xrpc_xquery.Ast.P_function f -> Some f | _ -> None)
+      prog.Xrpc_xquery.Ast.prolog
+  in
+  check int_ "four functions" 4 (List.length decls);
+  check int_ "two updating" 2
+    (List.length (List.filter (fun f -> f.Xrpc_xquery.Ast.fn_updating) decls))
+
+let test_test_module_parses () =
+  let prog = Xrpc_xquery.Parser.parse_prog Testmod.test_module in
+  check bool_ "parses" true (prog.Xrpc_xquery.Ast.module_decl <> None)
+
+let test_film_db_well_formed () =
+  List.iter
+    (fun xml ->
+      let store = Store.shred (Xml_parse.document xml) in
+      check int_ "three films" 3 (count_elems store "film"))
+    [ Filmdb.film_db_xml; Filmdb.film_db_xml_z ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "xmark",
+        [
+          Alcotest.test_case "persons shape" `Quick test_persons_shape;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "join selectivity" `Quick test_join_selectivity;
+          Alcotest.test_case "auctions structure" `Quick test_auctions_structure;
+        ] );
+      ( "modules",
+        [
+          Alcotest.test_case "film module" `Quick test_film_module_parses;
+          Alcotest.test_case "test module" `Quick test_test_module_parses;
+          Alcotest.test_case "film dbs" `Quick test_film_db_well_formed;
+        ] );
+    ]

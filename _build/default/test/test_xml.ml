@@ -1,0 +1,436 @@
+(* Unit + property tests for the XML/XDM substrate (lib/xml). *)
+
+open Xrpc_xml
+
+let check = Alcotest.check
+let string_ = Alcotest.string
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Qname                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_qname_basics () =
+  let q = Qname.make ~prefix:"f" ~uri:"films" "filmsByActor" in
+  check string_ "to_string" "f:filmsByActor" (Qname.to_string q);
+  check string_ "expanded" "{films}filmsByActor" (Qname.expanded q);
+  let q2 = Qname.make ~prefix:"g" ~uri:"films" "filmsByActor" in
+  check bool_ "equal ignores prefix" true (Qname.equal q q2);
+  check bool_ "hash agrees" true (Qname.hash q = Qname.hash q2)
+
+let test_qname_split () =
+  check (Alcotest.pair string_ string_) "split prefixed" ("a", "b")
+    (Qname.split "a:b");
+  check (Alcotest.pair string_ string_) "split bare" ("", "b") (Qname.split "b")
+
+(* ------------------------------------------------------------------ *)
+(* Xs atomic values                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_xs_lexical () =
+  check string_ "int" "42" (Xs.to_string (Xs.Integer 42));
+  check string_ "double int" "3" (Xs.to_string (Xs.Double 3.));
+  check string_ "double frac" "3.1" (Xs.to_string (Xs.Double 3.1));
+  check string_ "bool" "true" (Xs.to_string (Xs.Boolean true));
+  check string_ "NaN" "NaN" (Xs.to_string (Xs.Double Float.nan));
+  check string_ "INF" "INF" (Xs.to_string (Xs.Double Float.infinity))
+
+let test_xs_parse () =
+  check bool_ "int roundtrip" true
+    (Xs.of_string Xs.TInteger " 17 " = Xs.Integer 17);
+  check bool_ "bool 1" true (Xs.of_string Xs.TBoolean "1" = Xs.Boolean true);
+  check bool_ "double INF" true
+    (Xs.of_string Xs.TDouble "-INF" = Xs.Double Float.neg_infinity);
+  Alcotest.check_raises "bad int" (Xs.Type_error "cannot cast \"xyz\" to xs:integer")
+    (fun () -> ignore (Xs.of_string Xs.TInteger "xyz"))
+
+let test_xs_arith_promotion () =
+  check bool_ "int+int=int" true
+    (Xs.arith `Add (Xs.Integer 2) (Xs.Integer 3) = Xs.Integer 5);
+  check bool_ "int+double=double" true
+    (Xs.arith `Add (Xs.Integer 2) (Xs.Double 3.5) = Xs.Double 5.5);
+  check bool_ "int div int = decimal" true
+    (Xs.arith `Div (Xs.Integer 7) (Xs.Integer 2) = Xs.Decimal 3.5);
+  check bool_ "idiv truncates" true
+    (Xs.arith `Idiv (Xs.Integer 7) (Xs.Integer 2) = Xs.Integer 3);
+  check bool_ "mod" true (Xs.arith `Mod (Xs.Integer 7) (Xs.Integer 2) = Xs.Integer 1);
+  Alcotest.check_raises "div by zero"
+    (Xs.Type_error "division by zero") (fun () ->
+      ignore (Xs.arith `Div (Xs.Integer 1) (Xs.Integer 0)))
+
+let test_xs_compare () =
+  check bool_ "numeric vs untyped" true
+    (Xs.compare_values (Xs.Integer 2) (Xs.Untyped "2") = 0);
+  check bool_ "string order" true
+    (Xs.compare_values (Xs.String "a") (Xs.String "b") < 0);
+  check bool_ "ebv empty string" false (Xs.ebv (Xs.String ""));
+  check bool_ "ebv zero" false (Xs.ebv (Xs.Integer 0));
+  check bool_ "ebv NaN" false (Xs.ebv (Xs.Double Float.nan))
+
+let test_xs_cast () =
+  check bool_ "string->int" true
+    (Xs.cast (Xs.String "12") Xs.TInteger = Xs.Integer 12);
+  check bool_ "double->int truncates" true
+    (Xs.cast (Xs.Double 3.9) Xs.TInteger = Xs.Integer 3);
+  check bool_ "bool->int" true (Xs.cast (Xs.Boolean true) Xs.TInteger = Xs.Integer 1);
+  check bool_ "int->string" true (Xs.cast (Xs.Integer 5) Xs.TString = Xs.String "5")
+
+(* ------------------------------------------------------------------ *)
+(* Parser / serializer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse = Xml_parse.document
+
+let test_parse_basic () =
+  match parse "<a x=\"1\"><b>t</b><c/></a>" with
+  | Tree.Document [ Tree.Element { name; attrs; children } ] ->
+      check string_ "name" "a" name.Qname.local;
+      check int_ "attrs" 1 (List.length attrs);
+      check int_ "children" 2 (List.length children)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_entities () =
+  let t = parse "<a>&lt;&amp;&gt;&#65;&#x42;</a>" in
+  check string_ "entities" "<&>AB" (Tree.string_value t)
+
+let test_parse_cdata () =
+  let t = parse "<a><![CDATA[<not-a-tag>&amp;]]></a>" in
+  check string_ "cdata" "<not-a-tag>&amp;" (Tree.string_value t)
+
+let test_parse_namespaces () =
+  let t =
+    parse
+      "<x:a xmlns:x=\"urn:one\"><b xmlns=\"urn:two\"/><x:c/></x:a>"
+  in
+  match t with
+  | Tree.Document [ Tree.Element { name; children; _ } ] ->
+      check string_ "outer uri" "urn:one" name.Qname.uri;
+      (match children with
+      | [ Tree.Element b; Tree.Element c ] ->
+          check string_ "default ns" "urn:two" b.name.Qname.uri;
+          check string_ "inherited prefix" "urn:one" c.name.Qname.uri
+      | _ -> Alcotest.fail "children shape")
+  | _ -> Alcotest.fail "document shape"
+
+let test_parse_comments_pis () =
+  match parse "<?xml version=\"1.0\"?><!-- top --><a><?target data?><!--in--></a>" with
+  | Tree.Document [ Tree.Element { children; _ } ] ->
+      check int_ "kept pi+comment" 2 (List.length children)
+  | _ -> Alcotest.fail "shape"
+
+let test_parse_doctype_skipped () =
+  match parse "<!DOCTYPE html><a>ok</a>" with
+  | Tree.Document [ e ] -> check string_ "value" "ok" (Tree.string_value e)
+  | _ -> Alcotest.fail "shape"
+
+let test_parse_errors () =
+  let fails s =
+    match parse s with
+    | exception Xml_parse.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  fails "<a><b></a>";
+  fails "<a";
+  fails "<a>&unknown;</a>";
+  fails "text only"
+
+let test_serialize_escaping () =
+  let t = Tree.elem (Qname.make "a") ~attrs:[ Tree.attr (Qname.make "x") "a\"<b" ]
+      [ Tree.Text "1 < 2 & 3" ] in
+  check string_ "escaped" "<a x=\"a&quot;&lt;b\">1 &lt; 2 &amp; 3</a>"
+    (Serialize.to_string t)
+
+let test_roundtrip_preserves_structure () =
+  let src =
+    "<films><film genre=\"action\"><name>The Rock</name><actor>Sean \
+     Connery</actor></film><!--note--><film><name>Goldfinger</name></film></films>"
+  in
+  let t1 = parse src in
+  let t2 = parse (Serialize.to_string t1) in
+  check bool_ "stable" true (Tree.equal t1 t2)
+
+(* ------------------------------------------------------------------ *)
+(* Store: shredding and axes                                           *)
+(* ------------------------------------------------------------------ *)
+
+let film_store () =
+  Store.shred ~uri:"filmDB.xml"
+    (parse Xrpc_workloads.Filmdb.film_db_xml)
+
+let test_store_counts () =
+  let s = film_store () in
+  check int_ "node count" (Tree.node_count s.Store.tree) (Store.node_count s)
+
+let test_store_children_descendants () =
+  let s = film_store () in
+  let root = Store.root s in
+  let films =
+    match Store.children root with [ f ] -> f | _ -> Alcotest.fail "one child"
+  in
+  check int_ "three films" 3 (List.length (Store.children films));
+  (* descendants of <films>: 3 film + 6 name/actor + 6 text *)
+  check int_ "descendants" 15 (List.length (Store.descendants films))
+
+let test_store_parent_ancestors () =
+  let s = film_store () in
+  let films = List.hd (Store.children (Store.root s)) in
+  let film1 = List.hd (Store.children films) in
+  (match Store.parent film1 with
+  | Some p -> check bool_ "parent is films" true (Store.equal_nodes p films)
+  | None -> Alcotest.fail "no parent");
+  check int_ "ancestors" 2 (List.length (Store.ancestors film1))
+
+let test_store_siblings_following () =
+  let s = film_store () in
+  let films = List.hd (Store.children (Store.root s)) in
+  match Store.children films with
+  | [ f1; f2; f3 ] ->
+      check int_ "following siblings" 2 (List.length (Store.following_siblings f1));
+      check int_ "preceding siblings" 2 (List.length (Store.preceding_siblings f3));
+      check bool_ "following excludes descendants" true
+        (List.for_all
+           (fun n -> n.Store.pre > f2.Store.pre + s.Store.size.(f2.Store.pre))
+           (Store.following f2));
+      check bool_ "preceding excludes ancestors" true
+        (not
+           (List.exists (fun n -> Store.equal_nodes n films) (Store.preceding f2)))
+  | _ -> Alcotest.fail "three films"
+
+let test_store_attributes () =
+  let s = Store.shred (parse "<a x=\"1\" y=\"2\"><b z=\"3\"/></a>") in
+  let a = List.hd (Store.children (Store.root s)) in
+  check int_ "a attrs" 2 (List.length (Store.attributes a));
+  (* children must not include attributes *)
+  check int_ "a children" 1 (List.length (Store.children a));
+  let at = List.hd (Store.attributes a) in
+  check string_ "attr value" "1" (Store.string_value at)
+
+let test_store_string_value () =
+  let s = film_store () in
+  let films = List.hd (Store.children (Store.root s)) in
+  let f1 = List.hd (Store.children films) in
+  check string_ "concat text" "The RockSean Connery" (Store.string_value f1)
+
+let test_store_to_tree_roundtrip () =
+  let tree = parse Xrpc_workloads.Filmdb.film_db_xml in
+  let s = Store.shred tree in
+  check bool_ "roundtrip" true (Tree.equal tree (Store.to_tree (Store.root s)))
+
+let test_doc_order_across_stores () =
+  let s1 = Store.shred (parse "<a/>") in
+  let s2 = Store.shred (parse "<b/>") in
+  check bool_ "earlier store first" true
+    (Store.compare_nodes (Store.root s1) (Store.root s2) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Xdm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_xdm_ebv () =
+  check bool_ "empty" false (Xdm.ebv []);
+  check bool_ "node" true
+    (Xdm.ebv [ Xdm.Node (Store.root (film_store ())) ]);
+  check bool_ "false atom" false (Xdm.ebv [ Xdm.bool false ]);
+  Alcotest.check_raises "multi-atom ebv"
+    (Xdm.Dynamic_error "FORG0006: invalid argument to effective boolean value")
+    (fun () -> ignore (Xdm.ebv [ Xdm.int 1; Xdm.int 2 ]))
+
+let test_xdm_dedup () =
+  let s = film_store () in
+  let films = List.hd (Store.children (Store.root s)) in
+  let kids = Store.children films in
+  let doubled = kids @ List.rev kids in
+  check int_ "dedup" 3 (List.length (Xdm.doc_order_dedup doubled));
+  check bool_ "sorted" true
+    (Xdm.doc_order_dedup doubled = kids)
+
+let test_xdm_deep_equal () =
+  let s1 = Store.shred (parse "<a><b>x</b></a>") in
+  let s2 = Store.shred (parse "<a><b>x</b></a>") in
+  let s3 = Store.shred (parse "<a><b>y</b></a>") in
+  check bool_ "equal trees, different identity" true
+    (Xdm.deep_equal [ Xdm.Node (Store.root s1) ] [ Xdm.Node (Store.root s2) ]);
+  check bool_ "different trees" false
+    (Xdm.deep_equal [ Xdm.Node (Store.root s1) ] [ Xdm.Node (Store.root s3) ])
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name =
+  QCheck.Gen.(oneofl [ "a"; "b"; "item"; "film"; "name"; "x1"; "long-name" ])
+
+let gen_text =
+  QCheck.Gen.(
+    map
+      (fun ws -> String.concat " " ws)
+      (list_size (int_range 1 4)
+         (oneofl [ "alpha"; "<"; "&"; "beta"; "\"q\""; "42"; "]]>" ])))
+
+let gen_tree =
+  QCheck.Gen.(
+    sized_size (int_range 0 5) (fix (fun self n ->
+        if n = 0 then map (fun s -> Tree.Text s) gen_text
+        else
+          frequency
+            [
+              (2, map (fun s -> Tree.Text s) gen_text);
+              (1, map (fun s -> Tree.Comment s) gen_text);
+              ( 4,
+                map3
+                  (fun name attrs children ->
+                    Tree.Element
+                      {
+                        name = Qname.make name;
+                        attrs =
+                          List.mapi
+                            (fun i v ->
+                              Tree.attr (Qname.make (Printf.sprintf "a%d" i)) v)
+                            attrs;
+                        children;
+                      })
+                  gen_name
+                  (list_size (int_range 0 2) gen_text)
+                  (list_size (int_range 0 3) (self (n / 2))) );
+            ])))
+
+let arbitrary_element =
+  QCheck.make
+    ~print:(fun t -> Serialize.to_string t)
+    QCheck.Gen.(
+      map3
+        (fun name attrs children ->
+          Tree.Element
+            {
+              name = Qname.make name;
+              attrs =
+                List.mapi
+                  (fun i v -> Tree.attr (Qname.make (Printf.sprintf "a%d" i)) v)
+                  attrs;
+              children;
+            })
+        gen_name
+        (list_size (int_range 0 3) gen_text)
+        (list_size (int_range 0 4) gen_tree))
+
+(* adjacent text nodes legitimately merge on reparse; normalize first *)
+let rec normalize = function
+  | Tree.Element { name; attrs; children } ->
+      Tree.Element { name; attrs; children = normalize_children children }
+  | Tree.Document cs -> Tree.Document (normalize_children cs)
+  | t -> t
+
+and normalize_children cs =
+  let rec go = function
+    | Tree.Text a :: Tree.Text b :: rest -> go (Tree.Text (a ^ b) :: rest)
+    | c :: rest -> normalize c :: go rest
+    | [] -> []
+  in
+  go cs
+
+(* parse (serialize t) == t for trees without ignorable whitespace *)
+let prop_serialize_parse_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse roundtrip" ~count:200
+    arbitrary_element (fun t ->
+      match Xml_parse.document ~preserve_space:true (Serialize.to_string t) with
+      | Tree.Document [ t' ] -> Tree.equal (normalize t) t'
+      | _ -> false)
+
+(* shredding preserves the tree *)
+let prop_shred_to_tree =
+  QCheck.Test.make ~name:"shred/to_tree roundtrip" ~count:200 arbitrary_element
+    (fun t -> Tree.equal t (Store.to_tree (Store.root (Store.shred t))))
+
+(* parent of every child is the node itself; descendants count = size minus
+   attributes *)
+let prop_axes_consistent =
+  QCheck.Test.make ~name:"children/parent consistency" ~count:200
+    arbitrary_element (fun t ->
+      let s = Store.shred t in
+      let rec walk n =
+        List.for_all
+          (fun c ->
+            (match Store.parent c with
+            | Some p -> Store.equal_nodes p n
+            | None -> false)
+            && walk c)
+          (Store.children n)
+      in
+      walk (Store.root s))
+
+(* document order = preorder: descendants are contiguous *)
+let prop_descendants_contiguous =
+  QCheck.Test.make ~name:"descendants contiguous" ~count:200 arbitrary_element
+    (fun t ->
+      let s = Store.shred t in
+      let rec walk n =
+        let ds = Store.descendants n in
+        List.for_all
+          (fun d -> d.Store.pre > n.Store.pre
+                    && d.Store.pre <= n.Store.pre + s.Store.size.(n.Store.pre))
+          ds
+        && List.for_all walk (Store.children n)
+      in
+      walk (Store.root s))
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "qname",
+        [
+          Alcotest.test_case "basics" `Quick test_qname_basics;
+          Alcotest.test_case "split" `Quick test_qname_split;
+        ] );
+      ( "xs",
+        [
+          Alcotest.test_case "lexical" `Quick test_xs_lexical;
+          Alcotest.test_case "parse" `Quick test_xs_parse;
+          Alcotest.test_case "arith promotion" `Quick test_xs_arith_promotion;
+          Alcotest.test_case "compare" `Quick test_xs_compare;
+          Alcotest.test_case "cast" `Quick test_xs_cast;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata" `Quick test_parse_cdata;
+          Alcotest.test_case "namespaces" `Quick test_parse_namespaces;
+          Alcotest.test_case "comments and PIs" `Quick test_parse_comments_pis;
+          Alcotest.test_case "doctype skipped" `Quick test_parse_doctype_skipped;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "escaping" `Quick test_serialize_escaping;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_preserves_structure;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "counts" `Quick test_store_counts;
+          Alcotest.test_case "children/descendants" `Quick
+            test_store_children_descendants;
+          Alcotest.test_case "parent/ancestors" `Quick test_store_parent_ancestors;
+          Alcotest.test_case "siblings/following" `Quick
+            test_store_siblings_following;
+          Alcotest.test_case "attributes" `Quick test_store_attributes;
+          Alcotest.test_case "string value" `Quick test_store_string_value;
+          Alcotest.test_case "to_tree roundtrip" `Quick test_store_to_tree_roundtrip;
+          Alcotest.test_case "doc order across stores" `Quick
+            test_doc_order_across_stores;
+        ] );
+      ( "xdm",
+        [
+          Alcotest.test_case "ebv" `Quick test_xdm_ebv;
+          Alcotest.test_case "dedup" `Quick test_xdm_dedup;
+          Alcotest.test_case "deep equal" `Quick test_xdm_deep_equal;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_serialize_parse_roundtrip;
+            prop_shred_to_tree;
+            prop_axes_consistent;
+            prop_descendants_contiguous;
+          ] );
+    ]
