@@ -9,7 +9,12 @@
       msg_p   = f(req_1_p, ..., req_n_p) @ p          (one Bulk RPC)
       res_p   = π_{iter,pos,item}(msg_p ⋈_{iterp=iterp} map_p)
       result  = ⊎_{p ∈ peers} res_p                    (merge on iter)
-    v} *)
+    v}
+
+    Request assembly partitions each [req_i_p] table by [iterp] in one pass
+    ({!Table.group_by_iter}), so building a k-call Bulk RPC costs O(rows),
+    not O(k × rows); response reassembly likewise builds [msg_p] columnar
+    in one pass and maps it back through the hash ⋈. *)
 
 open Xrpc_xml
 module Message = Xrpc_soap.Message
@@ -31,13 +36,10 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
   List.iteri (fun i p -> note (Printf.sprintf "param%d" (i + 1)) p) params;
   (* peers = δ(π_item(dst)) — order of first occurrence is kept by δ *)
   let peers_t = Ops.distinct (Ops.project dst [ ("item", "item") ]) in
+  let peer_col = Table.col peers_t "item" in
   let peers =
-    List.map
-      (fun row ->
-        match row with
-        | [ c ] -> Xdm.string_value (Table.item_cell c)
-        | _ -> assert false)
-      peers_t.Table.rows
+    Array.to_list
+      (Array.map (fun c -> Xdm.string_value (Table.item_cell c)) peer_col)
   in
   let results =
     List.map
@@ -63,19 +65,20 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
               req)
             params
         in
-        (* assemble the Bulk RPC: one call per iterp, in iterp order *)
-        let iterps = Table.iters (Ops.project map_p [ ("iter", "iterp") ]) in
+        (* assemble the Bulk RPC: one call per iterp, in iterp order.  Each
+           req table is partitioned by iterp ONCE; per-call assembly is then
+           an O(1) lookup, keeping the whole request build linear. *)
+        let iterps =
+          List.sort_uniq Int.compare
+            (Array.to_list
+               (Array.map Table.int_cell (Table.col map_p "iterp")))
+        in
+        let req_lookups =
+          List.map (fun req -> Table.iter_lookup ~iter_col:"iterp" req) reqs
+        in
         let calls =
           List.map
-            (fun iterp ->
-              List.map
-                (fun req ->
-                  let as_iter =
-                    Ops.project req
-                      [ ("iter", "iterp"); ("pos", "pos"); ("item", "item") ]
-                  in
-                  Table.sequence_of as_iter ~iter:iterp)
-                reqs)
+            (fun iterp -> List.map (fun lookup -> lookup iterp) req_lookups)
             iterps
         in
         let request =
@@ -98,17 +101,9 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
               Xdm.dyn_error "XRPC fault from %s: %s" peer f.Message.reason
           | _ -> Xdm.dyn_error "unexpected XRPC reply from %s" peer
         in
-        (* msg_p : iterp|pos|item *)
+        (* msg_p : iterp|pos|item — one columnar pass over the response *)
         let msg_p =
-          Table.make [ "iterp"; "pos"; "item" ]
-            (List.concat
-               (List.map2
-                  (fun iterp seq ->
-                    List.mapi
-                      (fun p item ->
-                        [ Table.Int iterp; Table.Int (p + 1); Table.Item item ])
-                      seq)
-                  iterps result_seqs))
+          Table.of_sequences ~iter_col:"iterp" (List.combine iterps result_seqs)
         in
         note (Printf.sprintf "msg_%s" peer) msg_p;
         (* res_p : map iterp back to iter *)

@@ -7,12 +7,18 @@
     [where], and [execute at]) is exactly what the paper's examples Q2, Q3,
     Q5, Q6 and the echoVoid experiment exercise; XRPC calls compile to the
     Figure-2 Bulk RPC rule, so a call nested in a for-loop taken [n] times
-    generates a single request per destination peer. *)
+    generates a single request per destination peer.
+
+    Every per-iteration traversal goes through {!Table.iter_lookup} /
+    {!Table.sequences}, which partition a table by [iter] once, so
+    evaluating an expression over k live iterations costs O(rows), not
+    O(k × rows). *)
 
 open Xrpc_xml
 module Message = Xrpc_soap.Message
 module Xast = Xrpc_xquery.Ast
 module Xctx = Xrpc_xquery.Context
+module IntSet = Set.Make (Int)
 
 exception Unsupported of string
 
@@ -43,23 +49,17 @@ let note env name t = env.trace := (name, t) :: !(env.trace)
 
 (** Table of a constant: value [a] in every live iteration. *)
 let const_table env (a : Xs.t) =
-  Table.make [ "iter"; "pos"; "item" ]
-    (List.map (fun i -> [ Table.Int i; Table.Int 1; Table.Item (Xdm.Atomic a) ]) env.loop)
+  let n = List.length env.loop in
+  Table.of_cols [ "iter"; "pos"; "item" ]
+    [|
+      Array.of_list (List.map (fun i -> Table.Int i) env.loop);
+      Array.make n (Table.Int 1);
+      Array.make n (Table.Item (Xdm.Atomic a));
+    |]
 
 (** Per-iteration sequences of a table, for all live iterations (empty
     sequences included thanks to the loop relation — footnote 5). *)
-let sequences env t = List.map (fun i -> (i, Table.sequence_of t ~iter:i)) env.loop
-
-(** Renumber [pos] within each iteration after concatenation. *)
-let renumber_pos rows =
-  (* rows arrive in the desired order; assign pos 1..k per iter *)
-  let counts = Hashtbl.create 16 in
-  List.map
-    (fun (iter, item) ->
-      let c = try Hashtbl.find counts iter with Not_found -> 0 in
-      Hashtbl.replace counts iter (c + 1);
-      [ Table.Int iter; Table.Int (c + 1); Table.Item item ])
-    rows
+let sequences env t = Table.sequences t ~loop:env.loop
 
 let rec eval env (e : Xast.expr) : Table.t =
   match e with
@@ -69,23 +69,23 @@ let rec eval env (e : Xast.expr) : Table.t =
       | Some t -> t
       | None -> unsupported "unbound loop-lifted variable $%s" (Qname.to_string q))
   | Xast.Sequence es ->
-      let tables = List.map (eval env) es in
+      let lookups = List.map (fun e -> Table.iter_lookup (eval env e)) es in
       let rows =
         List.concat_map
           (fun iter ->
             List.concat_map
-              (fun t ->
-                List.map (fun item -> (iter, item)) (Table.sequence_of t ~iter))
-              tables)
+              (fun lookup -> List.map (fun item -> (iter, item)) (lookup iter))
+              lookups)
           env.loop
       in
-      Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+      Table.of_iter_items rows
   | Xast.Range (a, b) ->
-      let ta = eval env a and tb = eval env b in
+      let la = Table.iter_lookup (eval env a)
+      and lb = Table.iter_lookup (eval env b) in
       let rows =
         List.concat_map
           (fun iter ->
-            match (Table.sequence_of ta ~iter, Table.sequence_of tb ~iter) with
+            match (la iter, lb iter) with
             | [ lo ], [ hi ] ->
                 let lo = int_of_float (Xs.to_float (Xdm.atomize_item lo)) in
                 let hi = int_of_float (Xs.to_float (Xdm.atomize_item hi)) in
@@ -96,7 +96,7 @@ let rec eval env (e : Xast.expr) : Table.t =
             | _ -> unsupported "range over non-singletons")
           env.loop
       in
-      Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+      Table.of_iter_items rows
   | Xast.Arith (op, a, b) ->
       binop env a b (fun x y ->
           let o =
@@ -124,7 +124,7 @@ let rec eval env (e : Xast.expr) : Table.t =
             | _ -> unsupported "node comparison in loop-lifted plan"))
   | Xast.Call (q, args) ->
       (* per-iteration application of a built-in over lifted arguments *)
-      let arg_tables = List.map (eval env) args in
+      let arg_lookups = List.map (fun a -> Table.iter_lookup (eval env a)) args in
       let impl =
         match Xrpc_xquery.Builtins.find q (List.length args) with
         | Some impl -> impl
@@ -134,13 +134,11 @@ let rec eval env (e : Xast.expr) : Table.t =
       let rows =
         List.concat_map
           (fun iter ->
-            let arg_seqs =
-              List.map (fun t -> Table.sequence_of t ~iter) arg_tables
-            in
+            let arg_seqs = List.map (fun lookup -> lookup iter) arg_lookups in
             List.map (fun item -> (iter, item)) (impl ctx arg_seqs))
           env.loop
       in
-      Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+      Table.of_iter_items rows
   | Xast.Flwor (clauses, [], ret) -> eval_flwor env clauses ret
   | Xast.Execute_at (dst_e, fname, args) ->
       let dst = eval env dst_e in
@@ -177,11 +175,13 @@ let rec eval env (e : Xast.expr) : Table.t =
               List.map
                 (function
                   | Xast.A_text s -> `Text s
-                  | Xast.A_expr e -> `Table (eval env e))
+                  | Xast.A_expr e -> `Lookup (Table.iter_lookup (eval env e)))
                 parts ))
           attr_specs
       in
-      let content_tables = List.map (eval env) content in
+      let content_lookups =
+        List.map (fun e -> Table.iter_lookup (eval env e)) content
+      in
       let rows =
         List.map
           (fun iter ->
@@ -193,17 +193,17 @@ let rec eval env (e : Xast.expr) : Table.t =
                       (List.map
                          (function
                            | `Text s -> s
-                           | `Table t ->
+                           | `Lookup lookup ->
                                String.concat " "
                                  (List.map Xs.to_string
-                                    (Xdm.atomize (Table.sequence_of t ~iter))))
+                                    (Xdm.atomize (lookup iter))))
                          parts)
                   in
                   Tree.attr aname v)
                 attr_tables
             in
             let content_seq =
-              List.concat_map (fun t -> Table.sequence_of t ~iter) content_tables
+              List.concat_map (fun lookup -> lookup iter) content_lookups
             in
             let content_attrs, children =
               Xrpc_xquery.Eval.content_to_trees content_seq
@@ -214,15 +214,13 @@ let rec eval env (e : Xast.expr) : Table.t =
             (iter, Xdm.Node (Store.root (Store.shred tree))))
           env.loop
       in
-      Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+      Table.of_iter_items rows
   | Xast.If (c, t, e) ->
-      let t_c = eval env c in
+      let lc = Table.iter_lookup (eval env c) in
       let rows =
         List.concat_map
           (fun iter ->
-            let branch =
-              if Xdm.ebv (Table.sequence_of t_c ~iter) then t else e
-            in
+            let branch = if Xdm.ebv (lc iter) then t else e in
             (* per-iteration branch selection: evaluate under the single
                surviving iteration *)
             let sub = { env with loop = [ iter ] } in
@@ -230,7 +228,7 @@ let rec eval env (e : Xast.expr) : Table.t =
               (Table.sequence_of (eval sub branch) ~iter))
           env.loop
       in
-      Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+      Table.of_iter_items rows
   | e -> unsupported "expression in loop-lifted plan: %s" (Xast.expr_to_string e)
 
 (* a path step applied to a table of context nodes *)
@@ -243,6 +241,7 @@ and eval_step env t_in step =
       let ctx0 =
         { (Xctx.empty ()) with Xctx.doc_resolver = env.doc_resolver }
       in
+      let l_in = Table.iter_lookup t_in in
       let rows =
         List.concat_map
           (fun iter ->
@@ -264,30 +263,31 @@ and eval_step env t_in step =
                       in
                       List.map Xdm.node_only filtered
                   | Xdm.Atomic _ -> unsupported "path step over atomic value")
-                (Table.sequence_of t_in ~iter)
+                (l_in iter)
             in
             List.map
               (fun n -> (iter, Xdm.Node n))
               (Xdm.doc_order_dedup nodes))
           env.loop
       in
-      Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+      Table.of_iter_items rows
   | other ->
       unsupported "path rhs in loop-lifted plan: %s" (Xast.expr_to_string other)
 
 and binop env a b f =
-  let ta = eval env a and tb = eval env b in
+  let la = Table.iter_lookup (eval env a)
+  and lb = Table.iter_lookup (eval env b) in
   let rows =
     List.concat_map
       (fun iter ->
-        match (Table.sequence_of ta ~iter, Table.sequence_of tb ~iter) with
+        match (la iter, lb iter) with
         | [], _ | _, [] -> []
         | [ x ], [ y ] ->
             [ (iter, Xdm.Atomic (f (Xdm.atomize_item x) (Xdm.atomize_item y))) ]
         | _ -> unsupported "binary op over non-singleton sequences")
       env.loop
   in
-  Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+  Table.of_iter_items rows
 
 and eval_flwor env clauses ret =
   match clauses with
@@ -300,24 +300,13 @@ and eval_flwor env clauses ret =
   | Xast.Where e :: rest ->
       (* σ over the loop relation: drop iterations where the predicate is
          false, restricting every live variable table accordingly *)
-      let t = eval env e in
-      let keep =
-        List.filter
-          (fun iter ->
-            match Table.sequence_of t ~iter with
-            | [ item ] -> Xdm.ebv [ item ]
-            | [] -> false
-            | seq -> Xdm.ebv seq)
-          env.loop
-      in
+      let lookup = Table.iter_lookup (eval env e) in
+      let keep = List.filter (fun iter -> Xdm.ebv (lookup iter)) env.loop in
+      let keep_set = IntSet.of_list keep in
       let restrict table =
-        {
-          table with
-          Table.rows =
-            List.filter
-              (fun r -> List.mem (Table.int_cell (List.nth r 0)) keep)
-              table.Table.rows;
-        }
+        let icol = Table.col table "iter" in
+        Table.filter_rows table (fun r ->
+            IntSet.mem (Table.int_cell icol.(r)) keep_set)
       in
       let env =
         { env with loop = keep; vars = List.map (fun (k, t) -> (k, restrict t)) env.vars }
@@ -332,10 +321,9 @@ and eval_flwor env clauses ret =
       in
       (* map : outer iter <-> inner iter *)
       let map_t = Ops.project ranked [ ("outer", "iter"); ("inner", "inner") ] in
+      let inner_col = Table.col map_t "inner" in
       let inner_loop =
-        List.map
-          (fun r -> Table.int_cell (List.nth r 1))
-          map_t.Table.rows
+        Array.to_list (Array.map Table.int_cell inner_col)
         |> List.sort Int.compare
       in
       (* distribute each outer variable to the inner loop *)
@@ -345,15 +333,14 @@ and eval_flwor env clauses ret =
       in
       let vars = List.map (fun (k, t) -> (k, distribute t)) env.vars in
       (* the loop variable: value at pos of its inner iteration *)
+      let n_in = Table.cardinality ranked in
       let v_table =
-        Ops.project
-          (Ops.rank t_in ~new_col:"inner" ~order_by:[ "iter"; "pos" ] ())
-          [ ("iter", "inner"); ("item", "item") ]
-        |> fun t ->
-        Table.make [ "iter"; "pos"; "item" ]
-          (List.map
-             (fun r -> [ List.nth r 0; Table.Int 1; List.nth r 1 ])
-             t.Table.rows)
+        Table.of_cols [ "iter"; "pos"; "item" ]
+          [|
+            Table.col ranked "inner";
+            Array.make n_in (Table.Int 1);
+            Table.col ranked "item";
+          |]
       in
       let vars = (var_key v, v_table) :: vars in
       let vars =
@@ -361,14 +348,14 @@ and eval_flwor env clauses ret =
         | None -> vars
         | Some pv ->
             let pos_table =
-              Ops.project ranked [ ("iter", "inner"); ("item", "pos") ]
-              |> fun t ->
-              Table.make [ "iter"; "pos"; "item" ]
-                (List.map
-                   (fun r ->
-                     [ List.nth r 0; Table.Int 1;
-                       Table.Item (Xdm.int (Table.int_cell (List.nth r 1))) ])
-                   t.Table.rows)
+              Table.of_cols [ "iter"; "pos"; "item" ]
+                [|
+                  Table.col ranked "inner";
+                  Array.make n_in (Table.Int 1);
+                  Array.map
+                    (fun c -> Table.Item (Xdm.int (Table.int_cell c)))
+                    (Table.col ranked "pos");
+                |]
             in
             (var_key pv, pos_table) :: vars
       in
@@ -376,21 +363,26 @@ and eval_flwor env clauses ret =
       let t_ret = eval_flwor inner_env rest ret in
       (* map inner iterations back to outer, keeping iteration order *)
       let joined = Ops.equi_join t_ret "iter" map_t "inner" in
-      let rows =
-        joined.Table.rows
-        |> List.map (fun r ->
-               let outer = Table.cell joined r "outer" in
-               let inner = Table.cell joined r "iter" in
-               let pos = Table.cell joined r "pos" in
-               let item = Table.cell joined r "item" in
-               (Table.int_cell outer, Table.int_cell inner, Table.int_cell pos, item))
-        |> List.sort (fun (o1, i1, p1, _) (o2, i2, p2, _) ->
-               match Int.compare o1 o2 with
-               | 0 -> ( match Int.compare i1 i2 with 0 -> Int.compare p1 p2 | c -> c)
-               | c -> c)
-        |> List.map (fun (o, _, _, item) -> (o, Table.item_cell item))
+      let oc = Table.col joined "outer"
+      and ic = Table.col joined "iter"
+      and pc = Table.col joined "pos"
+      and xc = Table.col joined "item" in
+      let tuples =
+        Array.init (Table.cardinality joined) (fun r ->
+            ( Table.int_cell oc.(r),
+              Table.int_cell ic.(r),
+              Table.int_cell pc.(r),
+              Table.item_cell xc.(r) ))
       in
-      Table.make [ "iter"; "pos"; "item" ] (renumber_pos rows)
+      (* (inner, pos) pairs are unique, so the sort is deterministic *)
+      Array.sort
+        (fun (o1, i1, p1, _) (o2, i2, p2, _) ->
+          match Int.compare o1 o2 with
+          | 0 -> ( match Int.compare i1 i2 with 0 -> Int.compare p1 p2 | c -> c)
+          | c -> c)
+        tuples;
+      Table.of_iter_items
+        (Array.to_list (Array.map (fun (o, _, _, item) -> (o, item)) tuples))
 
 (** Evaluate a standalone expression under a single-iteration loop and
     return its sequence (iteration 1). *)

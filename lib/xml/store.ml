@@ -171,12 +171,15 @@ let following n =
   loop start []
 
 let preceding n =
-  let ancs = List.map (fun a -> a.pre) (ancestors n) in
+  (* O(log depth) ancestor test instead of List.mem over the ancestor list,
+     keeping the axis linear in the scanned prefix even for deep documents *)
+  let module IntSet = Set.Make (Int) in
+  let ancs = IntSet.of_list (List.map (fun a -> a.pre) (ancestors n)) in
   let rec loop pre acc =
     if pre >= n.pre then List.rev acc
     else
       let acc =
-        if n.store.kind.(pre) <> Attr && not (List.mem pre ancs) then
+        if n.store.kind.(pre) <> Attr && not (IntSet.mem pre ancs) then
           { n with pre } :: acc
         else acc
       in

@@ -43,7 +43,8 @@ let test_select_eq () =
 let test_project_rename () =
   let t = iii [ (1, 1, "a") ] in
   let p = Ops.project t [ ("outer", "iter"); ("v", "item") ] in
-  check (Alcotest.list string_) "renamed columns" [ "outer"; "v" ] p.Table.cols;
+  check (Alcotest.list string_) "renamed columns" [ "outer"; "v" ]
+    (Table.col_names p);
   check int_ "no dedup" 1 (Table.cardinality p)
 
 let test_project_no_dedup () =
@@ -75,13 +76,14 @@ let test_equi_join () =
   let j = Ops.equi_join m "outer" a "iter" in
   check int_ "join cardinality" 2 (Table.cardinality j);
   check (Alcotest.list string_) "join schema"
-    [ "outer"; "inner"; "iter"; "pos"; "item" ] j.Table.cols
+    [ "outer"; "inner"; "iter"; "pos"; "item" ] (Table.col_names j)
 
 let test_rank_dense () =
   let t = iii [ (3, 1, "c"); (1, 1, "a"); (3, 2, "d"); (2, 1, "b") ] in
   let r = Ops.rank t ~new_col:"rk" ~order_by:[ "iter"; "pos" ] () in
   let ranks =
-    List.map (fun row -> Table.int_cell (Table.cell r row "rk")) r.Table.rows
+    List.init (Table.cardinality r) (fun i ->
+        Table.int_cell (Table.cell r i "rk"))
   in
   (* rows keep their order; ranks follow (iter,pos) sort: (3,1)->3,(1,1)->1,(3,2)->4,(2,1)->2 *)
   check (Alcotest.list int_) "dense rank" [ 3; 1; 4; 2 ] ranks
@@ -90,7 +92,8 @@ let test_rank_partitioned () =
   let t = iii [ (1, 1, "a"); (1, 2, "b"); (2, 1, "c"); (2, 2, "d") ] in
   let r = Ops.rank t ~new_col:"rk" ~order_by:[ "pos" ] ~partition:"iter" () in
   let ranks =
-    List.map (fun row -> Table.int_cell (Table.cell r row "rk")) r.Table.rows
+    List.init (Table.cardinality r) (fun i ->
+        Table.int_cell (Table.cell r i "rk"))
   in
   check (Alcotest.list int_) "restart per partition" [ 1; 2; 1; 2 ] ranks
 
@@ -263,11 +266,9 @@ let test_figure1_multiple_destinations () =
     (Alcotest.list (Alcotest.pair int_ int_))
     "map_y"
     [ (1, 1); (3, 2) ]
-    (List.map
-       (fun row ->
-         ( Table.int_cell (Table.cell map_y row "iter"),
-           Table.int_cell (Table.cell map_y row "iterp") ))
-       map_y.Table.rows)
+    (List.init (Table.cardinality map_y) (fun i ->
+         ( Table.int_cell (Table.cell map_y i "iter"),
+           Table.int_cell (Table.cell map_y i "iterp") )))
 
 let test_looplift_executes_bulk_rpc () =
   (* end-to-end through the loop-lifted evaluator: Q3 *)
@@ -289,6 +290,194 @@ let test_table_printing () =
   let s = Table.to_string t in
   check bool_ "header" true
     (String.length s > 0 && String.sub s 0 4 = "iter")
+
+(* ------------------------------------------------------------------ *)
+(* Property: optimized kernels == Ops_reference oracle                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ops_ref = Xrpc_algebra.Ops_reference
+
+(* Every rewritten operator must return exactly the rows, in exactly the
+   order, of the naive row-at-a-time reference implementation — on empty
+   tables, single rows, duplicate keys, multi-partition ranks, and joins
+   with clashing column names. *)
+
+let check_equiv name ref_t opt_t =
+  check (Alcotest.list string_) (name ^ ": columns") (Table.col_names ref_t)
+    (Table.col_names opt_t);
+  if Table.rows ref_t <> Table.rows opt_t then
+    Alcotest.failf "%s: tables differ\nreference =\n%s\noptimized =\n%s" name
+      (Table.to_string ref_t) (Table.to_string opt_t)
+
+(* cell generator stressing the hash-bucket bridges: Int vs xs:integer vs
+   xs:double encodings of the same number, strings "5"/"true" that collide
+   with numeric/boolean keys, empty strings, booleans *)
+let gen_cell =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Table.Int i) (int_range 0 5));
+        (3, map (fun i -> Table.Item (Xdm.int i)) (int_range 0 5));
+        ( 2,
+          map (fun s -> Table.Item (Xdm.str s))
+            (oneofl [ "a"; "b"; "5"; "true"; "" ]) );
+        (1, map (fun b -> Table.Item (Xdm.bool b)) bool);
+        ( 1,
+          map (fun f -> Table.Item (Xdm.Atomic (Xs.Double f)))
+            (oneofl [ 0.; 1.; 2.5; 5. ]) );
+      ])
+
+(* iter/pos-style cells: integers in either encoding *)
+let gen_int_cell =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Table.Int i) (int_range 0 4));
+        (1, map (fun i -> Table.Item (Xdm.int i)) (int_range 0 4));
+      ])
+
+let gen_table ?(max_rows = 12) cols cell_gens =
+  QCheck.Gen.(
+    map
+      (fun rows -> Table.make cols rows)
+      (list_size (int_range 0 max_rows) (flatten_l cell_gens)))
+
+let arb_table ?max_rows cols cell_gens =
+  QCheck.make ~print:Table.to_string (gen_table ?max_rows cols cell_gens)
+
+let equiv_test ~name ~count arb f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count arb (fun x -> f x; true))
+
+let abc = [ "a"; "b"; "c" ]
+let abc_gens = [ gen_cell; gen_cell; gen_cell ]
+
+let prop_distinct =
+  equiv_test ~name:"distinct == reference" ~count:300 (arb_table abc abc_gens)
+    (fun t -> check_equiv "distinct" (Ops_ref.distinct t) (Ops.distinct t))
+
+let prop_select =
+  equiv_test ~name:"select == reference" ~count:300 (arb_table abc abc_gens)
+    (fun t -> check_equiv "select" (Ops_ref.select t "b") (Ops.select t "b"))
+
+let prop_select_eq =
+  equiv_test ~name:"select_eq == reference" ~count:300
+    (QCheck.make
+       ~print:(fun (t, v) ->
+         Table.to_string t ^ "\n v = " ^ Table.cell_to_string v)
+       QCheck.Gen.(pair (gen_table abc abc_gens) gen_cell))
+    (fun (t, v) ->
+      check_equiv "select_eq" (Ops_ref.select_eq t "b" v) (Ops.select_eq t "b" v))
+
+let prop_project =
+  equiv_test ~name:"project == reference" ~count:300
+    (QCheck.make
+       ~print:(fun (t, spec) ->
+         Table.to_string t ^ "\n spec = "
+         ^ String.concat ","
+             (List.map (fun (a, b) -> a ^ ":" ^ b) spec))
+       QCheck.Gen.(
+         pair (gen_table abc abc_gens)
+           (list_size (int_range 1 4)
+              (pair (oneofl [ "x"; "y"; "a" ]) (oneofl abc)))))
+    (fun (t, spec) ->
+      check_equiv "project" (Ops_ref.project t spec) (Ops.project t spec))
+
+let prop_union =
+  equiv_test ~name:"union == reference" ~count:200
+    (QCheck.make
+       ~print:(fun (a, b) -> Table.to_string a ^ "\n⊎\n" ^ Table.to_string b)
+       QCheck.Gen.(pair (gen_table abc abc_gens) (gen_table abc abc_gens)))
+    (fun (a, b) -> check_equiv "union" (Ops_ref.union a b) (Ops.union a b))
+
+let prop_equi_join =
+  (* b's columns clash with a's on purpose: "iter" must get the "'" suffix *)
+  equiv_test ~name:"equi_join == reference" ~count:300
+    (QCheck.make
+       ~print:(fun (a, b) -> Table.to_string a ^ "\n⋈\n" ^ Table.to_string b)
+       QCheck.Gen.(
+         pair
+           (gen_table [ "iter"; "item" ] [ gen_int_cell; gen_cell ])
+           (gen_table [ "iter"; "v" ] [ gen_int_cell; gen_cell ])))
+    (fun (a, b) ->
+      check_equiv "join on int keys"
+        (Ops_ref.equi_join a "iter" b "iter")
+        (Ops.equi_join a "iter" b "iter");
+      check_equiv "join on mixed keys"
+        (Ops_ref.equi_join a "item" b "v")
+        (Ops.equi_join a "item" b "v"))
+
+let prop_rank =
+  equiv_test ~name:"rank == reference" ~count:300
+    (QCheck.make
+       ~print:(fun (t, (order_by, part)) ->
+         Table.to_string t ^ "\n order_by = " ^ String.concat "," order_by
+         ^ " partition = " ^ Option.value ~default:"-" part)
+       QCheck.Gen.(
+         pair
+           (gen_table [ "iter"; "pos"; "v" ]
+              [ gen_int_cell; gen_int_cell; gen_cell ])
+           (* order_by must hold mutually comparable cells (cell_compare
+              raises on string-vs-number, per XPath); partition only needs
+              equality, so it may pick the mixed-type "v" column *)
+           (pair
+              (list_size (int_range 1 2) (oneofl [ "iter"; "pos" ]))
+              (opt (oneofl [ "iter"; "v" ])))))
+    (fun (t, (order_by, partition)) ->
+      check_equiv "rank"
+        (Ops_ref.rank t ~new_col:"rk" ~order_by ?partition ())
+        (Ops.rank t ~new_col:"rk" ~order_by ?partition ()))
+
+let prop_merge_union =
+  equiv_test ~name:"merge_union_on_iter == reference" ~count:200
+    (QCheck.make
+       ~print:(fun ts ->
+         String.concat "\n⊎\n" (List.map Table.to_string ts))
+       QCheck.Gen.(
+         list_size (int_range 0 4)
+           (gen_table [ "iter"; "pos"; "item" ]
+              [ gen_int_cell; gen_int_cell; gen_cell ])))
+    (fun ts ->
+      check_equiv "merge_union"
+        (Ops_ref.merge_union_on_iter ts)
+        (Ops.merge_union_on_iter ts))
+
+(* deterministic edge cases: empty and single-row tables through every
+   operator *)
+let test_equiv_edges () =
+  let e = Table.empty [ "iter"; "pos"; "item" ] in
+  let one = iii [ (1, 1, "a") ] in
+  check_equiv "distinct empty" (Ops_ref.distinct e) (Ops.distinct e);
+  check_equiv "distinct one" (Ops_ref.distinct one) (Ops.distinct one);
+  check_equiv "select_eq empty"
+    (Ops_ref.select_eq e "item" (Table.Int 1))
+    (Ops.select_eq e "item" (Table.Int 1));
+  check_equiv "project empty"
+    (Ops_ref.project e [ ("x", "item") ])
+    (Ops.project e [ ("x", "item") ]);
+  check_equiv "join empty-empty"
+    (Ops_ref.equi_join e "iter" e "iter")
+    (Ops.equi_join e "iter" e "iter");
+  check_equiv "join one-empty"
+    (Ops_ref.equi_join one "iter" e "iter")
+    (Ops.equi_join one "iter" e "iter");
+  check_equiv "join empty-one"
+    (Ops_ref.equi_join e "iter" one "iter")
+    (Ops.equi_join e "iter" one "iter");
+  check_equiv "rank empty"
+    (Ops_ref.rank e ~new_col:"rk" ~order_by:[ "iter" ] ())
+    (Ops.rank e ~new_col:"rk" ~order_by:[ "iter" ] ());
+  check_equiv "rank empty partitioned"
+    (Ops_ref.rank e ~new_col:"rk" ~order_by:[ "pos" ] ~partition:"iter" ())
+    (Ops.rank e ~new_col:"rk" ~order_by:[ "pos" ] ~partition:"iter" ());
+  check_equiv "merge_union none"
+    (Ops_ref.merge_union_on_iter [])
+    (Ops.merge_union_on_iter []);
+  check_equiv "merge_union empties"
+    (Ops_ref.merge_union_on_iter [ e; e ])
+    (Ops.merge_union_on_iter [ e; e ]);
+  check_equiv "union empty"
+    (Ops_ref.union e one) (Ops.union e one)
 
 (* ------------------------------------------------------------------ *)
 (* Property: loop-lifted evaluation == interpreter on random queries   *)
@@ -398,6 +587,18 @@ let () =
           Alcotest.test_case "Q3 via looplift" `Quick
             test_looplift_executes_bulk_rpc;
           Alcotest.test_case "table printing" `Quick test_table_printing;
+        ] );
+      ( "kernel-equivalence",
+        [
+          Alcotest.test_case "edge cases" `Quick test_equiv_edges;
+          prop_distinct;
+          prop_select;
+          prop_select_eq;
+          prop_project;
+          prop_union;
+          prop_equi_join;
+          prop_rank;
+          prop_merge_union;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_looplift_equiv_interpreter ] );

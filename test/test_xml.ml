@@ -212,6 +212,102 @@ let test_store_string_value () =
   let f1 = List.hd (Store.children films) in
   check string_ "concat text" "The RockSean Connery" (Store.string_value f1)
 
+(* Regression: Store.preceding and Store.string_value must stay linear in
+   the scanned range.  Correctness is checked against naive recomputations
+   on a deep document (the worst case for the old List.mem ancestor test),
+   and a growth-ratio check locks in the asymptotics: 8x the nodes must not
+   cost more than ~8x the time (quadratic behavior would cost ~64x). *)
+
+let deep_chain depth =
+  (* [depth] nested elements, each with a text node before the nested child:
+     preceding of the innermost element is the depth-1 text nodes, and its
+     ancestor set is the depth-1 enclosing elements *)
+  let rec go d =
+    if d = 0 then Tree.Text "x"
+    else
+      Tree.Element
+        { name = Qname.make "e"; attrs = []; children = [ Tree.Text "t"; go (d - 1) ] }
+  in
+  Store.shred (go depth)
+
+let deepest_elem s =
+  (* last Elem in preorder: the innermost of the chain *)
+  let n = Store.node_count s - 1 in
+  let rec find pre =
+    if pre < 0 then Alcotest.fail "no elem"
+    else
+      let node = { Store.store = s; pre } in
+      if Store.kind node = Store.Elem then node else find (pre - 1)
+  in
+  find n
+
+let test_preceding_deep_correct () =
+  let s = deep_chain 200 in
+  let n = deepest_elem s in
+  (* on a pure chain every node before [n] is an ancestor or its text;
+     preceding must contain exactly the non-ancestor, non-attribute nodes *)
+  let naive =
+    List.filter
+      (fun pre ->
+        s.Store.kind.(pre) <> Store.Attr
+        && not
+             (List.exists
+                (fun a -> a.Store.pre = pre)
+                (Store.ancestors n)))
+      (List.init n.Store.pre (fun i -> i))
+  in
+  check (Alcotest.list int_) "preceding = naive"
+    naive
+    (List.map (fun p -> p.Store.pre) (Store.preceding n))
+
+let time_min_ms reps f =
+  (* best of 3 trials of [reps] runs — robust against scheduler noise *)
+  let trial () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  let a = trial () and b = trial () and c = trial () in
+  min a (min b c)
+
+let test_preceding_linear () =
+  let small = deep_chain 1000 and big = deep_chain 8000 in
+  let ns = deepest_elem small and nb = deepest_elem big in
+  check int_ "small preceding size" 999 (List.length (Store.preceding ns));
+  check int_ "big preceding size" 7999 (List.length (Store.preceding nb));
+  let t_small = time_min_ms 20 (fun () -> Store.preceding ns) in
+  let t_big = time_min_ms 20 (fun () -> Store.preceding nb) in
+  (* 8x nodes: linear ≈ 8x (generous bound 24x); the old O(n·depth) scan
+     would be ≈ 64x *)
+  check bool_
+    (Printf.sprintf "preceding growth ratio %.1f < 24" (t_big /. t_small))
+    true
+    (t_big < 24. *. (max t_small 0.001))
+
+let test_string_value_linear () =
+  let wide k =
+    Store.shred
+      (Tree.Element
+         {
+           name = Qname.make "doc";
+           attrs = [];
+           children = List.init k (fun _ -> Tree.Text "ab");
+         })
+  in
+  let small = wide 1000 and big = wide 8000 in
+  check int_ "small length" 2000
+    (String.length (Store.string_value (Store.root small)));
+  check int_ "big length" 16000
+    (String.length (Store.string_value (Store.root big)));
+  let t_small = time_min_ms 50 (fun () -> Store.string_value (Store.root small)) in
+  let t_big = time_min_ms 50 (fun () -> Store.string_value (Store.root big)) in
+  check bool_
+    (Printf.sprintf "string_value growth ratio %.1f < 24" (t_big /. t_small))
+    true
+    (t_big < 24. *. (max t_small 0.001))
+
 let test_store_to_tree_roundtrip () =
   let tree = parse Xrpc_workloads.Filmdb.film_db_xml in
   let s = Store.shred tree in
@@ -415,6 +511,11 @@ let () =
             test_store_siblings_following;
           Alcotest.test_case "attributes" `Quick test_store_attributes;
           Alcotest.test_case "string value" `Quick test_store_string_value;
+          Alcotest.test_case "preceding deep correct" `Quick
+            test_preceding_deep_correct;
+          Alcotest.test_case "preceding linear" `Slow test_preceding_linear;
+          Alcotest.test_case "string_value linear" `Slow
+            test_string_value_linear;
           Alcotest.test_case "to_tree roundtrip" `Quick test_store_to_tree_roundtrip;
           Alcotest.test_case "doc order across stores" `Quick
             test_doc_order_across_stores;
