@@ -18,6 +18,7 @@ module Wrapper = Xrpc_peer.Wrapper
 module Database = Xrpc_peer.Database
 module Func_cache = Xrpc_peer.Func_cache
 module Simnet = Xrpc_net.Simnet
+module Transport = Xrpc_net.Transport
 module Filmdb = Xrpc_workloads.Filmdb
 module Testmod = Xrpc_workloads.Testmod
 module Xmark = Xrpc_workloads.Xmark
@@ -553,6 +554,7 @@ let micro () =
            updating = false;
            fragments = false;
            query_id = None;
+           idem_key = None;
            calls = List.init 100 (fun i -> [ [ Xdm.int i ] ]);
          })
   in
@@ -578,6 +580,7 @@ let micro () =
            updating = false;
            fragments = false;
            query_id = None;
+           idem_key = None;
            calls = [ [ [ Xdm.str "persons.xml" ]; [ Xdm.str "person7" ] ] ];
          })
   in
@@ -601,6 +604,7 @@ let micro () =
            updating = false;
            fragments = false;
            query_id = None;
+           idem_key = None;
            calls =
              List.init 100 (fun i ->
                  [ [ Xdm.str "persons.xml" ];
@@ -724,6 +728,7 @@ let ablations () =
            updating = false;
            fragments = false;
            query_id = None;
+           idem_key = None;
            calls;
          })
   in
@@ -746,13 +751,107 @@ let ablations () =
     (one_by_one /. joined)
 
 (* ================================================================== *)
+(* Degraded network: throughput under injected message loss            *)
+(* ================================================================== *)
+
+let faults_bench () =
+  header "Degraded network: seeded fault injection (deterministic virtual time)";
+  let policy =
+    {
+      Transport.default_policy with
+      Transport.max_retries = 4;
+      backoff_base_ms = 5.;
+      backoff_cap_ms = 40.;
+      breaker_threshold = 0;
+    }
+  in
+  (* virtual time only (charge_cpu off): the numbers measure the protocol's
+     exposure to loss — messages on the wire × (latency + stall on each
+     lost one) — not this machine's CPU *)
+  let sim = { Simnet.default_config with Simnet.charge_cpu = false } in
+  let run ~bulk ~loss ~queries ~iterations =
+    let faults = if loss > 0. then Some (Simnet.chaos ~seed:11 ~loss ()) else None in
+    let cluster = Cluster.create ~config:sim ?faults ~policy ~names:[ "x"; "y" ] () in
+    let x = Cluster.peer cluster "x" and y = Cluster.peer cluster "y" in
+    Peer.register_module y ~uri:Testmod.module_ns ~location:Testmod.module_at
+      Testmod.test_module;
+    Peer.register_module x ~uri:Testmod.module_ns ~location:Testmod.module_at
+      Testmod.test_module;
+    x.Peer.config <- { x.Peer.config with Peer.bulk_rpc = bulk };
+    let query = Testmod.echo_void_query ~dest:"xrpc://y" ~iterations in
+    let failed = ref 0 in
+    for _ = 1 to queries do
+      try ignore (Peer.query_seq x query) with _ -> incr failed
+    done;
+    let elapsed_ms = Cluster.clock_ms cluster in
+    let retries =
+      match Cluster.policy_stats cluster with
+      | Some s -> s.Transport.retries
+      | None -> 0
+    in
+    (elapsed_ms, retries, !failed)
+  in
+  let queries = if quick then 50 else 200 in
+  let throughput loss =
+    let elapsed_ms, retries, failed = run ~bulk:true ~loss ~queries ~iterations:8 in
+    let qps = float_of_int (queries - failed) /. (elapsed_ms /. 1000.) in
+    Printf.printf
+      "loss %4.1f%% : %7.0f queries/virtual-s  (%d retries, %d/%d failed)\n"
+      (loss *. 100.) qps retries failed queries;
+    (loss, qps, retries, failed)
+  in
+  let tp = List.map throughput [ 0.0; 0.01; 0.05 ] in
+  (* Bulk RPC vs one-at-a-time at 1% loss: one message per destination vs
+     one per call — fewer messages means fewer loss events to stall on *)
+  let per_query ~bulk =
+    let elapsed_ms, retries, failed =
+      run ~bulk ~loss:0.01 ~queries:(queries / 2) ~iterations:32
+    in
+    (elapsed_ms /. float_of_int (queries / 2), retries, failed)
+  in
+  let bulk_ms, bulk_retries, bulk_failed = per_query ~bulk:true in
+  let one_ms, one_retries, one_failed = per_query ~bulk:false in
+  Printf.printf
+    "1%% loss, 32 calls/query : %6.1f ms/query bulk (%d retries), %6.1f ms/query one-at-a-time (%d retries) — %.1fx\n"
+    bulk_ms bulk_retries one_ms one_retries (one_ms /. bulk_ms);
+  if json_out then
+    write_file "BENCH_faults.json"
+      (Printf.sprintf
+         "{\n\
+         \  \"seed\": 11,\n\
+         \  \"queries\": %d,\n\
+         \  \"calls_per_query\": 8,\n\
+         \  \"throughput_queries_per_virtual_s\": {\n%s\n  },\n\
+         \  \"bulk_vs_one_at_a_time_at_1pct_loss\": {\n\
+         \    \"calls_per_query\": 32,\n\
+         \    \"bulk_ms_per_query\": %.3f,\n\
+         \    \"bulk_retries\": %d,\n\
+         \    \"bulk_failed\": %d,\n\
+         \    \"one_at_a_time_ms_per_query\": %.3f,\n\
+         \    \"one_at_a_time_retries\": %d,\n\
+         \    \"one_at_a_time_failed\": %d\n\
+         \  }\n\
+          }\n"
+         queries
+         (String.concat ",\n"
+            (List.map
+               (fun (loss, qps, retries, failed) ->
+                 Printf.sprintf
+                   "    \"%.0f%%\": { \"qps\": %.1f, \"retries\": %d, \"failed\": %d }"
+                   (loss *. 100.) qps retries failed)
+               tp))
+         bulk_ms bulk_retries bulk_failed one_ms one_retries one_failed)
+
+(* ================================================================== *)
 
 let () =
   Printf.printf "XRPC benchmark harness%s\n" (if quick then " (--quick)" else "");
   if json_out then begin
-    (* machine-readable run: algebra kernels + Table 2, written as JSON *)
+    (* machine-readable run: algebra kernels + Table 2 + degraded
+       network, written as JSON *)
     algebra_bench ();
-    table2 ()
+    table2 ();
+    faults_bench ()
   end
   else if only_tables then figures ()
   else begin
@@ -762,6 +861,7 @@ let () =
     throughput ();
     table3 ();
     table4 ();
+    faults_bench ();
     ablations ();
     if not skip_micro then micro ()
   end;

@@ -35,7 +35,7 @@ let load_data peer dir =
 
 let run_query peer source =
   match Peer.query peer source with
-  | { Peer.value; committed; participants } ->
+  | { Peer.value; committed; participants; _ } ->
       print_endline (Xrpc_xml.Xdm.to_display value);
       if participants <> [] then
         Printf.printf "-- participants: %s%s\n"

@@ -90,6 +90,7 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
             updating = false;
             fragments = false;
             query_id;
+            idem_key = None;
             calls;
           }
         in

@@ -10,10 +10,14 @@
 module Peer = Xrpc_peer.Peer
 module Wrapper = Xrpc_peer.Wrapper
 module Simnet = Xrpc_net.Simnet
+module Transport = Xrpc_net.Transport
 module Http = Xrpc_net.Http
 
 type t = {
   net : Simnet.t;
+  policied : Transport.policied option;
+      (** present when the cluster was built with a retry/breaker policy;
+          exposes the policy layer's stats *)
   mutable peers : (string * Peer.t) list;
   mutable wrappers : (string * Wrapper.t) list;
 }
@@ -27,11 +31,33 @@ let uri_of_name name =
     peers read the virtual clock in seconds). *)
 let clock_of (net : Simnet.t) () = net.Simnet.clock_ms /. 1000.
 
+(** [create ?faults ?policy ~names ()] — [faults] installs seeded fault
+    injection on the simulated network; [policy] wraps every peer's
+    outgoing transport in the retry/timeout/circuit-breaker layer
+    ({!Transport.with_policy}), with backoff sleeps and breaker cooldowns
+    measured on the {e virtual} clock so chaos runs stay deterministic. *)
 let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config)
-    ~names () =
-  let net = Simnet.create ~config () in
-  let cluster = { net; peers = []; wrappers = [] } in
-  let transport = Simnet.transport net in
+    ?faults ?policy ~names () =
+  let net = Simnet.create ~config ?faults () in
+  let policied =
+    Option.map
+      (fun policy ->
+        let seed =
+          match faults with
+          | Some f -> f.Simnet.fault_seed
+          | None -> 0
+        in
+        Transport.with_policy ~policy ~seed
+          ~now:(fun () -> net.Simnet.clock_ms)
+          ~sleep:(Simnet.sleep net) (Simnet.transport net))
+      policy
+  in
+  let cluster = { net; policied; peers = []; wrappers = [] } in
+  let transport =
+    match policied with
+    | Some p -> p.Transport.transport
+    | None -> Simnet.transport net
+  in
   List.iter
     (fun name ->
       let uri = uri_of_name name in
@@ -77,3 +103,24 @@ let clock_ms t = t.net.Simnet.clock_ms
 let reset_clock t = Simnet.reset_clock t.net
 let stats t = t.net.Simnet.stats
 let reset_stats t = Simnet.reset_stats t.net
+
+(* -- fault-injection passthroughs ----------------------------------- *)
+
+let inject_faults t fconfig = Simnet.inject t.net fconfig
+let clear_faults t = Simnet.clear_faults t.net
+let fault_stats t = Simnet.fault_stats t.net
+let crash t ?after_ms name = Simnet.crash t.net ?after_ms (uri_of_name name)
+let restart t name = Simnet.restart t.net (uri_of_name name)
+let partition t names = Simnet.partition t.net (List.map uri_of_name names)
+let heal t = Simnet.heal t.net
+let policy_stats t = Option.map (fun p -> p.Transport.stats) t.policied
+
+(** Run {!Peer.resolve_in_doubt} on every peer (models "everyone
+    reconnects after the network recovers"); returns summed
+    [(committed, aborted, still_in_doubt)]. *)
+let resolve_in_doubt t =
+  List.fold_left
+    (fun (c, a, d) (_, p) ->
+      let c', a', d' = Peer.resolve_in_doubt p in
+      (c + c', a + a', d + d'))
+    (0, 0, 0) t.peers

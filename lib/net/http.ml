@@ -113,16 +113,43 @@ let shutdown server =
 (* Client                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(** [post ~host ~port ~path body] performs one HTTP POST round trip. *)
-let post ~host ~port ?(path = "/") body =
+(** [post ~host ~port ~path body] performs one HTTP POST round trip.
+    [timeout_ms] maps the shared {!Transport.policy} request budget onto
+    real socket timeouts; socket-level failures are raised as the typed
+    {!Transport.Error} so the policy layer can retry them exactly like
+    simulated faults. *)
+let post ?timeout_ms ~host ~port ?(path = "/") body =
+  let dest = Printf.sprintf "%s:%d" host port in
   let addr =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> Unix.inet_addr_loopback
   in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let wrap f =
+    try f () with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+      ->
+        Transport.error ~kind:Transport.Timeout ~dest "socket timeout"
+    | Unix.Unix_error
+        ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EHOSTUNREACH
+          | Unix.ENETUNREACH | Unix.EPIPE ),
+          _,
+          _ ) as e ->
+        Transport.error ~kind:Transport.Unreachable ~dest "%s"
+          (Printexc.to_string e)
+    | End_of_file ->
+        Transport.error ~kind:Transport.Unreachable ~dest
+          "connection closed before a full response"
+  in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
+      wrap @@ fun () ->
+      (match timeout_ms with
+      | Some ms when ms > 0. ->
+          Unix.setsockopt_float sock Unix.SO_RCVTIMEO (ms /. 1000.);
+          Unix.setsockopt_float sock Unix.SO_SNDTIMEO (ms /. 1000.)
+      | _ -> ());
       Unix.connect sock (Unix.ADDR_INET (addr, port));
       let oc = Unix.out_channel_of_descr sock in
       let ic = Unix.in_channel_of_descr sock in
@@ -139,12 +166,17 @@ let post ~host ~port ?(path = "/") body =
       | _ -> err "malformed HTTP status line %S" status_line)
 
 (** Transport over HTTP: destinations are [xrpc://host:port[/path]] URIs.
-    Parallel sends use one thread per destination. *)
-let transport ?(default_port = 8080) () =
+    Parallel sends use one thread per destination.  With [policy], every
+    send runs under {!Transport.with_policy} on the wall clock: the
+    policy's [timeout_ms] becomes the socket timeout and retries back off
+    with [Unix.sleepf]. *)
+let transport ?(default_port = 8080) ?policy () =
+  let timeout_ms = Option.map (fun p -> p.Transport.timeout_ms) policy in
   let send ~dest body =
     let uri = Xrpc_uri.parse dest in
     let port = Option.value ~default:default_port uri.Xrpc_uri.port in
-    post ~host:uri.Xrpc_uri.host ~port ~path:("/" ^ uri.Xrpc_uri.path) body
+    post ?timeout_ms ~host:uri.Xrpc_uri.host ~port
+      ~path:("/" ^ uri.Xrpc_uri.path) body
   in
   let send_parallel pairs =
     let results = Array.make (List.length pairs) (Ok "") in
@@ -162,4 +194,12 @@ let transport ?(default_port = 8080) () =
     Array.to_list results
     |> List.map (function Ok r -> r | Error e -> raise e)
   in
-  { Transport.send; send_parallel }
+  let raw = { Transport.send; send_parallel } in
+  match policy with
+  | None -> raw
+  | Some p ->
+      (Transport.with_policy ~policy:p
+         ~now:(fun () -> Unix.gettimeofday () *. 1000.)
+         ~sleep:(fun ms -> Unix.sleepf (ms /. 1000.))
+         raw)
+        .Transport.transport

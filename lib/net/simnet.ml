@@ -1,4 +1,5 @@
-(** Deterministic simulated network with a virtual clock.
+(** Deterministic simulated network with a virtual clock and seeded fault
+    injection.
 
     The paper's experiments ran on two Athlon64 boxes on 1 Gb/s Ethernet;
     we do not have that testbed, so the benchmarks charge network costs to
@@ -8,7 +9,15 @@
     time ([charge_cpu]), which is what the benches use — CPU cost is real,
     network cost is modeled, so relative shapes (bulk vs one-at-a-time,
     strategy comparisons) are preserved.  Parallel dispatch charges the
-    maximum completion time across peers, matching §3.2. *)
+    maximum completion time across peers, matching §3.2.
+
+    Fault injection: an optional {!fault_config} drives per-message
+    drop / duplicate / delay / reorder plus random peer crash/restart and
+    explicit partitions, all from one seeded PRNG on the virtual clock, so
+    {e every} fault schedule is bit-for-bit replayable from its seed
+    (provided [charge_cpu = false], the chaos-test configuration).
+    Injected failures surface as {!Transport.Error} so the policy layer
+    ({!Transport.with_policy}) can retry them uniformly. *)
 
 type config = {
   latency_ms : float;  (** one-way network latency per message *)
@@ -31,22 +40,113 @@ type stats = {
           time without double counting *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Fault model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type fault_config = {
+  fault_seed : int;  (** seeds the PRNG; same seed ⟹ same schedule *)
+  drop : float;  (** per-direction loss probability (request AND response) *)
+  duplicate : float;  (** probability a request is delivered twice *)
+  delay : float;  (** probability of extra delivery delay *)
+  delay_ms : float;  (** maximum extra one-way delay *)
+  crash : float;  (** probability a peer crashes just before handling *)
+  restart_ms : float;  (** virtual downtime before a crashed peer returns *)
+  loss_timeout_ms : float;
+      (** virtual time a sender waits before declaring a message lost *)
+}
+
+let no_faults =
+  {
+    fault_seed = 0;
+    drop = 0.;
+    duplicate = 0.;
+    delay = 0.;
+    delay_ms = 0.;
+    crash = 0.;
+    restart_ms = 20.;
+    loss_timeout_ms = 50.;
+  }
+
+(** A light chaos mix: ~[loss] per direction, plus matching duplication,
+    delay and rare crashes — the standard chaos-suite configuration. *)
+let chaos ?(seed = 0) ?(loss = 0.01) () =
+  {
+    no_faults with
+    fault_seed = seed;
+    drop = loss;
+    duplicate = loss;
+    delay = loss *. 2.;
+    delay_ms = 5.;
+    crash = loss /. 4.;
+  }
+
+type fault_stats = {
+  mutable dropped_requests : int;
+  mutable dropped_responses : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable reordered : int;  (** parallel batches delivered out of order *)
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable unreachable : int;  (** sends rejected: peer down or partitioned *)
+}
+
+type faults = {
+  fconfig : fault_config;
+  rng : Random.State.t;
+  down : (string, float) Hashtbl.t;
+      (** peer key -> virtual restart time ([infinity] = manual restart) *)
+  partitioned : (string, unit) Hashtbl.t;  (** currently unreachable keys *)
+  fstats : fault_stats;
+}
+
 type t = {
   config : config;
   mutable clock_ms : float;  (** virtual time *)
   handlers : (string, string -> string) Hashtbl.t;  (** peer key -> handler *)
   stats : stats;
+  mutable faults : faults option;
 }
 
 exception Unknown_peer of string
 
-let create ?(config = default_config) () =
+let make_faults fconfig =
+  {
+    fconfig;
+    rng = Random.State.make [| fconfig.fault_seed; 0x5eed |];
+    down = Hashtbl.create 4;
+    partitioned = Hashtbl.create 4;
+    fstats =
+      {
+        dropped_requests = 0;
+        dropped_responses = 0;
+        duplicated = 0;
+        delayed = 0;
+        reordered = 0;
+        crashes = 0;
+        restarts = 0;
+        unreachable = 0;
+      };
+  }
+
+let create ?(config = default_config) ?faults () =
   {
     config;
     clock_ms = 0.;
     handlers = Hashtbl.create 8;
     stats = { messages = 0; bytes_sent = 0; bytes_received = 0; network_ms = 0. };
+    faults = Option.map make_faults faults;
   }
+
+(** Install (or replace) fault injection on a live network. *)
+let inject net fconfig = net.faults <- Some (make_faults fconfig)
+
+(** Stop injecting faults; crashed/partitioned peers become reachable
+    again (the "network recovered" step of recovery tests). *)
+let clear_faults net = net.faults <- None
+
+let fault_stats net = Option.map (fun f -> f.fstats) net.faults
 
 (** [register net uri handler] attaches a peer (handler over raw bodies)
     under the host[:port] of [uri]. *)
@@ -56,14 +156,53 @@ let register net uri handler =
 let transfer_cost net bytes =
   net.config.latency_ms +. float_of_int bytes /. net.config.bandwidth_bytes_per_ms
 
-(* one request/response interaction; returns (response, elapsed_virtual_ms) *)
-let interact net ~dest body =
-  let key = Xrpc_uri.peer_key_of_string dest in
-  let handler =
-    match Hashtbl.find_opt net.handlers key with
-    | Some h -> h
-    | None -> raise (Unknown_peer dest)
-  in
+(** Advance the virtual clock (the policy layer's [sleep]). *)
+let sleep net ms = net.clock_ms <- net.clock_ms +. ms
+
+(* -- manual fault controls (no-ops unless faults are installed) ------ *)
+
+let with_faults net f = Option.iter f net.faults
+
+(** Take a peer down until [restart] (or until [after_ms] of virtual time). *)
+let crash net ?after_ms uri =
+  with_faults net (fun f ->
+      let until =
+        match after_ms with Some d -> net.clock_ms +. d | None -> infinity
+      in
+      Hashtbl.replace f.down (Xrpc_uri.peer_key_of_string uri) until;
+      f.fstats.crashes <- f.fstats.crashes + 1)
+
+let restart net uri =
+  with_faults net (fun f ->
+      let key = Xrpc_uri.peer_key_of_string uri in
+      if Hashtbl.mem f.down key then begin
+        Hashtbl.remove f.down key;
+        f.fstats.restarts <- f.fstats.restarts + 1
+      end)
+
+(** Partition the named peers away from the sender (replaces any previous
+    partition).  [heal] reconnects everyone. *)
+let partition net uris =
+  with_faults net (fun f ->
+      Hashtbl.reset f.partitioned;
+      List.iter
+        (fun u -> Hashtbl.replace f.partitioned (Xrpc_uri.peer_key_of_string u) ())
+        uris)
+
+let heal net = with_faults net (fun f -> Hashtbl.reset f.partitioned)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_handler net ~dest key =
+  match Hashtbl.find_opt net.handlers key with
+  | Some h -> h
+  | None -> raise (Unknown_peer dest)
+
+(* fault-free request/response interaction;
+   returns (response, elapsed_virtual_ms) *)
+let clean_interact net handler ~dest:_ body =
   let t0 = if net.config.charge_cpu then Unix.gettimeofday () else 0. in
   let response = handler body in
   let cpu_ms =
@@ -79,6 +218,69 @@ let interact net ~dest body =
   net.stats.network_ms <- net.stats.network_ms +. wire_ms;
   (response, wire_ms +. cpu_ms)
 
+(* faulty interaction: every cost (including the successful path's) is
+   charged straight to the clock and 0 is returned as elapsed time, so a
+   leg that dies mid-parallel-dispatch still pays its waiting time.  Under
+   faults, parallel dispatch therefore charges the sum of legs rather than
+   the max — fault schedules care about determinism, not about the §3.2
+   latency-hiding model. *)
+let faulty_interact net f ~dest key body =
+  let draw () = Random.State.float f.rng 1.0 in
+  let cfg = f.fconfig in
+  let unreachable info =
+    f.fstats.unreachable <- f.fstats.unreachable + 1;
+    sleep net cfg.loss_timeout_ms;
+    Transport.error ~kind:Transport.Unreachable ~dest "%s" info
+  in
+  if Hashtbl.mem f.partitioned key then unreachable "network partition";
+  (match Hashtbl.find_opt f.down key with
+  | Some until when net.clock_ms >= until ->
+      Hashtbl.remove f.down key;
+      f.fstats.restarts <- f.fstats.restarts + 1
+  | Some _ -> unreachable "peer down"
+  | None ->
+      if cfg.crash > 0. && draw () < cfg.crash then begin
+        Hashtbl.replace f.down key (net.clock_ms +. cfg.restart_ms);
+        f.fstats.crashes <- f.fstats.crashes + 1;
+        unreachable "peer crashed"
+      end);
+  let handler = lookup_handler net ~dest key in
+  (* request direction *)
+  if cfg.drop > 0. && draw () < cfg.drop then begin
+    f.fstats.dropped_requests <- f.fstats.dropped_requests + 1;
+    net.stats.messages <- net.stats.messages + 1;
+    net.stats.bytes_sent <- net.stats.bytes_sent + String.length body;
+    sleep net cfg.loss_timeout_ms;
+    Transport.error ~kind:Transport.Timeout ~dest "request lost"
+  end;
+  if cfg.delay > 0. && draw () < cfg.delay then begin
+    f.fstats.delayed <- f.fstats.delayed + 1;
+    sleep net (draw () *. cfg.delay_ms)
+  end;
+  let response, elapsed = clean_interact net handler ~dest body in
+  sleep net elapsed;
+  (* at-least-once delivery: the request arrives a second time; the extra
+     response is discarded on the "wire".  Harmless iff the peer
+     deduplicates by idempotency key. *)
+  if cfg.duplicate > 0. && draw () < cfg.duplicate then begin
+    f.fstats.duplicated <- f.fstats.duplicated + 1;
+    ignore (handler body)
+  end;
+  (* response direction: the handler DID run (side effects happened) but
+     the caller never learns — the critical 2PC window *)
+  if cfg.drop > 0. && draw () < cfg.drop then begin
+    f.fstats.dropped_responses <- f.fstats.dropped_responses + 1;
+    sleep net cfg.loss_timeout_ms;
+    Transport.error ~kind:Transport.Timeout ~dest "response lost"
+  end;
+  (response, 0.)
+
+let interact net ~dest body =
+  let key = Xrpc_uri.peer_key_of_string dest in
+  match net.faults with
+  | None -> clean_interact net (lookup_handler net ~dest key) ~dest body
+  | Some f -> faulty_interact net f ~dest key body
+
 (** Synchronous round trip: advances the virtual clock by latency +
     transfer + (optionally) handler CPU, both ways. *)
 let send net ~dest body =
@@ -87,14 +289,38 @@ let send net ~dest body =
   response
 
 (** Parallel dispatch to several peers: the clock advances by the maximum
-    of the individual costs (all requests are in flight simultaneously). *)
+    of the individual costs (all requests are in flight simultaneously).
+    Under fault injection the batch may additionally be {e reordered}
+    (processed in a PRNG-permuted order; results return in call order). *)
 let send_parallel net pairs =
-  let results =
-    List.map (fun (dest, body) -> interact net ~dest body) pairs
+  let pairs_arr = Array.of_list pairs in
+  let order = Array.init (Array.length pairs_arr) Fun.id in
+  (match net.faults with
+  | Some f when Array.length order > 1 ->
+      (* Fisher–Yates off the fault PRNG *)
+      let swapped = ref false in
+      for i = Array.length order - 1 downto 1 do
+        let j = Random.State.int f.rng (i + 1) in
+        if j <> i then begin
+          let tmp = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- tmp;
+          swapped := true
+        end
+      done;
+      if !swapped then f.fstats.reordered <- f.fstats.reordered + 1
+  | _ -> ());
+  let results = Array.make (Array.length pairs_arr) ("", 0.) in
+  Array.iter
+    (fun i ->
+      let dest, body = pairs_arr.(i) in
+      results.(i) <- interact net ~dest body)
+    order;
+  let slowest =
+    Array.fold_left (fun m (_, e) -> Float.max m e) 0. results
   in
-  let slowest = List.fold_left (fun m (_, e) -> Float.max m e) 0. results in
   net.clock_ms <- net.clock_ms +. slowest;
-  List.map fst results
+  Array.to_list (Array.map fst results)
 
 let transport net =
   {

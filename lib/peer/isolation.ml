@@ -33,9 +33,13 @@ let create ?(clock = Unix.gettimeofday) () =
 
 let sweep t =
   let now = t.clock () in
+  (* a prepared entry is in its 2PC uncertainty window: the participant
+     voted yes and must hold the logged ∆ until the coordinator's decision
+     arrives (or is fetched via in-doubt recovery) — never expire it *)
   let dead =
     Hashtbl.fold
-      (fun key e acc -> if now > e.expires_at then key :: acc else acc)
+      (fun key e acc ->
+        if now > e.expires_at && not e.prepared then key :: acc else acc)
       t.entries []
   in
   List.iter

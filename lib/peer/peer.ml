@@ -40,6 +40,13 @@ type t = {
   modules : (string, string) Hashtbl.t;  (** module namespace uri -> source *)
   locations : (string, string) Hashtbl.t;  (** at-hint location -> source *)
   func_cache : Func_cache.t;
+  idem_cache : Idem_cache.t;
+      (** responses by idempotency key, so retried/duplicated requests do
+          not re-execute updating functions *)
+  mutable idem_seq : int;  (** client-side idempotency key counter *)
+  tx_decisions : (string, bool) Hashtbl.t;
+      (** coordinator decision log (queryID key -> committed) backing the
+          Status recovery of in-doubt participants (presumed abort) *)
   isolation : Isolation.t;
   mutable transport : Transport.t option;
   mutable config : config;
@@ -64,6 +71,9 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
     modules = Hashtbl.create 8;
     locations = Hashtbl.create 8;
     func_cache = Func_cache.create ();
+    idem_cache = Idem_cache.create ();
+    idem_seq = 0;
+    tx_decisions = Hashtbl.create 8;
     isolation = Isolation.create ~clock ();
     transport = None;
     config;
@@ -127,6 +137,7 @@ let doc_resolver peer (version : Database.version) uri_str : Store.t =
           updating = false;
           fragments = false;
           query_id = None;
+          idem_key = None;
           calls = [ [ [ Xdm.str uri.Xrpc_uri.path ] ] ];
         }
       in
@@ -139,6 +150,19 @@ let doc_resolver peer (version : Database.version) uri_str : Store.t =
       | Message.Response { results = [ [ Xdm.Node n ] ]; _ } -> n.Store.store
       | Message.Fault f -> err "fn:doc(%s): %s" uri_str f.Message.reason
       | _ -> err "fn:doc(%s): malformed response" uri_str
+
+(* every outgoing request gets a unique idempotency key; retries at the
+   transport layer resend the same serialized body, so the serving peer
+   can deduplicate by key *)
+let assign_idem_key peer (req : Message.request) =
+  match req.Message.idem_key with
+  | Some _ -> req
+  | None ->
+      peer.idem_seq <- peer.idem_seq + 1;
+      {
+        req with
+        Message.idem_key = Some (Printf.sprintf "%s/%d" peer.uri peer.idem_seq);
+      }
 
 (* dispatcher over the transport; records every destination and piggybacked
    participant into [peers_acc] for 2PC registration *)
@@ -157,17 +181,16 @@ let dispatcher peer peers_acc : Xctx.dispatcher =
         m
     | m -> m
   in
+  let serialize req =
+    Message.to_string (Message.Request (assign_idem_key peer req))
+  in
   {
     Xctx.call =
-      (fun ~dest req ->
-        decode dest
-          (transport.Transport.send ~dest (Message.to_string (Message.Request req))));
+      (fun ~dest req -> decode dest (transport.Transport.send ~dest (serialize req)));
     call_parallel =
       (fun reqs ->
         let bodies =
-          List.map
-            (fun (dest, req) -> (dest, Message.to_string (Message.Request req)))
-            reqs
+          List.map (fun (dest, req) -> (dest, serialize req)) reqs
         in
         List.map2
           (fun (dest, _) raw -> decode dest raw)
@@ -316,7 +339,8 @@ let handle_tx peer (op : Message.tx_op) (qid : Message.query_id) : Message.t =
         (match op with
         | Message.Prepare -> "prepare"
         | Message.Commit -> "commit"
-        | Message.Rollback -> "rollback")
+        | Message.Rollback -> "rollback"
+        | Message.Status -> "status")
         (Message.query_id_key qid));
   match op with
   | Message.Prepare -> (
@@ -359,6 +383,15 @@ let handle_tx peer (op : Message.tx_op) (qid : Message.query_id) : Message.t =
       | Some _ -> Isolation.release peer.isolation qid
       | None -> ());
       Message.Tx_response { ok = true; info = "rolled back" }
+  | Message.Status -> (
+      (* coordinator side of in-doubt recovery: report the logged
+         decision; an unknown transaction is presumed aborted *)
+      match Hashtbl.find_opt peer.tx_decisions (Message.query_id_key qid) with
+      | Some true -> Message.Tx_response { ok = true; info = "committed" }
+      | Some false -> Message.Tx_response { ok = false; info = "aborted" }
+      | None ->
+          Message.Tx_response
+            { ok = false; info = "unknown transaction (presumed abort)" })
 
 (** The raw SOAP-over-HTTP handler: body in, body out.  Any error becomes a
     SOAP Fault, which the originating site turns into a run-time error
@@ -379,12 +412,31 @@ let with_peer_lock peer f =
 let handle_raw peer (body : string) : string =
   let t0 = Unix.gettimeofday () in
   with_peer_lock peer @@ fun () ->
+  let msg = try Ok (Message.of_string body) with e -> Error e in
+  (* exactly-once over at-least-once delivery: a request whose idemKey we
+     already answered is served from the idempotency cache without
+     re-executing (in particular without re-applying R_Fu updates) *)
+  let idem_key =
+    match msg with
+    | Ok (Message.Request { idem_key = Some k; _ }) -> Some k
+    | _ -> None
+  in
+  match
+    match idem_key with
+    | Some k -> Idem_cache.find peer.idem_cache k
+    | None -> None
+  with
+  | Some out ->
+      peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+      out
+  | None ->
   let reply =
     try
-      match Message.of_string body with
-      | Message.Request r -> handle_request peer r
-      | Message.Tx_request (op, qid) -> handle_tx peer op qid
-      | _ -> Message.Fault { fault_code = `Sender; reason = "expected a request" }
+      match msg with
+      | Ok (Message.Request r) -> handle_request peer r
+      | Ok (Message.Tx_request (op, qid)) -> handle_tx peer op qid
+      | Ok _ -> Message.Fault { fault_code = `Sender; reason = "expected a request" }
+      | Error e -> raise e
     with
     | Peer_error m | Xdm.Dynamic_error m | Xrpc_xquery.Eval.Error m
     | Xrpc_xquery.Runner.Module_error m ->
@@ -411,6 +463,12 @@ let handle_raw peer (body : string) : string =
       Log.warn (fun m -> m "%s: fault: %s" peer.uri f.Message.reason)
   | _ -> ());
   let out = Message.to_string reply in
+  (* remember successful replies only: a faulted request had no effects,
+     so a retry may legitimately re-execute it *)
+  (match (idem_key, reply) with
+  | Some k, (Message.Response _ | Message.Tx_response _) ->
+      Idem_cache.add peer.idem_cache k out
+  | _ -> ());
   peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
   out
 
@@ -430,6 +488,9 @@ type query_result = {
   value : Xdm.sequence;
   participants : string list;  (** remote peers involved *)
   committed : bool;  (** distributed commit outcome (true if read-only) *)
+  tx : Two_pc.outcome option;
+      (** full 2PC outcome (votes + decision acks) when a distributed
+          transaction ran *)
 }
 
 (** [query peer source] parses and runs a main-module query at this peer.
@@ -479,27 +540,71 @@ let query peer (source : string) : query_result =
                           <> Xrpc_uri.peer_key_of_string peer.uri)
       !peers_acc
   in
-  let committed =
+  let committed, tx =
     match (query_id, participants) with
     | Some qid, _ :: _ ->
-        (* distributed transaction: register participants, 2PC *)
+        (* distributed transaction: register participants, 2PC.  The
+           decision is logged BEFORE the decision phase so participants
+           that miss a Commit/Rollback can recover it via Status. *)
         let transport =
           match peer.transport with
           | Some t -> t
           | None -> err "2PC requires a transport"
         in
-        let ok = Two_pc.run ~transport qid participants in
-        if ok then Database.commit peer.db pul;
-        ok
+        let outcome =
+          Two_pc.run_detailed ~transport
+            ~on_decision:(fun committed ->
+              Hashtbl.replace peer.tx_decisions (Message.query_id_key qid)
+                committed)
+            qid participants
+        in
+        if outcome.Two_pc.committed then Database.commit peer.db pul;
+        (outcome.Two_pc.committed, Some outcome)
     | _ ->
         (* local-only (or non-isolated) commit *)
         if pul <> [] then Database.commit peer.db pul;
-        true
+        (true, None)
   in
-  { value; participants; committed }
+  { value; participants; committed; tx }
 
 (** Convenience: result sequence only; raises on failed distributed commit. *)
 let query_seq peer source =
   let r = query peer source in
   if not r.committed then err "distributed commit failed";
   r.value
+
+(** In-doubt recovery (presumed abort, §2.3).
+
+    A participant that voted yes in a Prepare but never saw the decision is
+    stuck holding a prepared isolation entry.  On reconnect it asks each
+    transaction's coordinator — the originating host recorded in the
+    queryID — with a [Status] message: committed means apply the logged ∆
+    now, anything the coordinator answers definitively (including "unknown
+    transaction") means aborted.  A transaction whose coordinator is still
+    unreachable stays in doubt for a later pass.
+
+    Returns [(committed, aborted, still_in_doubt)] counts. *)
+let resolve_in_doubt peer : int * int * int =
+  match peer.transport with
+  | None -> (0, 0, 0)
+  | Some transport ->
+      let prepared =
+        Hashtbl.fold
+          (fun _ e acc -> if e.Isolation.prepared then e :: acc else acc)
+          peer.isolation.Isolation.entries []
+      in
+      List.fold_left
+        (fun (c, a, d) (e : Isolation.entry) ->
+          let qid = e.Isolation.query_id in
+          let v = Two_pc.status ~transport ~dest:qid.Message.host qid in
+          if v.Two_pc.transport_failed then (c, a, d + 1)
+          else if v.Two_pc.ok then begin
+            Database.commit peer.db e.Isolation.pul;
+            Isolation.release peer.isolation qid;
+            (c + 1, a, d)
+          end
+          else begin
+            Isolation.release peer.isolation qid;
+            (c, a + 1, d)
+          end)
+        (0, 0, 0) prepared

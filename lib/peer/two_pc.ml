@@ -1,40 +1,103 @@
 (** Two-phase-commit coordinator, in the style of WS-AtomicTransaction
-    (§2.3).
+    (§2.3), hardened to {e presumed abort}.
 
     The paper deliberately keeps 2PC out of the XRPC protocol proper and
     relies on the web-service transaction standard; we model that standard
-    with Prepare/Commit/Rollback SOAP messages on the same channel.  The
-    query-originating peer is the coordinator: it learns the full
+    with Prepare/Commit/Rollback/Status SOAP messages on the same channel.
+    The query-originating peer is the coordinator: it learns the full
     participant list from the peer lists piggybacked on XRPC responses,
     asks every participant to prepare (logging its pending update lists),
-    and commits only on a unanimous yes vote. *)
+    and commits only on a unanimous yes vote.
+
+    Fault story (presumed abort):
+    - a transport failure during prepare is a [no] vote, never an
+      exception — an unreachable participant cannot have promised anything;
+    - the decision is handed to [on_decision] {e before} the decision
+      phase, so the coordinator's log survives lost Commit messages;
+    - decision-phase sends are retried ([decision_retries], on top of
+      whatever retries the policy-wrapped transport already performs) and
+      their acks are collected into the outcome instead of being dropped;
+    - a participant that prepared but missed the decision later asks the
+      coordinator with a [Status] message ({!status}); an unknown
+      transaction means "aborted". *)
 
 module Message = Xrpc_soap.Message
 module Transport = Xrpc_net.Transport
 
-type vote = { peer : string; ok : bool; info : string }
+type vote = {
+  peer : string;
+  ok : bool;
+  info : string;
+  transport_failed : bool;
+      (** the vote is a locally synthesized [no]: the peer never answered *)
+}
 
 type outcome = {
   committed : bool;
   votes : vote list;  (** prepare-phase votes *)
+  decision_acks : vote list;
+      (** final ack per participant for the Commit/Rollback phase; a
+          failed ack means that participant is in doubt and will resolve
+          via [Status] recovery *)
 }
 
 let tx transport ~dest op qid =
   let body = Message.to_string (Message.Tx_request (op, qid)) in
   match Message.of_string (transport.Transport.send ~dest body) with
-  | Message.Tx_response { ok; info } -> { peer = dest; ok; info }
-  | Message.Fault f -> { peer = dest; ok = false; info = f.Message.reason }
-  | _ -> { peer = dest; ok = false; info = "malformed transaction reply" }
+  | Message.Tx_response { ok; info } ->
+      { peer = dest; ok; info; transport_failed = false }
+  | Message.Fault f ->
+      { peer = dest; ok = false; info = f.Message.reason; transport_failed = false }
+  | _ ->
+      {
+        peer = dest;
+        ok = false;
+        info = "malformed transaction reply";
+        transport_failed = false;
+      }
+  | exception (Transport.Error _ as e) ->
+      {
+        peer = dest;
+        ok = false;
+        info = Transport.error_to_string e;
+        transport_failed = true;
+      }
+  | exception Message.Protocol_error m
+  | exception Xrpc_xml.Xml_parse.Parse_error m ->
+      {
+        peer = dest;
+        ok = false;
+        info = "garbled transaction reply: " ^ m;
+        transport_failed = true;
+      }
 
-(** [run_detailed ~transport qid participants] drives the full protocol and
-    reports per-peer votes. *)
-let run_detailed ~transport (qid : Message.query_id) (participants : string list)
-    : outcome =
-  let votes = List.map (fun dest -> tx transport ~dest Message.Prepare qid) participants in
+(** In-doubt recovery probe: ask [dest] (the coordinator) whether [qid]
+    committed.  [ok = true] means committed; anything else — including an
+    unknown transaction — means aborted (presumed abort). *)
+let status ~transport ~dest qid = tx transport ~dest Message.Status qid
+
+(** [run_detailed ~transport qid participants] drives the full protocol
+    and reports per-peer votes and decision acks.  [on_decision] fires
+    once, after the votes are in and before any decision message is sent —
+    the coordinator's "log the decision to stable storage" step. *)
+let run_detailed ?(decision_retries = 3) ?(on_decision = fun _ -> ())
+    ~transport (qid : Message.query_id) (participants : string list) : outcome =
+  let votes =
+    List.map (fun dest -> tx transport ~dest Message.Prepare qid) participants
+  in
   let all_ok = List.for_all (fun v -> v.ok) votes in
+  on_decision all_ok;
   let second = if all_ok then Message.Commit else Message.Rollback in
-  let _ = List.map (fun dest -> tx transport ~dest second qid) participants in
-  { committed = all_ok; votes }
+  let decide dest =
+    let rec go attempt =
+      let v = tx transport ~dest second qid in
+      if v.transport_failed && attempt < decision_retries then go (attempt + 1)
+      else v
+    in
+    go 0
+  in
+  let decision_acks = List.map decide participants in
+  { committed = all_ok; votes; decision_acks }
 
 let run ~transport qid participants =
   (run_detailed ~transport qid participants).committed

@@ -263,6 +263,7 @@ let handle_raw (w : t) (body : string) : string =
           updating = false;
           fragments = false;
           query_id = None;
+          idem_key = None;
           calls = [ [ [ Xdm.str uri.Xrpc_net.Xrpc_uri.path ] ] ];
         }
       in

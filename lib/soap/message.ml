@@ -35,6 +35,10 @@ type request = {
       (** footnote-4 extension: descendant node parameters are sent as
           [xrpc:nodeid] references into earlier parameters *)
   query_id : query_id option;
+  idem_key : string option;
+      (** idempotency key: peers cache the response under this key so a
+          retried or duplicated request (at-least-once transports) returns
+          the cached reply instead of re-executing updating functions *)
   calls : Xdm.sequence list list;
       (** one entry per call; each call is [arity] parameter sequences *)
 }
@@ -48,7 +52,14 @@ type response = {
 
 type fault = { fault_code : [ `Sender | `Receiver ]; reason : string }
 
-type tx_op = Prepare | Commit | Rollback
+type tx_op =
+  | Prepare
+  | Commit
+  | Rollback
+  | Status
+      (** in-doubt recovery: a participant that prepared but missed the
+          decision asks the coordinator for the outcome (presumed abort:
+          an unknown transaction means "aborted") *)
 
 type t =
   | Request of request
@@ -119,6 +130,9 @@ let to_tree = function
                  Tree.attr (Qname.make "location") r.location;
                ]
               @ (if r.updating then [ Tree.attr (Qname.make "updCall") "true" ] else [])
+              @ (match r.idem_key with
+                | Some k -> [ Tree.attr (Qname.make "idemKey") k ]
+                | None -> [])
               @ if r.fragments then [ Tree.attr (Qname.make "fragments") "true" ] else [])
             (qid @ calls);
         ]
@@ -165,7 +179,11 @@ let to_tree = function
         ]
   | Tx_request (op, q) ->
       let opname =
-        match op with Prepare -> "prepare" | Commit -> "commit" | Rollback -> "rollback"
+        match op with
+        | Prepare -> "prepare"
+        | Commit -> "commit"
+        | Rollback -> "rollback"
+        | Status -> "status"
       in
       envelope
         [
@@ -268,6 +286,7 @@ let of_tree tree =
           updating = find_attr attrs "updCall" = Some "true";
           fragments = find_attr attrs "fragments" = Some "true";
           query_id;
+          idem_key = find_attr attrs "idemKey";
           calls;
         }
   | [ Tree.Element { name; attrs; children } ] when name.Qname.local = "response" ->
@@ -337,6 +356,7 @@ let of_tree tree =
         | Some "prepare" -> Prepare
         | Some "commit" -> Commit
         | Some "rollback" -> Rollback
+        | Some "status" -> Status
         | _ -> err "unknown transaction operation"
       in
       let qid =

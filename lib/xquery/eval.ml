@@ -791,6 +791,7 @@ and bulk_execute base_ctx tuples dest_e fname args =
             updating;
             fragments = base_ctx.Context.fragments;
             query_id = base_ctx.Context.query_id;
+            idem_key = None;
             calls = [ p0 ];
           }
         in
@@ -831,6 +832,7 @@ and bulk_execute base_ctx tuples dest_e fname args =
             updating;
             fragments = base_ctx.Context.fragments;
             query_id = base_ctx.Context.query_id;
+            idem_key = None;
             calls = params_for_dest;
           } ))
       dests

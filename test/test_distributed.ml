@@ -327,6 +327,7 @@ return ($before, $after)|}
         updating = true;
         fragments = false;
         query_id = None;
+        idem_key = None;
         calls = [ [ [ Xdm.str "Interleaved" ]; [ Xdm.str "Sean Connery" ] ] ];
       }
     in
@@ -441,6 +442,7 @@ let test_2pc_abort_applies_nowhere () =
       updating = true;
       fragments = false;
       query_id = Some blocker;
+      idem_key = None;
       calls = [ [ [ Xdm.str "Blocker" ]; [ Xdm.str "B" ] ] ];
     }
   in
@@ -484,6 +486,7 @@ let test_snapshot_isolation_end_to_end () =
         updating = true;
         fragments = false;
         query_id = None;
+        idem_key = None;
         calls = [ [ [ Xdm.str "Interleaved" ]; [ Xdm.str "Sean Connery" ] ] ];
       }
     in

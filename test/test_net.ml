@@ -170,6 +170,7 @@ let test_http_concurrent_peer () =
                updating = false;
                fragments = false;
                query_id = None;
+               idem_key = None;
                calls = [ [ [ Xrpc_xml.Xdm.str "Sean Connery" ] ] ];
              })
       in

@@ -32,6 +32,7 @@ let film_request ?(actors = [ "Sean Connery" ]) ?query_id () =
     updating = false;
     fragments = false;
     query_id;
+    idem_key = None;
     calls = List.map (fun a -> [ [ Xdm.str a ] ]) actors;
   }
 
@@ -85,6 +86,7 @@ declare function b:boom() { error("XYZ: kaboom") };|};
       updating = false;
       fragments = false;
       query_id = None;
+      idem_key = None;
       calls = [ [] ];
     }
   in
@@ -156,6 +158,7 @@ let test_repeatable_read_pins_snapshot () =
       updating = true;
       fragments = false;
       query_id = None;
+      idem_key = None;
       calls = [ [ [ Xdm.str "Dr. No" ]; [ Xdm.str "Sean Connery" ] ] ];
     }
   in
@@ -221,6 +224,7 @@ let test_snapshot_isolation_pins_query_timestamp () =
          updating = true;
          fragments = false;
          query_id = None;
+         idem_key = None;
          calls = [ [ [ Xdm.str "Later" ]; [ Xdm.str "Sean Connery" ] ] ];
        });
   (* ... and at t=3.0 the queries' first requests arrive *)
@@ -247,6 +251,7 @@ let add_film_request ~query_id name =
     updating = true;
     fragments = false;
     query_id;
+    idem_key = None;
     calls = [ [ [ Xdm.str name ]; [ Xdm.str "Sean Connery" ] ] ];
   }
 
@@ -335,6 +340,7 @@ let test_bulk_hash_join_used_and_correct () =
       updating = false;
       fragments = false;
       query_id = None;
+      idem_key = None;
       calls =
         List.map
           (fun i ->
@@ -366,6 +372,7 @@ let test_get_document_internal () =
       updating = false;
       fragments = false;
       query_id = None;
+      idem_key = None;
       calls = [ [ [ Xdm.str "filmDB.xml" ] ] ];
     }
   in

@@ -184,6 +184,7 @@ let test_fragments_wire_roundtrip () =
     {
       Message.module_uri = "m"; location = ""; method_ = "f"; arity = 2;
       updating = false; fragments = true; query_id = None;
+      idem_key = None;
       calls = [ [ [ Xdm.Node a ]; [ Xdm.Node b ] ] ];
     }
   in
@@ -206,6 +207,7 @@ let sample_request ?(query_id = None) ?(calls = 1) () =
     updating = false;
     fragments = false;
     query_id;
+    idem_key = None;
     calls =
       List.init calls (fun i -> [ [ Xdm.str (Printf.sprintf "Actor %d" i) ] ]);
   }
@@ -359,6 +361,7 @@ let prop_wire_roundtrip =
           updating = false;
           fragments = false;
           query_id = None;
+          idem_key = None;
           calls =
             List.init ncalls (fun _ -> [ List.map (fun a -> Xdm.Atomic a) params ]);
         }
