@@ -843,6 +843,159 @@ let faults_bench () =
          bulk_ms bulk_retries bulk_failed one_ms one_retries one_failed)
 
 (* ================================================================== *)
+(* Observability: instrumentation overhead + a distributed span tree   *)
+(* ================================================================== *)
+
+let obs_bench () =
+  header "Observability: tracing overhead (off vs on) + distributed span tree";
+  let module Table = Xrpc_algebra.Table in
+  let module Ops = Xrpc_algebra.Ops in
+  let module Trace = Xrpc_obs.Trace in
+  (* -- 1. algebra kernels, tracing off vs on ------------------------ *)
+  (* Counters are always on (one field increment per operator); the
+     per-operator latency histograms are gated on [Trace.enabled], so
+     "off" measures the always-on cost and "on" adds two clock reads +
+     one histogram observation per operator call. *)
+  let mk n =
+    Table.make [ "iter"; "pos"; "item" ]
+      (List.init n (fun i ->
+           [ Table.Int ((i mod max 1 (n / 5)) + 1); Table.Int 1;
+             Table.Item (Xdm.int (i mod 97)) ]))
+  in
+  let t = mk 1000 in
+  let kernels =
+    [
+      ("equi_join", fun () -> ignore (Ops.equi_join t "iter" t "iter"));
+      ("distinct", fun () -> ignore (Ops.distinct t));
+      ( "rank",
+        fun () ->
+          ignore
+            (Ops.rank t ~new_col:"rk" ~order_by:[ "item" ] ~partition:"iter" ())
+      );
+      ("merge_union", fun () -> ignore (Ops.merge_union_on_iter [ t; t ]));
+    ]
+  in
+  (* sub-ms kernels are noise-dominated: alternate off/on rounds and keep
+     the per-mode minimum, so a GC pause in one round cannot masquerade
+     as instrumentation cost *)
+  let rounds = if quick then 3 else 5 in
+  let kernel_rows =
+    List.map
+      (fun (name, f) ->
+        let off = ref infinity and on = ref infinity in
+        for _ = 1 to rounds do
+          Trace.set_enabled false;
+          off := Float.min !off (time_ns f);
+          Trace.set_enabled true;
+          on := Float.min !on (time_ns f);
+          Trace.set_enabled false;
+          Trace.reset ()
+        done;
+        let off = !off and on = !on in
+        let pct = (on -. off) /. off *. 100. in
+        Printf.printf "%-12s 1000 rows: %10.0f ns off  %10.0f ns on  (%+5.1f%%)\n"
+          name off on pct;
+        (name, off, on, pct))
+      kernels
+  in
+  let avg_pct =
+    List.fold_left (fun a (_, _, _, p) -> a +. p) 0. kernel_rows
+    /. float_of_int (List.length kernel_rows)
+  in
+  Printf.printf "average kernel overhead with tracing on: %+.1f%% (target < 5%%)\n"
+    avg_pct;
+  (* -- 2. end-to-end distributed queries, off vs on ----------------- *)
+  (* charge_cpu off: the virtual network charges no real sleeps, so the
+     wall clock measures only the engine's CPU — exactly what the
+     instrumentation could slow down. *)
+  let sim = { Simnet.default_config with Simnet.charge_cpu = false } in
+  let mk_cluster () =
+    let cluster = Cluster.create ~config:sim ~names:[ "x"; "y"; "z" ] () in
+    List.iter
+      (fun n ->
+        Peer.register_module (Cluster.peer cluster n) ~uri:Testmod.module_ns
+          ~location:Testmod.module_at Testmod.test_module)
+      [ "x"; "y"; "z" ];
+    cluster
+  in
+  let query =
+    {|import module namespace t="test" at "http://x.example.org/test.xq";
+for $d in ("xrpc://y", "xrpc://z")
+return execute at {$d} {t:ping(1)}|}
+  in
+  let queries = if quick then 20 else 60 in
+  let run_many traced =
+    let cluster = mk_cluster () in
+    if traced then Cluster.enable_tracing cluster else Cluster.disable_tracing ();
+    let x = Cluster.peer cluster "x" in
+    ignore (Peer.query_seq x query);
+    (* warm the function caches *)
+    let t0 = now_ms () in
+    for _ = 1 to queries do
+      ignore (Peer.query_seq x query);
+      if traced then Trace.reset ()
+    done;
+    let wall = now_ms () -. t0 in
+    Cluster.disable_tracing ();
+    wall /. float_of_int queries
+  in
+  (* same alternating-minimum discipline as the kernels *)
+  let e2e_off = ref infinity and e2e_on = ref infinity in
+  for _ = 1 to rounds do
+    e2e_off := Float.min !e2e_off (run_many false);
+    e2e_on := Float.min !e2e_on (run_many true)
+  done;
+  let e2e_off = !e2e_off and e2e_on = !e2e_on in
+  let e2e_pct = (e2e_on -. e2e_off) /. e2e_off *. 100. in
+  Printf.printf
+    "end-to-end 2-peer query: %8.3f ms off  %8.3f ms on  (%+5.1f%%)\n" e2e_off
+    e2e_on e2e_pct;
+  (* -- 3. one traced distributed query: the reconstructed span tree -- *)
+  let cluster = mk_cluster () in
+  Cluster.enable_tracing cluster;
+  let x = Cluster.peer cluster "x" in
+  ignore (Peer.query_seq x query);
+  Trace.reset ();
+  (* warm caches, then trace one clean run *)
+  ignore (Peer.query_seq x query);
+  let tree = Trace.render () in
+  let phases = Trace.phase_summary () in
+  let span_count = List.length (Trace.spans ()) in
+  Cluster.disable_tracing ();
+  Trace.reset ();
+  Printf.printf "\nspan tree of one distributed query over peers y and z:\n%s" tree;
+  Printf.printf "per-phase cost (virtual ms):\n";
+  List.iter
+    (fun (name, count, total) ->
+      Printf.printf "  %-18s %4dx  %8.3f ms\n" name count total)
+    phases;
+  if json_out then
+    write_file "BENCH_obs.json"
+      (Printf.sprintf
+         "{\n\
+         \  \"kernel_overhead\": {\n%s\n  },\n\
+         \  \"kernel_overhead_avg_pct\": %.2f,\n\
+         \  \"end_to_end\": { \"off_ms\": %.4f, \"on_ms\": %.4f, \"overhead_pct\": %.2f },\n\
+         \  \"target_overhead_pct\": 5.0,\n\
+         \  \"distributed_trace\": { \"spans\": %d, \"phases\": {\n%s\n  } }\n\
+          }\n"
+         (String.concat ",\n"
+            (List.map
+               (fun (name, off, on, pct) ->
+                 Printf.sprintf
+                   "    %S: { \"off_ns\": %.0f, \"on_ns\": %.0f, \"overhead_pct\": %.2f }"
+                   name off on pct)
+               kernel_rows))
+         avg_pct e2e_off e2e_on e2e_pct span_count
+         (String.concat ",\n"
+            (List.map
+               (fun (name, count, total) ->
+                 Printf.sprintf
+                   "    %S: { \"count\": %d, \"total_ms\": %.3f }" name count
+                   total)
+               phases)))
+
+(* ================================================================== *)
 
 let () =
   Printf.printf "XRPC benchmark harness%s\n" (if quick then " (--quick)" else "");
@@ -851,7 +1004,8 @@ let () =
        network, written as JSON *)
     algebra_bench ();
     table2 ();
-    faults_bench ()
+    faults_bench ();
+    obs_bench ()
   end
   else if only_tables then figures ()
   else begin
@@ -862,6 +1016,7 @@ let () =
     table3 ();
     table4 ();
     faults_bench ();
+    obs_bench ();
     ablations ();
     if not skip_micro then micro ()
   end;

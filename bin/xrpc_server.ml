@@ -10,6 +10,8 @@
 module Peer = Xrpc_peer.Peer
 module Database = Xrpc_peer.Database
 module Http = Xrpc_net.Http
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -43,8 +45,14 @@ let load_data peer dir =
       (Sys.readdir dir)
   else Printf.eprintf "warning: data directory %s not found\n%!" dir
 
-let serve verbose port data demo =
+let serve verbose port data demo trace =
   setup_logs verbose;
+  if trace then begin
+    (* span ids get a per-process tag so traces stitched across several
+       server processes cannot collide *)
+    Trace.set_process_tag (Printf.sprintf "p%d-" port);
+    Trace.set_enabled true
+  end;
   let peer = Peer.create (Printf.sprintf "xrpc://127.0.0.1:%d" port) in
   (* outgoing calls of hosted functions also travel over HTTP *)
   Peer.set_transport peer (Http.transport ());
@@ -53,8 +61,22 @@ let serve verbose port data demo =
     print_endline "demo film database + films module loaded"
   end;
   Option.iter (load_data peer) data;
-  let server = Http.serve ~port (fun ~path:_ body -> Peer.handle_raw peer body) in
+  let handler ~path body =
+    match path with
+    | "/metrics" -> Metrics.to_text ()
+    | "/metrics.json" -> Metrics.to_json ()
+    | _ ->
+        let out = Peer.handle_raw peer body in
+        if trace then begin
+          Logs.app (fun m -> m "trace:@.%s" (Trace.render ()));
+          Trace.reset ()
+        end;
+        out
+  in
+  let server = Http.serve ~port handler in
   Printf.printf "XRPC peer listening on xrpc://127.0.0.1:%d\n%!" server.Http.port;
+  Printf.printf "metrics at http://127.0.0.1:%d/metrics (and /metrics.json)\n%!"
+    server.Http.port;
   (* keep the main thread alive *)
   while true do
     Unix.sleep 3600
@@ -78,8 +100,16 @@ let data =
 let demo =
   Arg.(value & flag & info [ "demo" ] ~doc:"Load the paper's film database.")
 
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Enable distributed tracing; log a span tree after every request.")
+
 let cmd =
   let doc = "serve XML documents and XQuery modules as an XRPC peer" in
-  Cmd.v (Cmd.info "xrpc-server" ~doc) Term.(const serve $ verbose $ port $ data $ demo)
+  Cmd.v
+    (Cmd.info "xrpc-server" ~doc)
+    Term.(const serve $ verbose $ port $ data $ demo $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -8,6 +8,8 @@
 
 module Peer = Xrpc_peer.Peer
 module Database = Xrpc_peer.Database
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -33,8 +35,22 @@ let load_data peer dir =
         | None -> ())
     (Sys.readdir dir)
 
+(* After a traced query: the span tree, then a paper-style per-phase cost
+   table (§5 of the XRPC paper breaks query time down the same way). *)
+let print_trace () =
+  print_string (Trace.render ());
+  let phases = Trace.phase_summary () in
+  if phases <> [] then begin
+    print_endline "-- per-phase cost:";
+    List.iter
+      (fun (name, count, total_ms) ->
+        Printf.printf "   %-18s %4dx  %8.3f ms\n" name count total_ms)
+      phases
+  end;
+  Trace.reset ()
+
 let run_query peer source =
-  match Peer.query peer source with
+  (match Peer.query peer source with
   | { Peer.value; committed; participants; _ } ->
       print_endline (Xrpc_xml.Xdm.to_display value);
       if participants <> [] then
@@ -47,10 +63,37 @@ let run_query peer source =
       | Xrpc_xquery.Eval.Error m
       | Xrpc_xml.Xdm.Dynamic_error m
       | Peer.Peer_error m ) ->
-      Printf.eprintf "error: %s\n%!" m
+      Printf.eprintf "error: %s\n%!" m);
+  if Trace.enabled () then print_trace ()
+
+(* REPL meta-commands, ':'-prefixed like most database shells. *)
+let command line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ ":trace"; "on" ] ->
+      Trace.set_enabled true;
+      print_endline "tracing on";
+      true
+  | [ ":trace"; "off" ] ->
+      Trace.set_enabled false;
+      Trace.reset ();
+      print_endline "tracing off";
+      true
+  | [ ":metrics" ] ->
+      print_string (Metrics.to_text ());
+      true
+  | [ ":help" ] ->
+      print_endline ":trace on|off  — print a span tree after each query";
+      print_endline ":metrics       — dump the metrics registry";
+      true
+  | cmd :: _ when String.length cmd > 0 && cmd.[0] = ':' ->
+      Printf.eprintf "unknown command %s (try :help)\n%!" cmd;
+      true
+  | _ -> false
 
 let repl peer =
-  print_endline "XRPC shell — terminate a query with a single '.' line; ctrl-d exits.";
+  print_endline
+    "XRPC shell — terminate a query with a single '.' line; ctrl-d exits.\n\
+     Meta-commands: :trace on|off, :metrics, :help.";
   let buf = Buffer.create 256 in
   let rec loop () =
     (match Buffer.length buf with 0 -> print_string "xquery> " | _ -> print_string "      > ");
@@ -61,6 +104,7 @@ let repl peer =
         if Buffer.length buf > 0 then run_query peer (Buffer.contents buf);
         Buffer.clear buf;
         loop ()
+    | line when Buffer.length buf = 0 && command line -> loop ()
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
@@ -70,8 +114,9 @@ let repl peer =
   in
   loop ()
 
-let main verbose data query_file =
+let main verbose data trace query_file =
   setup_logs verbose;
+  if trace then Trace.set_enabled true;
   let peer = Peer.create "xrpc://shell.local" in
   Peer.set_transport peer (Xrpc_net.Http.transport ());
   Option.iter (load_data peer) data;
@@ -92,6 +137,12 @@ let data =
     & info [ "d"; "data" ] ~docv:"DIR"
         ~doc:"Directory of *.xml documents and *.xq modules for the local peer.")
 
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print a span tree with per-phase timings after each query.")
+
 let query_file =
   Arg.(
     value
@@ -100,6 +151,8 @@ let query_file =
 
 let cmd =
   let doc = "run (distributed) XQuery queries with XRPC" in
-  Cmd.v (Cmd.info "xrpc-shell" ~doc) Term.(const main $ verbose $ data $ query_file)
+  Cmd.v
+    (Cmd.info "xrpc-shell" ~doc)
+    Term.(const main $ verbose $ data $ trace $ query_file)
 
 let () = exit (Cmd.eval cmd)

@@ -18,8 +18,13 @@
 
 open Xrpc_xml
 module Message = Xrpc_soap.Message
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
 
 type trace = (string * Table.t) list
+
+let m_bulk = Metrics.counter "bulkrpc.executes"
+let m_bulk_calls = Metrics.counter "bulkrpc.calls"
 
 (** [execute ~dst ~params ~request_meta ~call] runs the Figure-2 rule.
     [dst] and each parameter are [iter|pos|item] tables over the same loop;
@@ -30,6 +35,8 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
     ?(query_id : Message.query_id option)
     ~(call : dest:string -> Message.request -> Message.t) () :
     Table.t * trace =
+  Trace.with_span ~detail:method_ "bulkrpc" @@ fun () ->
+  Metrics.incr m_bulk;
   let trace = ref [] in
   let note name t = trace := (name, t) :: !trace in
   note "dst" dst;
@@ -44,57 +51,63 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
   let results =
     List.map
       (fun peer ->
-        let peer_cell = Table.Item (Xdm.str peer) in
-        (* map_p : iter -> iterp *)
-        let selected = Ops.select_eq dst "item" peer_cell in
-        let ranked =
-          Ops.rank selected ~new_col:"iterp" ~order_by:[ "iter" ] ()
-        in
-        let map_p = Ops.project ranked [ ("iter", "iter"); ("iterp", "iterp") ] in
-        note (Printf.sprintf "map_%s" peer) map_p;
-        (* req_i_p per parameter *)
-        let reqs =
-          List.mapi
-            (fun i param ->
-              let joined = Ops.equi_join map_p "iter" param "iter" in
-              let req =
-                Ops.project joined
-                  [ ("iterp", "iterp"); ("pos", "pos"); ("item", "item") ]
-              in
-              note (Printf.sprintf "req%d_%s" (i + 1) peer) req;
-              req)
-            params
-        in
-        (* assemble the Bulk RPC: one call per iterp, in iterp order.  Each
-           req table is partitioned by iterp ONCE; per-call assembly is then
-           an O(1) lookup, keeping the whole request build linear. *)
-        let iterps =
-          List.sort_uniq Int.compare
-            (Array.to_list
-               (Array.map Table.int_cell (Table.col map_p "iterp")))
-        in
-        let req_lookups =
-          List.map (fun req -> Table.iter_lookup ~iter_col:"iterp" req) reqs
-        in
-        let calls =
-          List.map
-            (fun iterp -> List.map (fun lookup -> lookup iterp) req_lookups)
-            iterps
-        in
-        let request =
-          {
-            Message.module_uri;
-            location;
-            method_;
-            arity = List.length params;
-            updating = false;
-            fragments = false;
-            query_id;
-            idem_key = None;
-            calls;
-          }
+        let map_p, iterps, request =
+          Trace.with_span ~detail:peer "bulkrpc.assemble" @@ fun () ->
+          let peer_cell = Table.Item (Xdm.str peer) in
+          (* map_p : iter -> iterp *)
+          let selected = Ops.select_eq dst "item" peer_cell in
+          let ranked =
+            Ops.rank selected ~new_col:"iterp" ~order_by:[ "iter" ] ()
+          in
+          let map_p = Ops.project ranked [ ("iter", "iter"); ("iterp", "iterp") ] in
+          note (Printf.sprintf "map_%s" peer) map_p;
+          (* req_i_p per parameter *)
+          let reqs =
+            List.mapi
+              (fun i param ->
+                let joined = Ops.equi_join map_p "iter" param "iter" in
+                let req =
+                  Ops.project joined
+                    [ ("iterp", "iterp"); ("pos", "pos"); ("item", "item") ]
+                in
+                note (Printf.sprintf "req%d_%s" (i + 1) peer) req;
+                req)
+              params
+          in
+          (* assemble the Bulk RPC: one call per iterp, in iterp order.  Each
+             req table is partitioned by iterp ONCE; per-call assembly is then
+             an O(1) lookup, keeping the whole request build linear. *)
+          let iterps =
+            List.sort_uniq Int.compare
+              (Array.to_list
+                 (Array.map Table.int_cell (Table.col map_p "iterp")))
+          in
+          let req_lookups =
+            List.map (fun req -> Table.iter_lookup ~iter_col:"iterp" req) reqs
+          in
+          let calls =
+            List.map
+              (fun iterp -> List.map (fun lookup -> lookup iterp) req_lookups)
+              iterps
+          in
+          Metrics.incr_by m_bulk_calls (List.length calls);
+          let request =
+            {
+              Message.module_uri;
+              location;
+              method_;
+              arity = List.length params;
+              updating = false;
+              fragments = false;
+              query_id;
+              idem_key = None;
+              calls;
+            }
+          in
+          (map_p, iterps, request)
         in
         let response = call ~dest:peer request in
+        Trace.with_span ~detail:peer "bulkrpc.reassemble" @@ fun () ->
         let result_seqs =
           match response with
           | Message.Response r -> r.Message.results

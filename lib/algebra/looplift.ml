@@ -215,6 +215,25 @@ let rec eval env (e : Xast.expr) : Table.t =
           env.loop
       in
       Table.of_iter_items rows
+  | Xast.Filter (e, preds) ->
+      (* positional predicates with an integer-literal index: number the
+         items of each iteration (ρ_{rk:<pos>/iter}) and keep rank = k.
+         Non-literal predicates would need per-tuple EBV plumbing and stay
+         unsupported. *)
+      List.fold_left
+        (fun t pred ->
+          match pred with
+          | Xast.Literal (Xs.Integer k) ->
+              let ranked =
+                Ops.rank t ~new_col:"rk" ~order_by:[ "pos" ] ~partition:"iter" ()
+              in
+              let selected = Ops.select_eq ranked "rk" (Table.Int k) in
+              Ops.project selected
+                [ ("iter", "iter"); ("pos", "pos"); ("item", "item") ]
+          | p ->
+              unsupported "non-positional predicate in loop-lifted plan: %s"
+                (Xast.expr_to_string p))
+        (eval env e) preds
   | Xast.If (c, t, e) ->
       let lc = Table.iter_lookup (eval env c) in
       let rows =

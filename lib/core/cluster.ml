@@ -99,6 +99,17 @@ let serve_http t name ?(port = 0) () =
   let server = Http.serve ~port (fun ~path:_ body -> Peer.handle_raw p body) in
   (server, Printf.sprintf "xrpc://127.0.0.1:%d" server.Http.port)
 
+(** Point the global tracer at this cluster's virtual clock and enable it:
+    span timings become deterministic simulated milliseconds, so a seeded
+    chaos schedule replays to a bit-identical span tree. *)
+let enable_tracing t =
+  Xrpc_obs.Trace.set_clock (fun () -> t.net.Simnet.clock_ms);
+  Xrpc_obs.Trace.set_enabled true
+
+let disable_tracing () =
+  Xrpc_obs.Trace.set_enabled false;
+  Xrpc_obs.Trace.use_wall_clock ()
+
 let clock_ms t = t.net.Simnet.clock_ms
 let reset_clock t = Simnet.reset_clock t.net
 let stats t = t.net.Simnet.stats

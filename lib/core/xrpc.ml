@@ -25,5 +25,7 @@ module Marshal = Xrpc_soap.Marshal
 module Xdm = Xrpc_xml.Xdm
 module Simnet = Xrpc_net.Simnet
 module Http = Xrpc_net.Http
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
 
 let version = "1.0.0"

@@ -7,9 +7,16 @@
     accept loop on a daemon thread and serves each connection on its own
     thread. *)
 
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
+
 exception Http_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Http_error s)) fmt
+
+let m_posts = Metrics.counter "http.posts"
+let m_served = Metrics.counter "http.requests_served"
+let m_post_ms = Metrics.histogram "http.post_ms"
 
 (* ------------------------------------------------------------------ *)
 (* Wire reading helpers                                                *)
@@ -82,6 +89,7 @@ let serve ?(port = 0) (handler : path:string -> string -> string) : server =
        | meth :: path :: _ ->
            let headers = read_headers ic in
            let body = if meth = "POST" then read_body ic headers else "" in
+           Metrics.incr m_served;
            let status, response =
              try ("200 OK", handler ~path body)
              with e -> ("500 Internal Server Error", Printexc.to_string e)
@@ -120,6 +128,9 @@ let shutdown server =
     simulated faults. *)
 let post ?timeout_ms ~host ~port ?(path = "/") body =
   let dest = Printf.sprintf "%s:%d" host port in
+  Trace.with_span ~detail:dest "http.post" @@ fun () ->
+  Metrics.incr m_posts;
+  let t0 = Unix.gettimeofday () in
   let addr =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> Unix.inet_addr_loopback
@@ -161,7 +172,9 @@ let post ?timeout_ms ~host ~port ?(path = "/") body =
       let headers = read_headers ic in
       let response = read_body ic headers in
       match String.split_on_char ' ' status_line with
-      | _ :: code :: _ when code.[0] = '2' -> response
+      | _ :: code :: _ when code.[0] = '2' ->
+          Metrics.observe m_post_ms ((Unix.gettimeofday () -. t0) *. 1000.);
+          response
       | _ :: code :: _ -> err "HTTP %s: %s" code response
       | _ -> err "malformed HTTP status line %S" status_line)
 

@@ -19,6 +19,9 @@
     Injected failures surface as {!Transport.Error} so the policy layer
     ({!Transport.with_policy}) can retry them uniformly. *)
 
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
+
 type config = {
   latency_ms : float;  (** one-way network latency per message *)
   bandwidth_bytes_per_ms : float;  (** payload cost; [infinity] disables *)
@@ -229,6 +232,7 @@ let faulty_interact net f ~dest key body =
   let cfg = f.fconfig in
   let unreachable info =
     f.fstats.unreachable <- f.fstats.unreachable + 1;
+    Trace.event ~detail:info "net-unreachable";
     sleep net cfg.loss_timeout_ms;
     Transport.error ~kind:Transport.Unreachable ~dest "%s" info
   in
@@ -250,11 +254,13 @@ let faulty_interact net f ~dest key body =
     f.fstats.dropped_requests <- f.fstats.dropped_requests + 1;
     net.stats.messages <- net.stats.messages + 1;
     net.stats.bytes_sent <- net.stats.bytes_sent + String.length body;
+    Trace.event "net-drop-request";
     sleep net cfg.loss_timeout_ms;
     Transport.error ~kind:Transport.Timeout ~dest "request lost"
   end;
   if cfg.delay > 0. && draw () < cfg.delay then begin
     f.fstats.delayed <- f.fstats.delayed + 1;
+    Trace.event "net-delay";
     sleep net (draw () *. cfg.delay_ms)
   end;
   let response, elapsed = clean_interact net handler ~dest body in
@@ -264,12 +270,14 @@ let faulty_interact net f ~dest key body =
      deduplicates by idempotency key. *)
   if cfg.duplicate > 0. && draw () < cfg.duplicate then begin
     f.fstats.duplicated <- f.fstats.duplicated + 1;
+    Trace.event "net-duplicate";
     ignore (handler body)
   end;
   (* response direction: the handler DID run (side effects happened) but
      the caller never learns — the critical 2PC window *)
   if cfg.drop > 0. && draw () < cfg.drop then begin
     f.fstats.dropped_responses <- f.fstats.dropped_responses + 1;
+    Trace.event "net-drop-response";
     sleep net cfg.loss_timeout_ms;
     Transport.error ~kind:Transport.Timeout ~dest "response lost"
   end;
@@ -281,11 +289,17 @@ let interact net ~dest body =
   | None -> clean_interact net (lookup_handler net ~dest key) ~dest body
   | Some f -> faulty_interact net f ~dest key body
 
+let m_msgs = Metrics.counter "net.interactions"
+let m_roundtrip = Metrics.histogram "net.roundtrip_ms"
+
 (** Synchronous round trip: advances the virtual clock by latency +
     transfer + (optionally) handler CPU, both ways. *)
 let send net ~dest body =
+  Trace.with_span ~detail:dest "net.send" @@ fun () ->
+  Metrics.incr m_msgs;
   let response, elapsed = interact net ~dest body in
   net.clock_ms <- net.clock_ms +. elapsed;
+  Metrics.observe m_roundtrip elapsed;
   response
 
 (** Parallel dispatch to several peers: the clock advances by the maximum
@@ -314,7 +328,10 @@ let send_parallel net pairs =
   Array.iter
     (fun i ->
       let dest, body = pairs_arr.(i) in
-      results.(i) <- interact net ~dest body)
+      Metrics.incr m_msgs;
+      results.(i) <-
+        Trace.with_span ~detail:dest "net.send" (fun () ->
+            interact net ~dest body))
     order;
   let slowest =
     Array.fold_left (fun m (_, e) -> Float.max m e) 0. results

@@ -16,6 +16,9 @@
     virtual clock, the HTTP transport maps it onto real socket timeouts
     and [sleepf], so the same recovery code is exercised in both worlds. *)
 
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
+
 type t = {
   send : dest:string -> string -> string;
       (** POST a request body to a peer, return the response body *)
@@ -132,6 +135,15 @@ let breaker_state p dest =
     [now] and [sleep] are in milliseconds on whatever clock the transport
     lives on (virtual for Simnet, wall for HTTP), so tests never spin real
     time.  [seed] makes the backoff jitter deterministic. *)
+(* Pre-resolved metric handles: hot-path cost is a field increment. *)
+let m_attempts = Metrics.counter "transport.attempts"
+let m_retries = Metrics.counter "transport.retries"
+let m_failed = Metrics.counter "transport.failed_attempts"
+let m_gave_up = Metrics.counter "transport.gave_up"
+let m_fast_fails = Metrics.counter "transport.fast_fails"
+let m_circuit_opens = Metrics.counter "transport.circuit_opens"
+let m_send_ms = Metrics.histogram "transport.send_ms"
+
 let with_policy ?(policy = default_policy) ?(seed = 0) ~(now : unit -> float)
     ~(sleep : float -> unit) (inner : t) : policied =
   let rng = Random.State.make [| seed; 0x9e3779b9 |] in
@@ -163,10 +175,14 @@ let with_policy ?(policy = default_policy) ?(seed = 0) ~(now : unit -> float)
     (match b.state with
     | Open since when now () -. since < policy.breaker_cooldown_ms ->
         stats.fast_fails <- stats.fast_fails + 1;
+        Metrics.incr m_fast_fails;
+        Trace.event ~detail:dest "breaker-fast-fail";
         error ~kind:Circuit_open ~dest
           "circuit open for %.0f more ms"
           (policy.breaker_cooldown_ms -. (now () -. since))
-    | Open _ -> b.state <- Half_open
+    | Open _ ->
+        b.state <- Half_open;
+        Trace.event ~detail:dest "breaker-half-open"
     | Closed | Half_open -> ());
     match f () with
     | r ->
@@ -183,27 +199,42 @@ let with_policy ?(policy = default_policy) ?(seed = 0) ~(now : unit -> float)
           when policy.breaker_threshold > 0
                && b.consecutive_failures >= policy.breaker_threshold ->
             b.state <- Open (now ());
-            stats.circuit_opens <- stats.circuit_opens + 1
+            stats.circuit_opens <- stats.circuit_opens + 1;
+            Metrics.incr m_circuit_opens;
+            Trace.event ~detail:dest "breaker-open"
         | _ -> ());
         raise e
   in
   let send ~dest body =
+    Trace.with_span ~detail:dest "transport.send" @@ fun () ->
+    let t0 = now () in
     let rec go attempt =
       stats.attempts <- stats.attempts + 1;
+      Metrics.incr m_attempts;
       match guarded ~dest (fun () -> inner.send ~dest body) with
-      | r -> r
+      | r ->
+          Metrics.observe m_send_ms (now () -. t0);
+          r
       | exception (Error { kind; _ } as e) ->
           stats.failed_attempts <- stats.failed_attempts + 1;
+          Metrics.incr m_failed;
+          Trace.event ~detail:(kind_name kind) "attempt-failed";
           (* an open circuit is a local decision: burning retries on it
              would just re-reject; surface it immediately *)
           if kind = Circuit_open || attempt >= policy.max_retries then begin
-            if kind <> Circuit_open then stats.gave_up <- stats.gave_up + 1;
+            if kind <> Circuit_open then begin
+              stats.gave_up <- stats.gave_up + 1;
+              Metrics.incr m_gave_up;
+              Trace.event ~detail:dest "gave-up"
+            end;
             raise e
           end
           else begin
             let d = backoff_delay policy ~attempt ~rand in
             stats.retries <- stats.retries + 1;
             stats.backoff_ms <- stats.backoff_ms +. d;
+            Metrics.incr m_retries;
+            Trace.event ~detail:(Printf.sprintf "%.1fms" d) "backoff";
             sleep d;
             go (attempt + 1)
           end

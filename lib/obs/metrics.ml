@@ -1,0 +1,195 @@
+(* Process-wide metrics registry: named counters, gauges and log-bucketed
+   latency histograms.
+
+   Design constraints (ISSUE 3):
+   - hot paths must pay at most a field increment: callers resolve a handle
+     once at module-init time ([counter "x"]) and then mutate record fields,
+     never touching the registry hashtable per event;
+   - single-domain runtime: plain mutable fields are "lock-free enough".
+     Concurrent threads may lose an occasional increment under the OCaml
+     runtime lock's preemption; metrics here are operational telemetry, not
+     accounting, and the determinism-sensitive tests run single-threaded;
+   - exporters render the whole registry as Prometheus-style text (for the
+     server's /metrics endpoint) or JSON (for bench output). *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+(* Histogram buckets are logarithmic: bucket [i] covers
+   [lo * 2^i, lo * 2^(i+1)) with lo = 1e-3 (so the useful range is 1us..
+   ~13 days when observations are in milliseconds). Quantiles are estimated
+   as the geometric midpoint of the bucket holding the target rank — a
+   standard HDR-style estimate with bounded relative error (<= sqrt 2). *)
+let n_buckets = 60
+
+let bucket_lo = 1e-3
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type")
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type")
+  | None ->
+      let g = { g_name = name; value = 0. } in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another type")
+  | None ->
+      let h =
+        { h_name = name; n = 0; sum = 0.; min_v = infinity; max_v = neg_infinity;
+          buckets = Array.make n_buckets 0 }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let incr c = c.count <- c.count + 1
+let incr_by c d = c.count <- c.count + d
+let set g v = g.value <- v
+let add g d = g.value <- g.value +. d
+
+let bucket_of v =
+  if v <= bucket_lo then 0
+  else
+    let i = int_of_float (Float.log2 (v /. bucket_lo)) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = h.buckets.(bucket_of v) in
+  h.buckets.(bucket_of v) <- b + 1
+
+(* Rank-based quantile estimate: the geometric midpoint of the bucket that
+   contains the ceil(q * n)-th observation, clamped to the observed
+   min/max so tiny samples stay sensible. *)
+let quantile h q =
+  if h.n = 0 then nan
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.n))) in
+    let acc = ref 0 and found = ref (n_buckets - 1) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= rank then begin found := i; raise Exit end
+       done
+     with Exit -> ());
+    let lo = bucket_lo *. (2. ** float_of_int !found) in
+    let mid = lo *. sqrt 2. in
+    Float.min h.max_v (Float.max h.min_v mid)
+  end
+
+let mean h = if h.n = 0 then nan else h.sum /. float_of_int h.n
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.
+      | Histogram h ->
+          h.n <- 0; h.sum <- 0.; h.min_v <- infinity; h.max_v <- neg_infinity;
+          Array.fill h.buckets 0 n_buckets 0)
+    registry
+
+let sorted_metrics () =
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let fnum v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+(* Prometheus-flavoured plain text: one line per sample; histograms export
+   count/sum/mean and the three headline quantiles. *)
+let to_text () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.count)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fnum g.value))
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.n);
+          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (fnum h.sum));
+          if h.n > 0 then begin
+            Buffer.add_string buf
+              (Printf.sprintf "%s_p50 %s\n" name (fnum (quantile h 0.50)));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_p95 %s\n" name (fnum (quantile h 0.95)));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_p99 %s\n" name (fnum (quantile h 0.99)))
+          end)
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jnum v = if Float.is_nan v then "null" else fnum v
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  let first = ref true in
+  List.iter
+    (fun (name, m) ->
+      if not !first then Buffer.add_string buf ",";
+      first := false;
+      Buffer.add_string buf (Printf.sprintf "\n  \"%s\": " (json_escape name));
+      match m with
+      | Counter c -> Buffer.add_string buf (string_of_int c.count)
+      | Gauge g -> Buffer.add_string buf (jnum g.value)
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"count\": %d, \"sum\": %s, \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"max\": %s}"
+               h.n (jnum h.sum) (jnum (mean h))
+               (jnum (quantile h 0.50)) (jnum (quantile h 0.95))
+               (jnum (quantile h 0.99))
+               (jnum (if h.n = 0 then nan else h.max_v))))
+    (sorted_metrics ());
+  Buffer.add_string buf "\n}";
+  Buffer.contents buf

@@ -1,0 +1,250 @@
+(* Distributed tracing: per-query trace IDs and nested spans.
+
+   The model is deliberately small:
+   - a span has a trace id, its own id, an optional parent id, a name, a
+     detail string, start/end timestamps and a list of point events;
+   - span ids are drawn from a process-local counter (optionally prefixed
+     with a process tag for multi-process deployments), so a replayed
+     deterministic schedule — Simnet virtual clock + seeded faults —
+     yields bit-identical trees;
+   - the clock is injectable ([set_clock]); tests and benches point it at
+     the Simnet virtual clock, binaries use the wall clock;
+   - the ambient "current span" is tracked per thread (Http fan-out runs
+     one thread per destination), so nested [with_span] calls on any
+     thread build a well-formed tree;
+   - context crosses peers as a (trace-id, parent-span) pair carried in
+     the SOAP envelope header (see Soap.Message / protocol/XRPC.xsd);
+     [propagation] reads the pair to stamp outgoing requests and
+     [with_remote_parent] adopts it on the serving side.
+
+   When tracing is disabled (the default) every entry point returns after
+   a single flag test — the instrumented hot paths stay at ~0%% cost. *)
+
+type event = { e_name : string; e_detail : string; e_at : float }
+
+type span = {
+  trace_id : string;
+  span_id : string;
+  parent : string option;
+  name : string;
+  detail : string;
+  start_ms : float;
+  mutable end_ms : float; (* nan while the span is still open *)
+  mutable events : event list; (* newest first *)
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let wall_clock_ms () = Unix.gettimeofday () *. 1000.
+
+let clock = ref wall_clock_ms
+let set_clock f = clock := f
+let use_wall_clock () = clock := wall_clock_ms
+let now_ms () = !clock ()
+
+(* Deterministic ids. [process_tag] disambiguates ids across OS processes
+   (e.g. two xrpc_server instances); in-process it stays "" so replays of
+   a seeded schedule mint identical ids. *)
+let process_tag = ref ""
+let set_process_tag t = process_tag := t
+let next_trace = ref 0
+let next_span = ref 0
+
+let fresh_trace_id () =
+  incr next_trace;
+  Printf.sprintf "%st%d" !process_tag !next_trace
+
+let fresh_span_id () =
+  incr next_span;
+  Printf.sprintf "%ss%d" !process_tag !next_span
+
+(* Finished + in-flight spans, recorded at start in creation order. The
+   buffer is bounded: past [capacity] new spans are counted as dropped but
+   stack discipline (and so parentage of later spans) is preserved. *)
+let capacity = ref 50_000
+let set_capacity n = capacity := n
+let recorded : span list ref = ref [] (* newest first *)
+let recorded_n = ref 0
+let dropped = ref 0
+
+(* Per-thread stack of open spans. *)
+let stacks : (int, span list ref) Hashtbl.t = Hashtbl.create 8
+let stacks_mutex = Mutex.create ()
+
+let my_stack () =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock stacks_mutex;
+  let st =
+    match Hashtbl.find_opt stacks id with
+    | Some st -> st
+    | None ->
+        let st = ref [] in
+        Hashtbl.replace stacks id st;
+        st
+  in
+  Mutex.unlock stacks_mutex;
+  st
+
+let current () = match !(my_stack ()) with [] -> None | s :: _ -> Some s
+
+let reset () =
+  recorded := [];
+  recorded_n := 0;
+  dropped := 0;
+  next_trace := 0;
+  next_span := 0;
+  Mutex.lock stacks_mutex;
+  Hashtbl.reset stacks;
+  Mutex.unlock stacks_mutex
+
+let record span =
+  if !recorded_n >= !capacity then incr dropped
+  else begin
+    recorded := span :: !recorded;
+    incr recorded_n
+  end
+
+let start_span ?(detail = "") ~trace_id ~parent name =
+  let s =
+    { trace_id; span_id = fresh_span_id (); parent; name; detail;
+      start_ms = now_ms (); end_ms = nan; events = [] }
+  in
+  record s;
+  let st = my_stack () in
+  st := s :: !st;
+  s
+
+let finish_span s =
+  s.end_ms <- now_ms ();
+  let st = my_stack () in
+  match !st with
+  | top :: rest when top == s -> st := rest
+  | _ -> (* unbalanced finish; drop down to (and including) s if present *)
+      st := (match List.find_index (( == ) s) !st with
+             | Some i -> List.filteri (fun j _ -> j > i) !st
+             | None -> !st)
+
+let with_span ?detail name f =
+  if not !enabled_flag then f ()
+  else begin
+    let trace_id, parent =
+      match current () with
+      | Some p -> (p.trace_id, Some p.span_id)
+      | None -> (fresh_trace_id (), None)
+    in
+    let s = start_span ?detail ~trace_id ~parent name in
+    Fun.protect ~finally:(fun () -> finish_span s) f
+  end
+
+(* Server-side adoption of a propagated context: roots a local span under
+   the remote parent, keeping the remote trace id. *)
+let with_remote_parent ?detail ~trace_id ~parent name f =
+  if not !enabled_flag then f ()
+  else begin
+    let s = start_span ?detail ~trace_id ~parent:(Some parent) name in
+    Fun.protect ~finally:(fun () -> finish_span s) f
+  end
+
+let event ?(detail = "") name =
+  if !enabled_flag then
+    match current () with
+    | None -> ()
+    | Some s -> s.events <- { e_name = name; e_detail = detail; e_at = now_ms () } :: s.events
+
+(* Outgoing context: what to stamp into the SOAP header. *)
+let propagation () =
+  if not !enabled_flag then None
+  else match current () with Some s -> Some (s.trace_id, s.span_id) | None -> None
+
+let spans () = List.rev !recorded (* creation order *)
+let dropped_count () = !dropped
+
+let open_count () =
+  List.length (List.filter (fun s -> Float.is_nan s.end_ms) !recorded)
+
+let duration_ms s = if Float.is_nan s.end_ms then nan else s.end_ms -. s.start_ms
+
+(* ------------------------------------------------------------------ *)
+(* Tree reconstruction and rendering                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Children of each span id, in creation order; roots are spans whose
+   parent is absent from the recorded set (covers both true roots and
+   remote parents living in another process's collector). *)
+let tree_of all =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.span_id s) all;
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  List.iter
+    (fun s ->
+      match s.parent with
+      | Some p when Hashtbl.mem by_id p ->
+          let l = try Hashtbl.find children p with Not_found -> [] in
+          Hashtbl.replace children p (s :: l)
+      | _ -> roots := s :: !roots)
+    all;
+  let kids id = List.rev (try Hashtbl.find children id with Not_found -> []) in
+  (List.rev !roots, kids)
+
+let render () =
+  let all = spans () in
+  let roots, kids = tree_of all in
+  let buf = Buffer.create 1024 in
+  let rec pr indent s =
+    let dur = duration_ms s in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s  %s  [%s/%s]\n" indent s.name
+         (if s.detail = "" then "" else " (" ^ s.detail ^ ")")
+         (if Float.is_nan dur then "OPEN" else Printf.sprintf "%.3f ms" dur)
+         s.trace_id s.span_id);
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s  * %s%s @%.3f\n" indent e.e_name
+             (if e.e_detail = "" then "" else " " ^ e.e_detail)
+             (e.e_at -. s.start_ms)))
+      (List.rev s.events);
+    List.iter (pr (indent ^ "  ")) (kids s.span_id)
+  in
+  List.iter (pr "") roots;
+  if !dropped > 0 then
+    Buffer.add_string buf (Printf.sprintf "(%d spans dropped: buffer full)\n" !dropped);
+  Buffer.contents buf
+
+(* Structure-only rendering — span names, nesting and event names, but no
+   timestamps or durations. Two runs of the same seeded schedule must
+   produce equal signatures (replay determinism extended to traces). *)
+let signature () =
+  let all = spans () in
+  let roots, kids = tree_of all in
+  let buf = Buffer.create 512 in
+  let rec pr s =
+    Buffer.add_string buf s.name;
+    let evs = List.rev_map (fun e -> e.e_name) s.events in
+    if evs <> [] then Buffer.add_string buf ("!" ^ String.concat "!" evs);
+    let cs = kids s.span_id in
+    if cs <> [] then begin
+      Buffer.add_char buf '(';
+      List.iteri (fun i c -> if i > 0 then Buffer.add_char buf ','; pr c) cs;
+      Buffer.add_char buf ')'
+    end
+  in
+  List.iteri (fun i r -> if i > 0 then Buffer.add_char buf ';'; pr r) roots;
+  Buffer.contents buf
+
+(* Aggregate per-phase totals: (name, count, total inclusive ms), sorted by
+   total descending — the paper's Table-2-style cost breakdown. *)
+let phase_summary () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let d = duration_ms s in
+      if not (Float.is_nan d) then
+        let n, t = try Hashtbl.find tbl s.name with Not_found -> (0, 0.) in
+        Hashtbl.replace tbl s.name (n + 1, t +. d))
+    (spans ());
+  Hashtbl.fold (fun name (n, t) acc -> (name, n, t) :: acc) tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)

@@ -18,6 +18,8 @@ module Runner = Xrpc_xquery.Runner
 module Update = Xrpc_xquery.Update
 module Transport = Xrpc_net.Transport
 module Xrpc_uri = Xrpc_net.Xrpc_uri
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
 
 let log_src = Logs.Src.create "xrpc.peer" ~doc:"XRPC peer request handling"
 
@@ -30,9 +32,19 @@ let err fmt = Printf.ksprintf (fun s -> raise (Peer_error s)) fmt
 type config = {
   bulk_rpc : bool;  (** loop-lift [execute at] into Bulk RPC (default) *)
   default_timeout : int;  (** seconds, for queryID isolation entries *)
+  idem_capacity : int;
+      (** idempotency-cache capacity; an evicted key falls back to
+          at-least-once (the request re-executes on replay) *)
 }
 
-let default_config = { bulk_rpc = true; default_timeout = 30 }
+let default_config = { bulk_rpc = true; default_timeout = 30; idem_capacity = 256 }
+
+let m_requests = Metrics.counter "peer.requests"
+let m_calls = Metrics.counter "peer.calls"
+let m_faults = Metrics.counter "peer.faults"
+let m_idem_hits = Metrics.counter "peer.idem_hits"
+let m_handle_ms = Metrics.histogram "peer.handle_ms"
+let m_queries = Metrics.counter "peer.queries"
 
 type t = {
   uri : string;
@@ -71,7 +83,7 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
     modules = Hashtbl.create 8;
     locations = Hashtbl.create 8;
     func_cache = Func_cache.create ();
-    idem_cache = Idem_cache.create ();
+    idem_cache = Idem_cache.create ~capacity:config.idem_capacity ();
     idem_seq = 0;
     tx_decisions = Hashtbl.create 8;
     isolation = Isolation.create ~clock ();
@@ -184,11 +196,20 @@ let dispatcher peer peers_acc : Xctx.dispatcher =
   let serialize req =
     Message.to_string (Message.Request (assign_idem_key peer req))
   in
+  (* each logical RPC gets its own span; the request body is serialized
+     inside it so the SOAP header's parent-span is the rpc span — retries
+     resend the same body, i.e. the same logical parent *)
   {
     Xctx.call =
-      (fun ~dest req -> decode dest (transport.Transport.send ~dest (serialize req)));
+      (fun ~dest req ->
+        Trace.with_span ~detail:dest "rpc" @@ fun () ->
+        decode dest (transport.Transport.send ~dest (serialize req)));
     call_parallel =
       (fun reqs ->
+        Trace.with_span
+          ~detail:(string_of_int (List.length reqs) ^ " peers")
+          "rpc.parallel"
+        @@ fun () ->
         let bodies =
           List.map (fun (dest, req) -> (dest, serialize req)) reqs
         in
@@ -238,6 +259,8 @@ let compile_module peer ~uri ~location : Func_cache.compiled =
 let handle_request peer (r : Message.request) : Message.t =
   peer.requests_handled <- peer.requests_handled + 1;
   peer.calls_handled <- peer.calls_handled + List.length r.Message.calls;
+  Metrics.incr m_requests;
+  Metrics.incr_by m_calls (List.length r.Message.calls);
   Log.debug (fun m ->
       m "%s: request %s:%s#%d (%d call%s%s%s)" peer.uri r.Message.module_uri
         r.Message.method_ r.Message.arity
@@ -280,6 +303,8 @@ let handle_request peer (r : Message.request) : Message.t =
       }
   else
     let compiled =
+      (* covers parse + prolog + static check on a cache miss; ~0 on a hit *)
+      Trace.with_span ~detail:r.Message.module_uri "peer.compile" @@ fun () ->
       compile_module peer ~uri:r.Message.module_uri ~location:r.Message.location
     in
     let peers_acc = ref [ peer.uri ] in
@@ -298,11 +323,12 @@ let handle_request peer (r : Message.request) : Message.t =
     (* bulk execution: a selection function with a call-dependent key is
        answered with one scan + hash join over all calls (the set-oriented
        opportunity of §1); otherwise the body runs once per call *)
-    let joined =
-      if f.Xctx.decl.Xrpc_xquery.Ast.fn_updating then None
-      else Bulk_opt.hash_join_execute ctx f r.Message.calls
-    in
     let results =
+      Trace.with_span ~detail:r.Message.method_ "peer.exec" @@ fun () ->
+      let joined =
+        if f.Xctx.decl.Xrpc_xquery.Ast.fn_updating then None
+        else Bulk_opt.hash_join_execute ctx f r.Message.calls
+      in
       match joined with
       | Some rs -> rs
       | None ->
@@ -317,6 +343,7 @@ let handle_request peer (r : Message.request) : Message.t =
     (* updating semantics *)
     let pul = List.rev !(ctx.Xctx.pul) in
     (if pul <> [] then
+       Trace.with_span "peer.commit" @@ fun () ->
        match entry with
        | Some e ->
            (* R'_Fu: defer — union into the per-query ∆ collection *)
@@ -412,7 +439,24 @@ let with_peer_lock peer f =
 let handle_raw peer (body : string) : string =
   let t0 = Unix.gettimeofday () in
   with_peer_lock peer @@ fun () ->
-  let msg = try Ok (Message.of_string body) with e -> Error e in
+  let parsed =
+    try Ok (Message.of_string_traced body) with e -> Error e
+  in
+  let msg = Result.map fst parsed in
+  (* the span adopts the caller's propagated (trace-id, parent-span) when
+     the envelope header carries one, so peer-side work lands in the
+     originating query's tree; the parse itself is recorded as an event *)
+  let span_body f =
+    match parsed with
+    | Ok (_, Some (trace_id, parent)) ->
+        Trace.with_remote_parent ~detail:peer.uri ~trace_id ~parent
+          "peer.handle" f
+    | _ -> Trace.with_span ~detail:peer.uri "peer.handle" f
+  in
+  span_body @@ fun () ->
+  Trace.event
+    ~detail:(Printf.sprintf "%.3fms" ((Unix.gettimeofday () -. t0) *. 1000.))
+    "peer-parse";
   (* exactly-once over at-least-once delivery: a request whose idemKey we
      already answered is served from the idempotency cache without
      re-executing (in particular without re-applying R_Fu updates) *)
@@ -427,6 +471,8 @@ let handle_raw peer (body : string) : string =
     | None -> None
   with
   | Some out ->
+      Metrics.incr m_idem_hits;
+      Trace.event "idem-hit";
       peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
       out
   | None ->
@@ -460,6 +506,8 @@ let handle_raw peer (body : string) : string =
   in
   (match reply with
   | Message.Fault f ->
+      Metrics.incr m_faults;
+      Trace.event ~detail:f.Message.reason "fault";
       Log.warn (fun m -> m "%s: fault: %s" peer.uri f.Message.reason)
   | _ -> ());
   let out = Message.to_string reply in
@@ -469,7 +517,9 @@ let handle_raw peer (body : string) : string =
   | Some k, (Message.Response _ | Message.Tx_response _) ->
       Idem_cache.add peer.idem_cache k out
   | _ -> ());
-  peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+  let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+  peer.handler_ms <- peer.handler_ms +. elapsed;
+  Metrics.observe m_handle_ms elapsed;
   out
 
 (* ------------------------------------------------------------------ *)
@@ -504,13 +554,22 @@ type query_result = {
     - Without it, rules R_Fr / R_Fu apply: remote updates are applied per
       request, local updates when the query finishes. *)
 let query peer (source : string) : query_result =
-  let prog = Xrpc_xquery.Parser.parse_prog source in
+  Metrics.incr m_queries;
+  Trace.with_span ~detail:peer.uri "query" @@ fun () ->
+  let prog =
+    Trace.with_span "client.parse" @@ fun () ->
+    Xrpc_xquery.Parser.parse_prog source
+  in
   let version = Database.snapshot peer.db in
   let peers_acc = ref [] in
   (* two-phase context setup: prolog processing may already need docs *)
   let ctx0 = make_context peer ~version ~query_id:None ~peers_acc in
-  let ctx = Runner.load_prolog ctx0 ~resolver:(module_resolver peer) prog in
-  Xrpc_xquery.Check.check_prog_exn ctx prog;
+  let ctx =
+    Trace.with_span "client.compile" @@ fun () ->
+    let ctx = Runner.load_prolog ctx0 ~resolver:(module_resolver peer) prog in
+    Xrpc_xquery.Check.check_prog_exn ctx prog;
+    ctx
+  in
   let isolation_level = Xctx.isolation ctx in
   let timeout =
     match Xctx.option_value ctx (Qname.make ~uri:Qname.ns_xrpc "timeout") with
@@ -533,7 +592,9 @@ let query peer (source : string) : query_result =
     | Some b -> b
     | None -> err "cannot execute a library module"
   in
-  let value = Xrpc_xquery.Eval.eval ctx body in
+  let value =
+    Trace.with_span "client.exec" @@ fun () -> Xrpc_xquery.Eval.eval ctx body
+  in
   let pul = List.rev !(ctx.Xctx.pul) in
   let participants =
     List.filter (fun p -> Xrpc_uri.peer_key_of_string p
@@ -558,11 +619,13 @@ let query peer (source : string) : query_result =
                 committed)
             qid participants
         in
-        if outcome.Two_pc.committed then Database.commit peer.db pul;
+        if outcome.Two_pc.committed then
+          Trace.with_span "client.commit" (fun () -> Database.commit peer.db pul);
         (outcome.Two_pc.committed, Some outcome)
     | _ ->
         (* local-only (or non-isolated) commit *)
-        if pul <> [] then Database.commit peer.db pul;
+        if pul <> [] then
+          Trace.with_span "client.commit" (fun () -> Database.commit peer.db pul);
         (true, None)
   in
   { value; participants; committed; tx }

@@ -23,6 +23,8 @@
 
 module Message = Xrpc_soap.Message
 module Transport = Xrpc_net.Transport
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
 
 type vote = {
   peer : string;
@@ -80,13 +82,25 @@ let status ~transport ~dest qid = tx transport ~dest Message.Status qid
     and reports per-peer votes and decision acks.  [on_decision] fires
     once, after the votes are in and before any decision message is sent —
     the coordinator's "log the decision to stable storage" step. *)
+let m_commits = Metrics.counter "twopc.commits"
+let m_aborts = Metrics.counter "twopc.aborts"
+
 let run_detailed ?(decision_retries = 3) ?(on_decision = fun _ -> ())
     ~transport (qid : Message.query_id) (participants : string list) : outcome =
+  Trace.with_span ~detail:(Message.query_id_key qid) "2pc" @@ fun () ->
   let votes =
-    List.map (fun dest -> tx transport ~dest Message.Prepare qid) participants
+    Trace.with_span "2pc.prepare" @@ fun () ->
+    List.map
+      (fun dest ->
+        let v = tx transport ~dest Message.Prepare qid in
+        Trace.event ~detail:(dest ^ (if v.ok then " yes" else " no"))
+          (if v.ok then "vote-yes" else "vote-no");
+        v)
+      participants
   in
   let all_ok = List.for_all (fun v -> v.ok) votes in
   on_decision all_ok;
+  Metrics.incr (if all_ok then m_commits else m_aborts);
   let second = if all_ok then Message.Commit else Message.Rollback in
   let decide dest =
     let rec go attempt =
@@ -96,7 +110,12 @@ let run_detailed ?(decision_retries = 3) ?(on_decision = fun _ -> ())
     in
     go 0
   in
-  let decision_acks = List.map decide participants in
+  let decision_acks =
+    Trace.with_span
+      ~detail:(if all_ok then "commit" else "rollback")
+      "2pc.decision"
+    @@ fun () -> List.map decide participants
+  in
   { committed = all_ok; votes; decision_acks }
 
 let run ~transport qid participants =

@@ -81,7 +81,26 @@ let query_id_key (q : query_id) = q.host ^ "@" ^ q.timestamp
 let xrpc local = Qname.make ~prefix:"xrpc" ~uri:Qname.ns_xrpc local
 let env local = Qname.make ~prefix:"env" ~uri:Qname.ns_env local
 
-let envelope body_children =
+(* When tracing is active the envelope grows a SOAP Header carrying the
+   (trace-id, parent-span) pair — see protocol/XRPC.xsd, xrpc:trace — so a
+   serving peer can hang its spans under the caller's span tree. *)
+let trace_header = function
+  | None -> []
+  | Some (trace_id, parent_span) ->
+      [
+        Tree.elem (env "Header")
+          [
+            Tree.elem (xrpc "trace")
+              ~attrs:
+                [
+                  Tree.attr (Qname.make "traceId") trace_id;
+                  Tree.attr (Qname.make "parentSpan") parent_span;
+                ]
+              [];
+          ];
+      ]
+
+let envelope ?trace body_children =
   Tree.elem (env "Envelope")
     ~attrs:
       [
@@ -93,7 +112,7 @@ let envelope body_children =
           (Qname.make ~prefix:"xsi" ~uri:Qname.ns_xsi "schemaLocation")
           "http://monetdb.cwi.nl/XQuery http://monetdb.cwi.nl/XQuery/XRPC.xsd";
       ]
-    [ Tree.elem (env "Body") body_children ]
+    (trace_header trace @ [ Tree.elem (env "Body") body_children ])
 
 let query_id_elem (q : query_id) =
   Tree.elem (xrpc "queryID")
@@ -109,7 +128,7 @@ let query_id_elem (q : query_id) =
       | Snapshot -> [ Tree.attr (Qname.make "level") "snapshot" ])
     []
 
-let to_tree = function
+let to_tree ?trace = function
   | Request r ->
       let calls =
         List.map
@@ -119,7 +138,7 @@ let to_tree = function
           r.calls
       in
       let qid = match r.query_id with None -> [] | Some q -> [ query_id_elem q ] in
-      envelope
+      envelope ?trace
         [
           Tree.elem (xrpc "request")
             ~attrs:
@@ -152,7 +171,7 @@ let to_tree = function
                    ps);
             ]
       in
-      envelope
+      envelope ?trace
         [
           Tree.elem (xrpc "response")
             ~attrs:
@@ -164,7 +183,7 @@ let to_tree = function
         ]
   | Fault f ->
       let code = match f.fault_code with `Sender -> "env:Sender" | `Receiver -> "env:Receiver" in
-      envelope
+      envelope ?trace
         [
           Tree.elem (env "Fault")
             [
@@ -185,14 +204,14 @@ let to_tree = function
         | Rollback -> "rollback"
         | Status -> "status"
       in
-      envelope
+      envelope ?trace
         [
           Tree.elem (xrpc "transaction")
             ~attrs:[ Tree.attr (Qname.make "operation") opname ]
             [ query_id_elem q ];
         ]
   | Tx_response r ->
-      envelope
+      envelope ?trace
         [
           Tree.elem (xrpc "transactionResult")
             ~attrs:
@@ -203,8 +222,16 @@ let to_tree = function
             [];
         ]
 
-(** Serialize a message to its on-the-wire form (with XML declaration). *)
-let to_string m = Serialize.document_to_string (Tree.Document [ to_tree m ])
+(** Serialize a message to its on-the-wire form (with XML declaration).
+    When tracing is enabled and no explicit [?trace] pair is given, the
+    ambient span context ([Xrpc_obs.Trace.propagation]) is stamped into the
+    envelope header automatically; with tracing off the wire format is
+    byte-identical to previous releases. *)
+let to_string ?trace m =
+  let trace =
+    match trace with Some _ as t -> t | None -> Xrpc_obs.Trace.propagation ()
+  in
+  Serialize.document_to_string (Tree.Document [ to_tree ?trace m ])
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
@@ -373,5 +400,31 @@ let of_tree tree =
         }
   | _ -> err "unrecognized SOAP body"
 
+(* The propagated (trace-id, parent-span) pair, if the envelope carries an
+   xrpc:trace header. *)
+let trace_of_tree = function
+  | Tree.Document [ Tree.Element { name; children; _ } ]
+    when name.Qname.local = "Envelope" ->
+      List.find_map
+        (function
+          | Tree.Element { name; children; _ } when name.Qname.local = "Header" ->
+              List.find_map
+                (function
+                  | Tree.Element { name; attrs; _ }
+                    when name.Qname.local = "trace" -> (
+                      match (find_attr attrs "traceId", find_attr attrs "parentSpan") with
+                      | Some t, Some p -> Some (t, p)
+                      | _ -> None)
+                  | _ -> None)
+                (elem_children children)
+          | _ -> None)
+        (elem_children children)
+  | _ -> None
+
 (** Parse an on-the-wire message. *)
 let of_string s = of_tree (Xml_parse.document s)
+
+(** Parse a message together with its propagated trace context, if any. *)
+let of_string_traced s =
+  let tree = Xml_parse.document s in
+  (of_tree tree, trace_of_tree tree)

@@ -12,10 +12,15 @@
 
 open Xrpc_xml
 module Message = Xrpc_soap.Message
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
 
 exception Error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let m_applications = Metrics.counter "eval.applications"
+let m_apply_ms = Metrics.histogram "eval.apply_ms"
 
 (* ------------------------------------------------------------------ *)
 (* Node tests and axes                                                 *)
@@ -697,6 +702,25 @@ and convert_argument ~fname (q : Qname.t) (ty : Ast.seq_type option)
           q.Qname.local fname)
 
 and apply_function ctx (f : Context.func) (arg_values : Xdm.sequence list) =
+  Metrics.incr m_applications;
+  if not (Trace.enabled ()) then apply_function_inner ctx f arg_values
+  else begin
+    (* span only the outermost application (the unit the XRPC handler
+       bills per call); inner recursion is aggregated into the histogram *)
+    let t0 = Trace.now_ms () in
+    let run () =
+      let r = apply_function_inner ctx f arg_values in
+      Metrics.observe m_apply_ms (Trace.now_ms () -. t0);
+      r
+    in
+    if ctx.Context.call_depth = 0 then
+      Trace.with_span
+        ~detail:(Qname.to_string f.Context.decl.Ast.fn_name)
+        "eval.apply" run
+    else run ()
+  end
+
+and apply_function_inner ctx (f : Context.func) (arg_values : Xdm.sequence list) =
   if ctx.Context.call_depth > max_depth then err "stack overflow (recursion)";
   match f.Context.decl.Ast.fn_body with
   | None -> err "external function %s has no implementation"

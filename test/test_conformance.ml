@@ -167,6 +167,45 @@ let cases =
      "true");
     ("quantifier over empty", "every $x in () satisfies false()", "true");
     ("some over empty", "some $x in () satisfies true()", "false");
+    (* --- builtin conformance: strings --- *)
+    ("substring from", {|substring("distributed", 4)|}, "tributed");
+    ("substring from length", {|substring("distributed", 4, 3)|}, "tri");
+    ("substring start before 1", {|substring("abcde", 0)|}, "abcde");
+    ("substring start 0 clips length", {|substring("abcde", 0, 3)|}, "ab");
+    ("substring past the end", {|substring("abc", 10)|}, "");
+    ("substring length past the end", {|substring("abcde", 2, 100)|}, "bcde");
+    ("substring non-positive length", {|substring("abcde", 3, -1)|}, "");
+    ("substring of empty sequence", {|substring((), 2)|}, "");
+    ("contains hit", {|contains("loop-lifted", "lift")|}, "true");
+    ("contains empty needle", {|contains("abc", "")|}, "true");
+    ("contains in empty string", {|contains("", "a")|}, "false");
+    ("contains empty in empty", {|contains((), ())|}, "true");
+    ("contains over node content",
+     {|contains(string((doc("l")//title)[2]), "SQL")|}, "true");
+    (* --- builtin conformance: numerics --- *)
+    ("round down", "round(2.4)", "2");
+    ("round up", "round(2.6)", "3");
+    ("round negative", "round(-2.6)", "-3");
+    ("round integer passthrough", "round(7)", "7");
+    ("round of empty is empty", "count(round(()))", "0");
+    ("round of untyped node", {|round((doc("l")//price)[1])|}, "81");
+    (* --- builtin conformance: sequences --- *)
+    ("empty of empty", "empty(())", "true");
+    ("empty of one", "empty(0)", "false");
+    ("empty of missing path", {|empty(doc("l")//nosuch)|}, "true");
+    ("exists of nodes", {|exists(doc("l")//book)|}, "true");
+    ("exists of empty", "exists(())", "false");
+    ("reverse atomics", "reverse((1, 2, 3))", "3 2 1");
+    ("reverse of empty", "count(reverse(()))", "0");
+    ("reverse keeps nodes whole",
+     {|string((reverse(doc("l")//book))[1]/@year)|}, "2007");
+    ("reverse of strings",
+     {|string-join(reverse(for $a in doc("l")//author return string($a)), " ")|},
+     "Boncz Zhang Grust Valduriez Ozsu");
+    ("index-of all positions", "index-of((10, 20, 30, 20), 20)", "2 4");
+    ("index-of over empty sequence", "count(index-of((), 1))", "0");
+    ("index-of skips incomparable items", {|index-of((1, "a", 2, 1), 1)|}, "1 4");
+    ("index-of atomizes nodes", {|index-of(doc("l")//author, "Grust")|}, "3");
   ]
 
 let error_cases =
@@ -180,6 +219,13 @@ let error_cases =
     ("mixed path result", {|(doc("l")//book/(title, string(@year)))|});
     ("duplicate constructed attribute (XQDY0025)",
      {|<e>{(doc("l")//book)/@year}</e>|});
+    (* builtin type errors *)
+    ("substring over two strings", {|substring(("a", "b"), 1)|});
+    ("contains over two strings", {|contains(("a", "b"), "a")|});
+    ("round over two numbers", "round((1, 2))");
+    ("round of non-numeric string", {|round("abc")|});
+    ("index-of empty search value", "index-of((1, 2), ())");
+    ("index-of two search values", "index-of((1, 2), (1, 2))");
   ]
 
 let () =

@@ -531,6 +531,89 @@ execute at {"xrpc://y.example.org"} {f:addFilm("Retry %d", "A")}|}
   done
 
 (* ------------------------------------------------------------------ *)
+(* Idem_cache boundaries: LRU order at capacity, replacement, and the  *)
+(* at-least-once fallback once a key has been evicted                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_idem_lru_eviction_order () =
+  let c = Idem_cache.create ~capacity:3 () in
+  Idem_cache.add c "k1" "r1";
+  Idem_cache.add c "k2" "r2";
+  Idem_cache.add c "k3" "r3";
+  check int_ "at capacity" 3 (Idem_cache.size c);
+  (* touch k1: k2 becomes the least recently used *)
+  check bool_ "k1 hit" true (Idem_cache.find c "k1" = Some "r1");
+  Idem_cache.add c "k4" "r4";
+  check int_ "still at capacity" 3 (Idem_cache.size c);
+  check int_ "one eviction" 1 c.Idem_cache.evictions;
+  check bool_ "LRU key k2 evicted" true (Idem_cache.find c "k2" = None);
+  check bool_ "k1 survived (recently used)" true
+    (Idem_cache.find c "k1" = Some "r1");
+  check bool_ "k3 survived" true (Idem_cache.find c "k3" = Some "r3");
+  check bool_ "k4 present" true (Idem_cache.find c "k4" = Some "r4")
+
+let test_idem_replace_at_capacity () =
+  let c = Idem_cache.create ~capacity:2 () in
+  Idem_cache.add c "k1" "r1";
+  Idem_cache.add c "k2" "r2";
+  (* replacing a key that is already cached must not evict anything,
+     even with the cache exactly full *)
+  Idem_cache.add c "k1" "r1'";
+  check int_ "no growth" 2 (Idem_cache.size c);
+  check int_ "no eviction" 0 c.Idem_cache.evictions;
+  check bool_ "replaced value served" true (Idem_cache.find c "k1" = Some "r1'");
+  check bool_ "other key untouched" true (Idem_cache.find c "k2" = Some "r2")
+
+(* a raw updating request carrying an explicit idempotency key *)
+let add_film_request ~key name =
+  Message.to_string
+    (Message.Request
+       {
+         Message.module_uri = Filmdb.module_ns;
+         location = Filmdb.module_at;
+         method_ = "addFilm";
+         arity = 2;
+         updating = true;
+         fragments = false;
+         query_id = None;
+         idem_key = Some key;
+         calls = [ [ [ Xdm.str name ]; [ Xdm.str "Actor E" ] ] ];
+       })
+
+let test_idem_evicted_key_reexecutes () =
+  (* regression: replaying a key the LRU has already evicted must fall
+     back to at-least-once (re-execute and answer), never error.  The
+     visible consequence — the update applies twice — is exactly the
+     documented at-least-once semantics past the cache horizon. *)
+  let cluster =
+    Cluster.create ~config:sim_config
+      ~peer_config:{ Peer.default_config with Peer.idem_capacity = 2 }
+      ~names:[ "y.example.org" ] ()
+  in
+  let y = Cluster.peer cluster "y.example.org" in
+  Filmdb.install y ();
+  let expect_response what out =
+    match Message.of_string out with
+    | Message.Response _ -> ()
+    | Message.Fault f -> Alcotest.failf "%s answered a fault: %s" what f.Message.reason
+    | _ -> Alcotest.failf "%s: unexpected reply" what
+  in
+  let body = add_film_request ~key:"kA" "Evict Me" in
+  expect_response "first execution" (Peer.handle_raw y body);
+  check int_ "applied once" 1 (count_film y "Evict Me");
+  (* replay while cached: served from the cache, not re-executed *)
+  expect_response "cached replay" (Peer.handle_raw y body);
+  check int_ "not re-applied while cached" 1 (count_film y "Evict Me");
+  check bool_ "cache hit recorded" true (y.Peer.idem_cache.Idem_cache.hits > 0);
+  (* two fresh keys flood the capacity-2 cache; kA is the LRU victim *)
+  expect_response "flood 1" (Peer.handle_raw y (add_film_request ~key:"kB" "Other B"));
+  expect_response "flood 2" (Peer.handle_raw y (add_film_request ~key:"kC" "Other C"));
+  check int_ "kA evicted" 1 y.Peer.idem_cache.Idem_cache.evictions;
+  (* replay after eviction: must re-execute, not fail *)
+  expect_response "post-eviction replay" (Peer.handle_raw y body);
+  check int_ "at-least-once fallback re-applied" 2 (count_film y "Evict Me")
+
+(* ------------------------------------------------------------------ *)
 (* 2PC decision phase (satellite: run_detailed must not swallow acks)  *)
 (* ------------------------------------------------------------------ *)
 
@@ -637,6 +720,15 @@ let () =
             test_exactly_once_needs_idem_cache;
           Alcotest.test_case "retries do not re-execute" `Quick
             test_retry_does_not_reexecute;
+        ] );
+      ( "idem-cache",
+        [
+          Alcotest.test_case "LRU eviction order at capacity" `Quick
+            test_idem_lru_eviction_order;
+          Alcotest.test_case "replacement does not evict" `Quick
+            test_idem_replace_at_capacity;
+          Alcotest.test_case "evicted key re-executes on replay" `Quick
+            test_idem_evicted_key_reexecutes;
         ] );
       ( "two-pc",
         [
