@@ -10,6 +10,8 @@
 module Peer = Xrpc_peer.Peer
 module Database = Xrpc_peer.Database
 module Http = Xrpc_net.Http
+module Executor = Xrpc_net.Executor
+module Client = Xrpc_core.Xrpc_client
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
 
@@ -54,8 +56,16 @@ let serve verbose port data demo trace =
     Trace.set_enabled true
   end;
   let peer = Peer.create (Printf.sprintf "xrpc://127.0.0.1:%d" port) in
-  (* outgoing calls of hosted functions also travel over HTTP *)
-  Peer.set_transport peer (Http.transport ());
+  (* outgoing calls of hosted functions also travel over HTTP, through the
+     client façade: pooled keep-alive connections, parallel fan-out *)
+  let client =
+    Client.connect_http
+      ~config:(Client.config ~executor:Executor.unbounded ~keep_alive:true ())
+      ~origin:(Printf.sprintf "xrpc://127.0.0.1:%d" port)
+      ()
+  in
+  Peer.set_transport peer (Client.transport client);
+  Peer.set_executor peer (Client.executor client);
   if demo then begin
     Xrpc_workloads.Filmdb.install peer ();
     print_endline "demo film database + films module loaded"

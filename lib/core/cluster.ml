@@ -20,7 +20,10 @@ type t = {
           exposes the policy layer's stats *)
   mutable peers : (string * Peer.t) list;
   mutable wrappers : (string * Wrapper.t) list;
+  mutable client_facade : Xrpc_client.t option;  (** built lazily *)
 }
+
+let net t = t.net
 
 let uri_of_name name =
   if String.length name >= 7 && String.sub name 0 7 = "xrpc://" then name
@@ -35,9 +38,13 @@ let clock_of (net : Simnet.t) () = net.Simnet.clock_ms /. 1000.
     injection on the simulated network; [policy] wraps every peer's
     outgoing transport in the retry/timeout/circuit-breaker layer
     ({!Transport.with_policy}), with backoff sleeps and breaker cooldowns
-    measured on the {e virtual} clock so chaos runs stay deterministic. *)
+    measured on the {e virtual} clock so chaos runs stay deterministic.
+    [executor] is handed to the policy layer and to every peer's 2PC
+    coordinator; leave it sequential (the default) — Simnet is
+    single-threaded, and sequential dispatch is what keeps seeded chaos
+    runs replayable. *)
 let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config)
-    ?faults ?policy ~names () =
+    ?faults ?policy ?(executor = Xrpc_net.Executor.sequential) ~names () =
   let net = Simnet.create ~config ?faults () in
   let policied =
     Option.map
@@ -47,15 +54,15 @@ let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config
           | Some f -> f.Simnet.fault_seed
           | None -> 0
         in
-        Transport.with_policy ~policy ~seed
+        Transport.with_policy ~policy ~seed ~executor
           ~now:(fun () -> net.Simnet.clock_ms)
           ~sleep:(Simnet.sleep net) (Simnet.transport net))
       policy
   in
-  let cluster = { net; policied; peers = []; wrappers = [] } in
+  let cluster = { net; policied; peers = []; wrappers = []; client_facade = None } in
   let transport =
     match policied with
-    | Some p -> p.Transport.transport
+    | Some p -> Transport.transport p
     | None -> Simnet.transport net
   in
   List.iter
@@ -63,6 +70,7 @@ let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config
       let uri = uri_of_name name in
       let peer = Peer.create ~config:peer_config ~clock:(clock_of net) uri in
       Peer.set_transport peer transport;
+      Peer.set_executor peer executor;
       Simnet.register net uri (Peer.handle_raw peer);
       cluster.peers <- (name, peer) :: cluster.peers)
     names;
@@ -124,7 +132,25 @@ let crash t ?after_ms name = Simnet.crash t.net ?after_ms (uri_of_name name)
 let restart t name = Simnet.restart t.net (uri_of_name name)
 let partition t names = Simnet.partition t.net (List.map uri_of_name names)
 let heal t = Simnet.heal t.net
-let policy_stats t = Option.map (fun p -> p.Transport.stats) t.policied
+let policy_stats t = Option.map Transport.stats t.policied
+
+(** The cluster's {!Xrpc_client} façade: calls go through the shared
+    policy layer when one was configured, straight onto the simulated
+    network otherwise.  Built once, on first use (idempotency keys stay
+    monotone across calls). *)
+let client t =
+  match t.client_facade with
+  | Some c -> c
+  | None ->
+      let c =
+        match t.policied with
+        | Some p -> Xrpc_client.connect_policied ~origin:"xrpc://coordinator" p
+        | None ->
+            Xrpc_client.connect_transport ~origin:"xrpc://coordinator"
+              (Simnet.transport t.net)
+      in
+      t.client_facade <- Some c;
+      c
 
 (** Run {!Peer.resolve_in_doubt} on every peer (models "everyone
     reconnects after the network recovers"); returns summed

@@ -1,0 +1,84 @@
+(** Convenience layer: wire a set of XRPC peers over a transport.
+
+    [create ~names ()] builds one {!Xrpc_peer.Peer} per name on a shared
+    deterministic {!Xrpc_net.Simnet} (names become [xrpc://NAME] URIs),
+    registers each peer's handler with the network, and points every
+    peer's outgoing transport at it.  Wrapper peers (§4) can be attached
+    with [add_wrapper].  [serve_http] exposes any peer of the cluster over
+    real HTTP for cross-process use; [client] is the cluster's
+    {!Xrpc_client} façade. *)
+
+type t
+(** A cluster: the simulated network, the optional shared policy layer,
+    and the peers and wrappers living on it.  The policy layer's breaker
+    table is internal — observe it through {!policy_stats}. *)
+
+val create :
+  ?config:Xrpc_net.Simnet.config ->
+  ?peer_config:Xrpc_peer.Peer.config ->
+  ?faults:Xrpc_net.Simnet.fault_config ->
+  ?policy:Xrpc_net.Transport.policy ->
+  ?executor:Xrpc_net.Executor.t ->
+  names:string list ->
+  unit ->
+  t
+(** [create ?faults ?policy ~names ()] — [faults] installs seeded fault
+    injection on the simulated network; [policy] wraps every peer's
+    outgoing transport in the retry/timeout/circuit-breaker layer, with
+    backoff sleeps and breaker cooldowns measured on the {e virtual}
+    clock so chaos runs stay deterministic.  [executor] is handed to the
+    policy layer and to every peer's 2PC coordinator; leave it sequential
+    (the default) — Simnet is single-threaded, and sequential dispatch is
+    what keeps seeded chaos runs replayable. *)
+
+val net : t -> Xrpc_net.Simnet.t
+(** The underlying simulated network (register extra handlers, advance
+    the virtual clock, ...). *)
+
+val peer : t -> string -> Xrpc_peer.Peer.t
+val add_wrapper : t -> ?join_detect:bool -> string -> Xrpc_peer.Wrapper.t
+val wrapper : t -> string -> Xrpc_peer.Wrapper.t
+
+val register_module_everywhere :
+  t -> uri:string -> ?location:string -> string -> unit
+(** Register the same module on every peer and wrapper (the paper's
+    examples assume the module at its at-hint URL is reachable from
+    everywhere). *)
+
+val serve_http : t -> string -> ?port:int -> unit -> Xrpc_net.Http.server * string
+(** Expose a peer over real HTTP (loopback); returns the server handle
+    and the xrpc URI (with port) remote peers should use. *)
+
+val client : t -> Xrpc_client.t
+(** The cluster's {!Xrpc_client} façade: calls go through the shared
+    policy layer when one was configured, straight onto the simulated
+    network otherwise.  Built once, on first use. *)
+
+(** {2 Tracing and clocks} *)
+
+val enable_tracing : t -> unit
+(** Point the global tracer at this cluster's virtual clock and enable
+    it: span timings become deterministic simulated milliseconds, so a
+    seeded chaos schedule replays to a bit-identical span tree. *)
+
+val disable_tracing : unit -> unit
+val clock_ms : t -> float
+val reset_clock : t -> unit
+val stats : t -> Xrpc_net.Simnet.stats
+val reset_stats : t -> unit
+
+(** {2 Fault injection} *)
+
+val inject_faults : t -> Xrpc_net.Simnet.fault_config -> unit
+val clear_faults : t -> unit
+val fault_stats : t -> Xrpc_net.Simnet.fault_stats option
+val crash : t -> ?after_ms:float -> string -> unit
+val restart : t -> string -> unit
+val partition : t -> string list -> unit
+val heal : t -> unit
+val policy_stats : t -> Xrpc_net.Transport.policy_stats option
+
+val resolve_in_doubt : t -> int * int * int
+(** Run {!Xrpc_peer.Peer.resolve_in_doubt} on every peer (models
+    "everyone reconnects after the network recovers"); returns summed
+    [(committed, aborted, still_in_doubt)]. *)

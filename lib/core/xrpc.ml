@@ -15,7 +15,11 @@
     ]} *)
 
 module Cluster = Cluster
+module Client = Xrpc_client
 module Strategies = Strategies
+module Executor = Xrpc_net.Executor
+module Error = Xrpc_net.Xrpc_error
+module Transport = Xrpc_net.Transport
 module Peer = Xrpc_peer.Peer
 module Wrapper = Xrpc_peer.Wrapper
 module Database = Xrpc_peer.Database

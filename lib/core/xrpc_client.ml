@@ -1,0 +1,237 @@
+(** Unified XRPC client façade.
+
+    One front door for everything the query-originating site does on the
+    wire, replacing the scattered entry points (raw {!Transport} records,
+    [Http.transport] keyword soup, hand-built {!Message.request}s):
+
+    {[
+      let client =
+        Xrpc_client.(connect_http ~config:(config ~policy ~keep_alive:true
+                                             ~executor:(Executor.pool 8) ()) ())
+      in
+      let films =
+        Xrpc_client.call client ~dest:"xrpc://y:8080" ~module_uri:"films"
+          ~fn:"filmsByActor" [ [ Xdm.str "Sean Connery" ] ]
+    ]}
+
+    A client is a {!Transport.t} plus a {!config}: the recovery policy,
+    the dispatch {!Executor}, connection keep-alive, and tracing.  Every
+    outgoing request is stamped with a unique idempotency key (so the
+    at-least-once transport never re-executes updating functions), faults
+    come back as typed {!Xrpc_error.Error} exceptions, and multi-peer
+    calls fan out through the configured executor. *)
+
+module Transport = Xrpc_net.Transport
+module Executor = Xrpc_net.Executor
+module Xrpc_error = Xrpc_net.Xrpc_error
+module Simnet = Xrpc_net.Simnet
+module Http = Xrpc_net.Http
+module Message = Xrpc_soap.Message
+module Trace = Xrpc_obs.Trace
+module Xdm = Xrpc_xml.Xdm
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  policy : Transport.policy option;
+  executor : Executor.t;
+  seed : int;  (** deterministic backoff jitter *)
+  tracing : bool;  (** enable the global tracer on connect *)
+  keep_alive : bool;  (** HTTP: pool one connection per destination *)
+  default_port : int;  (** HTTP: port for xrpc:// URIs without one *)
+}
+
+let config ?policy ?(executor = Executor.sequential) ?(seed = 0)
+    ?(tracing = false) ?(keep_alive = false) ?(default_port = 8080) () =
+  { policy; executor; seed; tracing; keep_alive; default_port }
+
+let default_config = config ()
+
+type t = {
+  transport : Transport.t;
+  policied : Transport.policied option;
+      (** present when [config.policy] wrapped the transport; exposes the
+          policy layer's stats and breakers *)
+  executor : Executor.t;
+  origin : string;  (** identity stamped into idempotency keys *)
+  mutable idem_seq : int;
+  seq_lock : Mutex.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Connecting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(origin = "xrpc://client") ~config:cfg ~executor transport policied =
+  if cfg.tracing then Trace.set_enabled true;
+  {
+    transport;
+    policied;
+    executor;
+    origin;
+    idem_seq = 0;
+    seq_lock = Mutex.create ();
+  }
+
+(** Front an arbitrary transport.  With [config.policy], the recovery
+    policy runs on the wall clock. *)
+let connect_transport ?(config = default_config) ?origin raw =
+  match config.policy with
+  | None -> make ?origin ~config ~executor:config.executor raw None
+  | Some policy ->
+      let p =
+        Transport.with_policy ~policy ~seed:config.seed
+          ~executor:config.executor
+          ~now:(fun () -> Unix.gettimeofday () *. 1000.)
+          ~sleep:(fun ms -> Unix.sleepf (ms /. 1000.))
+          raw
+      in
+      make ?origin ~config ~executor:config.executor (Transport.transport p)
+        (Some p)
+
+(** Front an already-policied transport (e.g. a cluster's shared policy
+    layer), keeping its stats and breakers visible. *)
+let connect_policied ?(config = default_config) ?origin p =
+  make ?origin ~config ~executor:config.executor (Transport.transport p)
+    (Some p)
+
+(** Front the deterministic simulated network.  The executor is {e forced
+    sequential} — Simnet owns a virtual clock and is single-threaded, so
+    this is the mode whose seeded chaos runs replay bit-identically. *)
+let connect_simnet ?(config = default_config) ?origin net =
+  let executor = Executor.sequential in
+  let raw = Simnet.transport net in
+  match config.policy with
+  | None -> make ?origin ~config ~executor raw None
+  | Some policy ->
+      let p =
+        Transport.with_policy ~policy ~seed:config.seed ~executor
+          ~now:(fun () -> net.Simnet.clock_ms)
+          ~sleep:(Simnet.sleep net) raw
+      in
+      make ?origin ~config ~executor (Transport.transport p) (Some p)
+
+(** Front real HTTP.  The policy's [timeout_ms] doubles as the socket
+    timeout; [config.keep_alive] pools one connection per destination. *)
+let connect_http ?(config = default_config) ?origin () =
+  let raw =
+    Http.transport ~default_port:config.default_port
+      ?timeout_ms:(Option.map (fun p -> p.Transport.timeout_ms) config.policy)
+      ~executor:config.executor ~keep_alive:config.keep_alive ()
+  in
+  connect_transport ~config ?origin raw
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let transport t = t.transport
+let executor t = t.executor
+let policy_stats t = Option.map Transport.stats t.policied
+let breaker t dest = Option.map (fun p -> Transport.breaker_state p dest) t.policied
+
+(* ------------------------------------------------------------------ *)
+(* Raw calls                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let call_raw t ~dest body =
+  Trace.with_span ~detail:dest "client.call" @@ fun () ->
+  t.transport.Transport.send ~dest body
+
+let call_raw_bulk t pairs =
+  Trace.with_span
+    ~detail:(string_of_int (List.length pairs) ^ " peers")
+    "client.scatter"
+  @@ fun () -> t.transport.Transport.send_parallel pairs
+
+(* ------------------------------------------------------------------ *)
+(* Typed calls                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_idem_key t =
+  Mutex.lock t.seq_lock;
+  t.idem_seq <- t.idem_seq + 1;
+  let seq = t.idem_seq in
+  Mutex.unlock t.seq_lock;
+  Printf.sprintf "%s/%d" t.origin seq
+
+let request t ?query_id ?(updating = false) ?(fragments = false) ~module_uri
+    ?(location = "") ~fn calls =
+  {
+    Message.module_uri;
+    location;
+    method_ = fn;
+    arity = (match calls with [] -> 0 | params :: _ -> List.length params);
+    updating;
+    fragments;
+    query_id;
+    idem_key = Some (fresh_idem_key t);
+    calls;
+  }
+
+(* a Fault reply becomes the typed error it round-trips as *)
+let decode ~dest raw =
+  match Message.of_string raw with
+  | Message.Response r -> r.Message.results
+  | Message.Fault f ->
+      raise
+        (Xrpc_error.Error
+           (Xrpc_error.of_soap_fault ~dest ~code:f.Message.fault_code
+              f.Message.reason))
+  | _ ->
+      Xrpc_error.error
+        ~kind:(Xrpc_error.Protocol "unexpected-reply")
+        ~dest "expected a response or fault"
+
+let call_bulk t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
+    calls =
+  let req =
+    request t ?query_id ?updating ?fragments ~module_uri ?location ~fn calls
+  in
+  decode ~dest (call_raw t ~dest (Message.to_string (Message.Request req)))
+
+let call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
+    params =
+  match
+    call_bulk t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
+      [ params ]
+  with
+  | seq :: _ -> seq
+  | [] -> []  (* updating requests carry no results *)
+
+(** One single-call request per destination, dispatched concurrently
+    through the client's executor. *)
+let call_scatter t ?query_id ?updating ?fragments ~module_uri ?location ~fn
+    dest_params =
+  let pairs =
+    List.map
+      (fun (dest, params) ->
+        let req =
+          request t ?query_id ?updating ?fragments ~module_uri ?location ~fn
+            [ params ]
+        in
+        (dest, Message.to_string (Message.Request req)))
+      dest_params
+  in
+  List.map2
+    (fun (dest, _) raw ->
+      match decode ~dest raw with seq :: _ -> seq | [] -> [])
+    dest_params
+    (call_raw_bulk t pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous calls                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type 'a future = 'a Executor.future
+
+let call_async t ~dest ?query_id ?updating ?fragments ~module_uri ?location
+    ~fn params =
+  Executor.submit t.executor (fun () ->
+      call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
+        params)
+
+let await = Executor.await
+let await_result = Executor.await_result

@@ -5,7 +5,11 @@
     across processes or machines — modeled on the "ultra-light HTTP
     daemon" the paper embeds in MonetDB/XQuery (§3).  The server runs its
     accept loop on a daemon thread and serves each connection on its own
-    thread. *)
+    thread, keeping the connection open across requests (HTTP/1.1
+    keep-alive) unless the client sends [Connection: close].  The client
+    transport can reuse one pooled connection per destination
+    ([~keep_alive:true]) and fans parallel sends out through an
+    {!Executor}. *)
 
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
@@ -80,26 +84,40 @@ let serve ?(port = 0) (handler : path:string -> string -> string) : server =
     | _ -> assert false
   in
   let server = { sock; port = actual_port; running = true } in
+  (* thread-per-connection with keep-alive: loop serving requests on this
+     connection until the peer closes it, asks us to, or errors out.
+     HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close. *)
   let handle_conn fd =
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    (try
-       let request_line = read_line_crlf ic in
-       match String.split_on_char ' ' request_line with
-       | meth :: path :: _ ->
-           let headers = read_headers ic in
-           let body = if meth = "POST" then read_body ic headers else "" in
-           Metrics.incr m_served;
-           let status, response =
-             try ("200 OK", handler ~path body)
-             with e -> ("500 Internal Server Error", Printexc.to_string e)
-           in
-           Printf.fprintf oc
-             "HTTP/1.1 %s\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-             status (String.length response) response;
-           flush oc
-       | _ -> ()
-     with End_of_file | Sys_error _ -> ());
+    let rec serve_one () =
+      match read_line_crlf ic with
+      | exception (End_of_file | Sys_error _) -> ()
+      | request_line -> (
+          match String.split_on_char ' ' request_line with
+          | meth :: path :: rest ->
+              let headers = read_headers ic in
+              let body = if meth = "POST" then read_body ic headers else "" in
+              Metrics.incr m_served;
+              let close =
+                match List.assoc_opt "connection" headers with
+                | Some v -> String.lowercase_ascii v = "close"
+                | None -> rest = [ "HTTP/1.0" ]
+              in
+              let status, response =
+                try ("200 OK", handler ~path body)
+                with e -> ("500 Internal Server Error", Printexc.to_string e)
+              in
+              Printf.fprintf oc
+                "HTTP/1.1 %s\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n%s"
+                status (String.length response)
+                (if close then "close" else "keep-alive")
+                response;
+              flush oc;
+              if (not close) && server.running then serve_one ()
+          | _ -> ())
+    in
+    (try serve_one () with End_of_file | Sys_error _ -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ())
   in
   let accept_loop () =
@@ -121,98 +139,164 @@ let shutdown server =
 (* Client                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(** [post ~host ~port ~path body] performs one HTTP POST round trip.
-    [timeout_ms] maps the shared {!Transport.policy} request budget onto
-    real socket timeouts; socket-level failures are raised as the typed
-    {!Transport.Error} so the policy layer can retry them exactly like
-    simulated faults. *)
-let post ?timeout_ms ~host ~port ?(path = "/") body =
-  let dest = Printf.sprintf "%s:%d" host port in
-  Trace.with_span ~detail:dest "http.post" @@ fun () ->
-  Metrics.incr m_posts;
-  let t0 = Unix.gettimeofday () in
+type conn = { c_sock : Unix.file_descr; c_ic : in_channel; c_oc : out_channel }
+
+(* Map socket-level failures onto the shared typed error vocabulary so
+   the policy layer can retry them exactly like simulated faults. *)
+let wrap_socket_errors ~dest f =
+  try f () with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+    ->
+      Transport.error ~kind:Transport.Timeout ~dest "socket timeout"
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EHOSTUNREACH
+        | Unix.ENETUNREACH | Unix.EPIPE ),
+        _,
+        _ ) as e ->
+      Transport.error ~kind:Transport.Unreachable ~dest "%s"
+        (Printexc.to_string e)
+  | End_of_file ->
+      Transport.error ~kind:Transport.Unreachable ~dest
+        "connection closed before a full response"
+
+let open_conn ?timeout_ms ~dest ~host ~port () =
+  wrap_socket_errors ~dest @@ fun () ->
   let addr =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> Unix.inet_addr_loopback
   in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  let wrap f =
-    try f () with
-    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
-      ->
-        Transport.error ~kind:Transport.Timeout ~dest "socket timeout"
-    | Unix.Unix_error
-        ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EHOSTUNREACH
-          | Unix.ENETUNREACH | Unix.EPIPE ),
-          _,
-          _ ) as e ->
-        Transport.error ~kind:Transport.Unreachable ~dest "%s"
-          (Printexc.to_string e)
-    | End_of_file ->
-        Transport.error ~kind:Transport.Unreachable ~dest
-          "connection closed before a full response"
-  in
+  (match timeout_ms with
+  | Some ms when ms > 0. ->
+      Unix.setsockopt_float sock Unix.SO_RCVTIMEO (ms /. 1000.);
+      Unix.setsockopt_float sock Unix.SO_SNDTIMEO (ms /. 1000.)
+  | _ -> ());
+  (try Unix.connect sock (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    c_sock = sock;
+    c_ic = Unix.in_channel_of_descr sock;
+    c_oc = Unix.out_channel_of_descr sock;
+  }
+
+let close_conn c = try Unix.close c.c_sock with Unix.Unix_error _ -> ()
+
+(* One POST round trip over an open connection.  [keep_alive] selects the
+   Connection header; the server honours it per request. *)
+let request_conn ~dest ~host ~port ~path ~keep_alive c body =
+  wrap_socket_errors ~dest @@ fun () ->
+  Printf.fprintf c.c_oc
+    "POST %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n%s"
+    path host port (String.length body)
+    (if keep_alive then "keep-alive" else "close")
+    body;
+  flush c.c_oc;
+  let status_line = read_line_crlf c.c_ic in
+  let headers = read_headers c.c_ic in
+  let response = read_body c.c_ic headers in
+  match String.split_on_char ' ' status_line with
+  | _ :: code :: _ when code.[0] = '2' -> response
+  | _ :: code :: _ -> err "HTTP %s: %s" code response
+  | _ -> err "malformed HTTP status line %S" status_line
+
+(** [post ~host ~port ~path body] performs one HTTP POST round trip on a
+    fresh connection.  [timeout_ms] maps the shared {!Transport.policy}
+    request budget onto real socket timeouts. *)
+let post ?timeout_ms ~host ~port ?(path = "/") body =
+  let dest = Printf.sprintf "%s:%d" host port in
+  Trace.with_span ~detail:dest "http.post" @@ fun () ->
+  Metrics.incr m_posts;
+  let t0 = Unix.gettimeofday () in
+  let c = open_conn ?timeout_ms ~dest ~host ~port () in
   Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> close_conn c)
     (fun () ->
-      wrap @@ fun () ->
-      (match timeout_ms with
-      | Some ms when ms > 0. ->
-          Unix.setsockopt_float sock Unix.SO_RCVTIMEO (ms /. 1000.);
-          Unix.setsockopt_float sock Unix.SO_SNDTIMEO (ms /. 1000.)
-      | _ -> ());
-      Unix.connect sock (Unix.ADDR_INET (addr, port));
-      let oc = Unix.out_channel_of_descr sock in
-      let ic = Unix.in_channel_of_descr sock in
-      Printf.fprintf oc
-        "POST %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-        path host port (String.length body) body;
-      flush oc;
-      let status_line = read_line_crlf ic in
-      let headers = read_headers ic in
-      let response = read_body ic headers in
-      match String.split_on_char ' ' status_line with
-      | _ :: code :: _ when code.[0] = '2' ->
-          Metrics.observe m_post_ms ((Unix.gettimeofday () -. t0) *. 1000.);
-          response
-      | _ :: code :: _ -> err "HTTP %s: %s" code response
-      | _ -> err "malformed HTTP status line %S" status_line)
+      let r = request_conn ~dest ~host ~port ~path ~keep_alive:false c body in
+      Metrics.observe m_post_ms ((Unix.gettimeofday () -. t0) *. 1000.);
+      r)
 
 (** Transport over HTTP: destinations are [xrpc://host:port[/path]] URIs.
-    Parallel sends use one thread per destination.  With [policy], every
-    send runs under {!Transport.with_policy} on the wall clock: the
-    policy's [timeout_ms] becomes the socket timeout and retries back off
-    with [Unix.sleepf]. *)
-let transport ?(default_port = 8080) ?policy () =
-  let timeout_ms = Option.map (fun p -> p.Transport.timeout_ms) policy in
+
+    [executor] drives parallel sends (default {!Executor.unbounded}, one
+    thread per destination).  [keep_alive] reuses one pooled connection
+    per destination across requests; a send finding the pooled connection
+    stale (server closed it) transparently retries once on a fresh one.
+    With [policy], every send runs under {!Transport.with_policy} on the
+    wall clock: the policy's [timeout_ms] becomes the socket timeout and
+    retries back off with [Unix.sleepf].  [timeout_ms] alone sets the
+    socket timeout without the policy wrapper (for callers that apply
+    {!Transport.with_policy} themselves). *)
+let transport ?(default_port = 8080) ?timeout_ms ?policy
+    ?(executor = Executor.unbounded) ?(keep_alive = false) () =
+  let timeout_ms =
+    match timeout_ms with
+    | Some _ as t -> t
+    | None -> Option.map (fun p -> p.Transport.timeout_ms) policy
+  in
+  (* at most one idle pooled connection per destination; concurrent sends
+     to the same destination simply open extra connections and the last
+     one back wins the pool slot *)
+  let pool : (string, conn) Hashtbl.t = Hashtbl.create 8 in
+  let pool_m = Mutex.create () in
+  let take_pooled key =
+    Mutex.lock pool_m;
+    let c = Hashtbl.find_opt pool key in
+    (match c with Some _ -> Hashtbl.remove pool key | None -> ());
+    Mutex.unlock pool_m;
+    c
+  in
+  let give_back key c =
+    Mutex.lock pool_m;
+    let occupied = Hashtbl.mem pool key in
+    if not occupied then Hashtbl.replace pool key c;
+    Mutex.unlock pool_m;
+    if occupied then close_conn c
+  in
   let send ~dest body =
     let uri = Xrpc_uri.parse dest in
+    let host = uri.Xrpc_uri.host in
     let port = Option.value ~default:default_port uri.Xrpc_uri.port in
-    post ?timeout_ms ~host:uri.Xrpc_uri.host ~port
-      ~path:("/" ^ uri.Xrpc_uri.path) body
+    let path = "/" ^ uri.Xrpc_uri.path in
+    if not keep_alive then post ?timeout_ms ~host ~port ~path body
+    else begin
+      Trace.with_span ~detail:dest "http.post" @@ fun () ->
+      Metrics.incr m_posts;
+      let t0 = Unix.gettimeofday () in
+      let key = Printf.sprintf "%s:%d" host port in
+      let once c =
+        match request_conn ~dest ~host ~port ~path ~keep_alive:true c body with
+        | r ->
+            give_back key c;
+            r
+        | exception e ->
+            close_conn c;
+            raise e
+      in
+      let r =
+        match take_pooled key with
+        | Some c -> (
+            (* the server may have closed the idle pooled connection in
+               the meantime: that's not a peer failure, retry fresh *)
+            try once c
+            with Transport.Error _ | Http_error _ ->
+              once (open_conn ?timeout_ms ~dest ~host ~port ()))
+        | None -> once (open_conn ?timeout_ms ~dest ~host ~port ())
+      in
+      Metrics.observe m_post_ms ((Unix.gettimeofday () -. t0) *. 1000.);
+      r
+    end
   in
   let send_parallel pairs =
-    let results = Array.make (List.length pairs) (Ok "") in
-    let threads =
-      List.mapi
-        (fun i (dest, body) ->
-          Thread.create
-            (fun () ->
-              results.(i) <-
-                (try Ok (send ~dest body) with e -> Error e))
-            ())
-        pairs
-    in
-    List.iter Thread.join threads;
-    Array.to_list results
-    |> List.map (function Ok r -> r | Error e -> raise e)
+    Executor.map_list executor (fun (dest, body) -> send ~dest body) pairs
   in
   let raw = { Transport.send; send_parallel } in
   match policy with
   | None -> raw
   | Some p ->
-      (Transport.with_policy ~policy:p
-         ~now:(fun () -> Unix.gettimeofday () *. 1000.)
-         ~sleep:(fun ms -> Unix.sleepf (ms /. 1000.))
-         raw)
-        .Transport.transport
+      Transport.transport
+        (Transport.with_policy ~policy:p ~executor
+           ~now:(fun () -> Unix.gettimeofday () *. 1000.)
+           ~sleep:(fun ms -> Unix.sleepf (ms /. 1000.))
+           raw)

@@ -112,7 +112,6 @@ type t = {
   mutable faults : faults option;
 }
 
-exception Unknown_peer of string
 
 let make_faults fconfig =
   {
@@ -201,7 +200,8 @@ let heal net = with_faults net (fun f -> Hashtbl.reset f.partitioned)
 let lookup_handler net ~dest key =
   match Hashtbl.find_opt net.handlers key with
   | Some h -> h
-  | None -> raise (Unknown_peer dest)
+  | None ->
+      Transport.error ~kind:Transport.Unreachable ~dest "unregistered peer"
 
 (* fault-free request/response interaction;
    returns (response, elapsed_virtual_ms) *)

@@ -30,30 +30,22 @@ let sequential send =
   { send; send_parallel = List.map (fun (dest, body) -> send ~dest body) }
 
 (* ------------------------------------------------------------------ *)
-(* Failure vocabulary                                                  *)
+(* Failure vocabulary — the shared {!Xrpc_error}, re-exported so every  *)
+(* existing [Transport.Error { kind; _ }] site keeps working            *)
 (* ------------------------------------------------------------------ *)
 
-type error_kind =
-  | Timeout  (** no (complete) response within the request timeout *)
-  | Unreachable  (** connection refused, peer down or partitioned away *)
-  | Circuit_open  (** rejected locally: the destination's breaker is open *)
-  | Protocol of string  (** transport-level garbage (bad status line, ...) *)
+type error_kind = Xrpc_error.kind =
+  | Timeout
+  | Unreachable
+  | Circuit_open
+  | Protocol of string
+  | Fault of [ `Sender | `Receiver ]
 
-exception Error of { kind : error_kind; dest : string; info : string }
+exception Error = Xrpc_error.Error
 
-let error ~kind ~dest fmt =
-  Printf.ksprintf (fun info -> raise (Error { kind; dest; info })) fmt
-
-let kind_name = function
-  | Timeout -> "timeout"
-  | Unreachable -> "unreachable"
-  | Circuit_open -> "circuit-open"
-  | Protocol _ -> "protocol"
-
-let error_to_string = function
-  | Error { kind; dest; info } ->
-      Printf.sprintf "%s to %s: %s" (kind_name kind) dest info
-  | e -> Printexc.to_string e
+let error = Xrpc_error.error
+let kind_name = Xrpc_error.kind_name
+let error_to_string = Xrpc_error.error_to_string
 
 (* ------------------------------------------------------------------ *)
 (* Recovery policy                                                     *)
@@ -120,16 +112,28 @@ type policy_stats = {
 }
 
 type policied = {
-  transport : t;  (** the wrapped transport enforcing the policy *)
-  policy : policy;
-  stats : policy_stats;
+  p_transport : t;  (** the wrapped transport enforcing the policy *)
+  p_policy : policy;
+  p_stats : policy_stats;
   breakers : (string, breaker) Hashtbl.t;  (** per-destination *)
+  p_lock : Mutex.t;
+      (** guards [breakers] and [p_stats] — the concurrent dispatch
+          executor retries several legs at once *)
 }
 
+let transport p = p.p_transport
+let policy p = p.p_policy
+let stats p = p.p_stats
+
 let breaker_state p dest =
-  match Hashtbl.find_opt p.breakers dest with
-  | Some b -> b.state
-  | None -> Closed
+  Mutex.lock p.p_lock;
+  let s =
+    match Hashtbl.find_opt p.breakers dest with
+    | Some b -> b.state
+    | None -> Closed
+  in
+  Mutex.unlock p.p_lock;
+  s
 
 (** [with_policy ~now ~sleep inner] — retry/timeout/breaker wrapper.
     [now] and [sleep] are in milliseconds on whatever clock the transport
@@ -144,10 +148,10 @@ let m_fast_fails = Metrics.counter "transport.fast_fails"
 let m_circuit_opens = Metrics.counter "transport.circuit_opens"
 let m_send_ms = Metrics.histogram "transport.send_ms"
 
-let with_policy ?(policy = default_policy) ?(seed = 0) ~(now : unit -> float)
+let with_policy ?(policy = default_policy) ?(seed = 0)
+    ?(executor = Executor.sequential) ~(now : unit -> float)
     ~(sleep : float -> unit) (inner : t) : policied =
   let rng = Random.State.make [| seed; 0x9e3779b9 |] in
-  let rand () = Random.State.float rng 1.0 in
   let stats =
     {
       attempts = 0;
@@ -160,6 +164,15 @@ let with_policy ?(policy = default_policy) ?(seed = 0) ~(now : unit -> float)
     }
   in
   let breakers = Hashtbl.create 8 in
+  (* every mutable table and counter (breakers, stats, the jitter PRNG)
+     lives behind one lock: the dispatch executor drives several legs'
+     retry loops concurrently.  The lock is never held across a send. *)
+  let lock = Mutex.create () in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  let rand () = Random.State.float rng 1.0 in
   let breaker dest =
     match Hashtbl.find_opt breakers dest with
     | Some b -> b
@@ -171,68 +184,78 @@ let with_policy ?(policy = default_policy) ?(seed = 0) ~(now : unit -> float)
   (* one attempt through the breaker: fast-fail when open, trial when the
      cooldown elapsed (half-open), book-keep transitions *)
   let guarded ~dest f =
-    let b = breaker dest in
-    (match b.state with
-    | Open since when now () -. since < policy.breaker_cooldown_ms ->
-        stats.fast_fails <- stats.fast_fails + 1;
-        Metrics.incr m_fast_fails;
-        Trace.event ~detail:dest "breaker-fast-fail";
-        error ~kind:Circuit_open ~dest
-          "circuit open for %.0f more ms"
-          (policy.breaker_cooldown_ms -. (now () -. since))
-    | Open _ ->
-        b.state <- Half_open;
-        Trace.event ~detail:dest "breaker-half-open"
-    | Closed | Half_open -> ());
+    locked (fun () ->
+        let b = breaker dest in
+        match b.state with
+        | Open since when now () -. since < policy.breaker_cooldown_ms ->
+            stats.fast_fails <- stats.fast_fails + 1;
+            Metrics.incr m_fast_fails;
+            Trace.event ~detail:dest "breaker-fast-fail";
+            error ~kind:Circuit_open ~dest
+              "circuit open for %.0f more ms"
+              (policy.breaker_cooldown_ms -. (now () -. since))
+        | Open _ ->
+            b.state <- Half_open;
+            Trace.event ~detail:dest "breaker-half-open"
+        | Closed | Half_open -> ());
     match f () with
     | r ->
-        b.consecutive_failures <- 0;
-        b.state <- Closed;
+        locked (fun () ->
+            let b = breaker dest in
+            b.consecutive_failures <- 0;
+            b.state <- Closed);
         r
     | exception e ->
-        b.consecutive_failures <- b.consecutive_failures + 1;
-        (match b.state with
-        | Half_open ->
-            (* the trial request failed: back to open, fresh cooldown *)
-            b.state <- Open (now ())
-        | Closed
-          when policy.breaker_threshold > 0
-               && b.consecutive_failures >= policy.breaker_threshold ->
-            b.state <- Open (now ());
-            stats.circuit_opens <- stats.circuit_opens + 1;
-            Metrics.incr m_circuit_opens;
-            Trace.event ~detail:dest "breaker-open"
-        | _ -> ());
+        locked (fun () ->
+            let b = breaker dest in
+            b.consecutive_failures <- b.consecutive_failures + 1;
+            match b.state with
+            | Half_open ->
+                (* the trial request failed: back to open, fresh cooldown *)
+                b.state <- Open (now ())
+            | Closed
+              when policy.breaker_threshold > 0
+                   && b.consecutive_failures >= policy.breaker_threshold ->
+                b.state <- Open (now ());
+                stats.circuit_opens <- stats.circuit_opens + 1;
+                Metrics.incr m_circuit_opens;
+                Trace.event ~detail:dest "breaker-open"
+            | _ -> ());
         raise e
   in
   let send ~dest body =
     Trace.with_span ~detail:dest "transport.send" @@ fun () ->
     let t0 = now () in
     let rec go attempt =
-      stats.attempts <- stats.attempts + 1;
+      locked (fun () -> stats.attempts <- stats.attempts + 1);
       Metrics.incr m_attempts;
       match guarded ~dest (fun () -> inner.send ~dest body) with
       | r ->
           Metrics.observe m_send_ms (now () -. t0);
           r
       | exception (Error { kind; _ } as e) ->
-          stats.failed_attempts <- stats.failed_attempts + 1;
+          locked (fun () ->
+              stats.failed_attempts <- stats.failed_attempts + 1);
           Metrics.incr m_failed;
           Trace.event ~detail:(kind_name kind) "attempt-failed";
           (* an open circuit is a local decision: burning retries on it
              would just re-reject; surface it immediately *)
           if kind = Circuit_open || attempt >= policy.max_retries then begin
             if kind <> Circuit_open then begin
-              stats.gave_up <- stats.gave_up + 1;
+              locked (fun () -> stats.gave_up <- stats.gave_up + 1);
               Metrics.incr m_gave_up;
               Trace.event ~detail:dest "gave-up"
             end;
             raise e
           end
           else begin
-            let d = backoff_delay policy ~attempt ~rand in
-            stats.retries <- stats.retries + 1;
-            stats.backoff_ms <- stats.backoff_ms +. d;
+            let d =
+              locked (fun () ->
+                  let d = backoff_delay policy ~attempt ~rand in
+                  stats.retries <- stats.retries + 1;
+                  stats.backoff_ms <- stats.backoff_ms +. d;
+                  d)
+            in
             Metrics.incr m_retries;
             Trace.event ~detail:(Printf.sprintf "%.1fms" d) "backoff";
             sleep d;
@@ -242,13 +265,25 @@ let with_policy ?(policy = default_policy) ?(seed = 0) ~(now : unit -> float)
     go 0
   in
   let send_parallel pairs =
-    (* fast path: one parallel dispatch (the simulated transport charges
-       max-of-legs).  If any leg fails, fall back to per-leg retry loops —
-       legs that already executed are re-sent, which is exactly what the
-       peers' idempotency caches make safe. *)
-    match inner.send_parallel pairs with
-    | rs -> rs
-    | exception Error _ ->
-        List.map (fun (dest, body) -> send ~dest body) pairs
+    if not (Executor.is_sequential executor) then
+      (* overlap mode: each leg runs its own full retry loop on the
+         executor, so one slow or failing destination no longer gates the
+         others *)
+      Executor.map_list executor (fun (dest, body) -> send ~dest body) pairs
+    else
+      (* deterministic mode: one parallel dispatch (the simulated
+         transport charges max-of-legs).  If any leg fails, fall back to
+         per-leg retry loops — legs that already executed are re-sent,
+         which is exactly what the peers' idempotency caches make safe. *)
+      match inner.send_parallel pairs with
+      | rs -> rs
+      | exception Error _ ->
+          List.map (fun (dest, body) -> send ~dest body) pairs
   in
-  { transport = { send; send_parallel }; policy; stats; breakers }
+  {
+    p_transport = { send; send_parallel };
+    p_policy = policy;
+    p_stats = stats;
+    breakers;
+    p_lock = lock;
+  }

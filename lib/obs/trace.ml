@@ -46,17 +46,26 @@ let now_ms () = !clock ()
 
 (* Deterministic ids. [process_tag] disambiguates ids across OS processes
    (e.g. two xrpc_server instances); in-process it stays "" so replays of
-   a seeded schedule mint identical ids. *)
+   a seeded schedule mint identical ids.  Id minting and span recording
+   share one mutex: the dispatch executor runs spans on pool threads, and
+   two threads must never mint the same id or lose a recorded span. *)
+let state_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_mutex) f
+
 let process_tag = ref ""
 let set_process_tag t = process_tag := t
 let next_trace = ref 0
 let next_span = ref 0
 
 let fresh_trace_id () =
+  locked @@ fun () ->
   incr next_trace;
   Printf.sprintf "%st%d" !process_tag !next_trace
 
-let fresh_span_id () =
+let fresh_span_id_locked () =
   incr next_span;
   Printf.sprintf "%ss%d" !process_tag !next_span
 
@@ -90,16 +99,17 @@ let my_stack () =
 let current () = match !(my_stack ()) with [] -> None | s :: _ -> Some s
 
 let reset () =
-  recorded := [];
-  recorded_n := 0;
-  dropped := 0;
-  next_trace := 0;
-  next_span := 0;
+  locked (fun () ->
+      recorded := [];
+      recorded_n := 0;
+      dropped := 0;
+      next_trace := 0;
+      next_span := 0);
   Mutex.lock stacks_mutex;
   Hashtbl.reset stacks;
   Mutex.unlock stacks_mutex
 
-let record span =
+let record_locked span =
   if !recorded_n >= !capacity then incr dropped
   else begin
     recorded := span :: !recorded;
@@ -108,10 +118,14 @@ let record span =
 
 let start_span ?(detail = "") ~trace_id ~parent name =
   let s =
-    { trace_id; span_id = fresh_span_id (); parent; name; detail;
-      start_ms = now_ms (); end_ms = nan; events = [] }
+    locked (fun () ->
+        let s =
+          { trace_id; span_id = fresh_span_id_locked (); parent; name; detail;
+            start_ms = now_ms (); end_ms = nan; events = [] }
+        in
+        record_locked s;
+        s)
   in
-  record s;
   let st = my_stack () in
   st := s :: !st;
   s
@@ -145,6 +159,23 @@ let with_remote_parent ?detail ~trace_id ~parent name f =
   else begin
     let s = start_span ?detail ~trace_id ~parent:(Some parent) name in
     Fun.protect ~finally:(fun () -> finish_span s) f
+  end
+
+(* Run [f] with [span] installed as this thread's ambient current span.
+   The span is NOT re-recorded and NOT finished here — it belongs to the
+   thread that started it.  The dispatch executor uses this to carry the
+   submitting thread's open span onto a pool thread, so spans opened by
+   the shipped work keep their logical parent instead of becoming roots
+   of orphan traces. *)
+let with_ambient span f =
+  if not !enabled_flag then f ()
+  else begin
+    let st = my_stack () in
+    st := span :: !st;
+    Fun.protect
+      ~finally:(fun () ->
+        match !st with s :: rest when s == span -> st := rest | _ -> ())
+      f
   end
 
 let event ?(detail = "") name =

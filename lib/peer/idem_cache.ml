@@ -8,7 +8,11 @@
     with a known key is answered from the cache without touching the
     engine.  Faults are deliberately {e not} cached: a request that failed
     produced no side effects, so re-executing it on retry is both safe and
-    the only way a transient error can heal. *)
+    the only way a transient error can heal.
+
+    All operations are thread-safe: the keep-alive HTTP server hands each
+    connection its own thread, so lookups and inserts race without the
+    internal mutex. *)
 
 type entry = { response : string; mutable last_used : int }
 
@@ -20,6 +24,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  lock : Mutex.t;
 }
 
 let create ?(enabled = true) ?(capacity = 256) () =
@@ -31,11 +36,17 @@ let create ?(enabled = true) ?(capacity = 256) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    lock = Mutex.create ();
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let find t key =
   if not t.enabled then None
   else
+    locked t @@ fun () ->
     match Hashtbl.find_opt t.entries key with
     | Some e ->
         t.tick <- t.tick + 1;
@@ -64,12 +75,18 @@ let evict_lru t =
   | None -> ()
 
 let add t key response =
-  if t.enabled then begin
+  if t.enabled then
+    locked t @@ fun () ->
     if (not (Hashtbl.mem t.entries key)) && Hashtbl.length t.entries >= t.capacity
     then evict_lru t;
     t.tick <- t.tick + 1;
     Hashtbl.replace t.entries key { response; last_used = t.tick }
-  end
 
-let size t = Hashtbl.length t.entries
-let clear t = Hashtbl.reset t.entries
+let size t = locked t @@ fun () -> Hashtbl.length t.entries
+let clear t = locked t @@ fun () -> Hashtbl.reset t.entries
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

@@ -1,0 +1,35 @@
+(** Idempotent-response cache — exactly-once semantics over an
+    at-least-once transport.
+
+    A bounded, thread-safe LRU from idempotency key to serialized
+    response.  A replayed request with a known key is answered from the
+    cache without re-executing; an evicted key falls back to
+    at-least-once (the request re-executes on replay). *)
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] is clamped to at least 1. *)
+
+val find : t -> string -> string option
+(** Lookup by idempotency key; refreshes LRU recency on a hit. *)
+
+val add : t -> string -> string -> unit
+(** Remember a response, evicting the least-recently-used entry when the
+    cache is full.  Replacing an existing key never evicts. *)
+
+val size : t -> int
+val clear : t -> unit
+
+val set_enabled : t -> bool -> unit
+(** Disabling makes [find] always miss and [add] a no-op (at-least-once
+    semantics for every request). *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+(** {2 Counters} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

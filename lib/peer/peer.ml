@@ -17,6 +17,8 @@ module Xctx = Xrpc_xquery.Context
 module Runner = Xrpc_xquery.Runner
 module Update = Xrpc_xquery.Update
 module Transport = Xrpc_net.Transport
+module Executor = Xrpc_net.Executor
+module Xrpc_error = Xrpc_net.Xrpc_error
 module Xrpc_uri = Xrpc_net.Xrpc_uri
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
@@ -46,26 +48,18 @@ let m_idem_hits = Metrics.counter "peer.idem_hits"
 let m_handle_ms = Metrics.histogram "peer.handle_ms"
 let m_queries = Metrics.counter "peer.queries"
 
-type t = {
-  uri : string;
-  db : Database.t;
+(** Peer-private state, hidden behind the interface: module registries,
+    the client-side idempotency counter, the coordinator's decision log,
+    the clock, and the request-handling lock. *)
+type internals = {
   modules : (string, string) Hashtbl.t;  (** module namespace uri -> source *)
   locations : (string, string) Hashtbl.t;  (** at-hint location -> source *)
-  func_cache : Func_cache.t;
-  idem_cache : Idem_cache.t;
-      (** responses by idempotency key, so retried/duplicated requests do
-          not re-execute updating functions *)
   mutable idem_seq : int;  (** client-side idempotency key counter *)
+  seq_lock : Mutex.t;  (** guards [idem_seq] against concurrent dispatch *)
   tx_decisions : (string, bool) Hashtbl.t;
       (** coordinator decision log (queryID key -> committed) backing the
           Status recovery of in-doubt participants (presumed abort) *)
-  isolation : Isolation.t;
-  mutable transport : Transport.t option;
-  mutable config : config;
   clock : unit -> float;
-  mutable requests_handled : int;
-  mutable calls_handled : int;
-  mutable handler_ms : float;  (** cumulative CPU spent serving requests *)
   lock : Mutex.t;
       (** serializes request handling — the HTTP transport serves each
           connection on its own thread, and peer state (function cache,
@@ -76,45 +70,71 @@ type t = {
           [execute at] its own peer) *)
 }
 
+type t = {
+  uri : string;
+  db : Database.t;
+  func_cache : Func_cache.t;
+  idem_cache : Idem_cache.t;
+      (** responses by idempotency key, so retried/duplicated requests do
+          not re-execute updating functions *)
+  isolation : Isolation.t;
+  mutable transport : Transport.t option;
+  mutable executor : Executor.t;
+      (** drives the 2PC prepare/decision broadcasts of distributed
+          commits; sequential by default so Simnet chaos runs replay
+          deterministically *)
+  mutable config : config;
+  mutable requests_handled : int;
+  mutable calls_handled : int;
+  mutable handler_ms : float;  (** cumulative CPU spent serving requests *)
+  internals : internals;
+}
+
 let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
   {
     uri;
     db = Database.create ~clock ();
-    modules = Hashtbl.create 8;
-    locations = Hashtbl.create 8;
     func_cache = Func_cache.create ();
     idem_cache = Idem_cache.create ~capacity:config.idem_capacity ();
-    idem_seq = 0;
-    tx_decisions = Hashtbl.create 8;
     isolation = Isolation.create ~clock ();
     transport = None;
+    executor = Executor.sequential;
     config;
-    clock;
     requests_handled = 0;
     calls_handled = 0;
     handler_ms = 0.;
-    lock = Mutex.create ();
-    locked_by = None;
+    internals =
+      {
+        modules = Hashtbl.create 8;
+        locations = Hashtbl.create 8;
+        idem_seq = 0;
+        seq_lock = Mutex.create ();
+        tx_decisions = Hashtbl.create 8;
+        clock;
+        lock = Mutex.create ();
+        locked_by = None;
+      };
   }
 
 let set_transport peer transport = peer.transport <- Some transport
+let set_executor peer executor = peer.executor <- executor
 
 (** Register an XQuery module source under its namespace URI and
     (optionally) an at-hint location, so that both [import module ... at]
     forms and incoming XRPC requests can find it. *)
 let register_module peer ~uri ?location source =
-  Hashtbl.replace peer.modules uri source;
+  Hashtbl.replace peer.internals.modules uri source;
   (match location with
-  | Some loc -> Hashtbl.replace peer.locations loc source
+  | Some loc -> Hashtbl.replace peer.internals.locations loc source
   | None -> ());
   Func_cache.invalidate peer.func_cache uri
 
 let module_resolver peer : Runner.module_resolver =
  fun ~uri ~location ->
-  match Hashtbl.find_opt peer.modules uri with
+  match Hashtbl.find_opt peer.internals.modules uri with
   | Some src -> src
   | None -> (
-      match Hashtbl.find_opt peer.locations location with
+      match Hashtbl.find_opt peer.internals.locations location with
       | Some src -> src
       | None -> err "could not load module! (%s at %s)" uri location)
 
@@ -170,11 +190,15 @@ let assign_idem_key peer (req : Message.request) =
   match req.Message.idem_key with
   | Some _ -> req
   | None ->
-      peer.idem_seq <- peer.idem_seq + 1;
-      {
-        req with
-        Message.idem_key = Some (Printf.sprintf "%s/%d" peer.uri peer.idem_seq);
-      }
+      let i = peer.internals in
+      let seq =
+        Mutex.lock i.seq_lock;
+        i.idem_seq <- i.idem_seq + 1;
+        let s = i.idem_seq in
+        Mutex.unlock i.seq_lock;
+        s
+      in
+      { req with Message.idem_key = Some (Printf.sprintf "%s/%d" peer.uri seq) }
 
 (* dispatcher over the transport; records every destination and piggybacked
    participant into [peers_acc] for 2PC registration *)
@@ -413,7 +437,7 @@ let handle_tx peer (op : Message.tx_op) (qid : Message.query_id) : Message.t =
   | Message.Status -> (
       (* coordinator side of in-doubt recovery: report the logged
          decision; an unknown transaction is presumed aborted *)
-      match Hashtbl.find_opt peer.tx_decisions (Message.query_id_key qid) with
+      match Hashtbl.find_opt peer.internals.tx_decisions (Message.query_id_key qid) with
       | Some true -> Message.Tx_response { ok = true; info = "committed" }
       | Some false -> Message.Tx_response { ok = false; info = "aborted" }
       | None ->
@@ -425,14 +449,14 @@ let handle_tx peer (op : Message.tx_op) (qid : Message.query_id) : Message.t =
     (§2.1, "XRPC Error Message"). *)
 let with_peer_lock peer f =
   let self = Thread.id (Thread.self ()) in
-  if peer.locked_by = Some self then f ()
+  if peer.internals.locked_by = Some self then f ()
   else begin
-    Mutex.lock peer.lock;
-    peer.locked_by <- Some self;
+    Mutex.lock peer.internals.lock;
+    peer.internals.locked_by <- Some self;
     Fun.protect
       ~finally:(fun () ->
-        peer.locked_by <- None;
-        Mutex.unlock peer.lock)
+        peer.internals.locked_by <- None;
+        Mutex.unlock peer.internals.lock)
       f
   end
 
@@ -487,6 +511,12 @@ let handle_raw peer (body : string) : string =
     | Peer_error m | Xdm.Dynamic_error m | Xrpc_xquery.Eval.Error m
     | Xrpc_xquery.Runner.Module_error m ->
         Message.Fault { fault_code = `Sender; reason = m }
+    | Xrpc_error.Error e ->
+        (* a served function's own [execute at] dispatch failed: surface
+           the typed transport error losslessly (round-trips through
+           {!Xrpc_error.of_soap_fault} on the caller's side) *)
+        let fault_code, reason = Xrpc_error.to_soap_fault e in
+        Message.Fault { fault_code; reason }
     | Isolation.Expired key ->
         Message.Fault
           { fault_code = `Sender; reason = "queryID expired: " ^ key }
@@ -529,7 +559,7 @@ let handle_raw peer (body : string) : string =
 let fresh_query_id peer ~timeout ~level : Message.query_id =
   {
     Message.host = peer.uri;
-    timestamp = Printf.sprintf "%.6f" (peer.clock ());
+    timestamp = Printf.sprintf "%.6f" (peer.internals.clock ());
     timeout;
     level;
   }
@@ -613,9 +643,9 @@ let query peer (source : string) : query_result =
           | None -> err "2PC requires a transport"
         in
         let outcome =
-          Two_pc.run_detailed ~transport
+          Two_pc.run_detailed ~transport ~executor:peer.executor
             ~on_decision:(fun committed ->
-              Hashtbl.replace peer.tx_decisions (Message.query_id_key qid)
+              Hashtbl.replace peer.internals.tx_decisions (Message.query_id_key qid)
                 committed)
             qid participants
         in

@@ -1,0 +1,110 @@
+(** An XRPC peer: an XQuery engine + database + SOAP XRPC request handler +
+    client-side query runner (§3 of the paper).
+
+    A peer owns a versioned {!Database}, a registry of XQuery module
+    sources, a {!Func_cache} of prepared modules, and an {!Isolation}
+    manager for queryID-pinned snapshots.  [handle_raw] is the server side
+    (the paper's "XRPC request handler"); [query] is the client side (the
+    stub code the Pathfinder compiler generates, §3): it runs a local query
+    whose [execute at] calls are dispatched over the configured transport,
+    with Bulk RPC batching, and — for updating queries under repeatable
+    isolation — commits distributed updates with 2PC over the piggybacked
+    participant list (§2.3).
+
+    [handle_raw] is thread-safe (the keep-alive HTTP server serves each
+    connection on its own thread): request handling is serialized under an
+    internal reentrant lock, so a served function may [execute at] its own
+    peer without deadlocking. *)
+
+exception Peer_error of string
+
+type config = {
+  bulk_rpc : bool;  (** loop-lift [execute at] into Bulk RPC (default) *)
+  default_timeout : int;  (** seconds, for queryID isolation entries *)
+  idem_capacity : int;
+      (** idempotency-cache capacity; an evicted key falls back to
+          at-least-once (the request re-executes on replay) *)
+}
+
+val default_config : config
+
+type internals
+(** Peer-private state (module registries, idempotency-key counter,
+    coordinator decision log, clock, request lock) — not part of the API. *)
+
+type t = {
+  uri : string;
+  db : Database.t;
+  func_cache : Func_cache.t;
+  idem_cache : Idem_cache.t;
+      (** responses by idempotency key, so retried/duplicated requests do
+          not re-execute updating functions *)
+  isolation : Isolation.t;
+  mutable transport : Xrpc_net.Transport.t option;
+  mutable executor : Xrpc_net.Executor.t;
+      (** drives the 2PC prepare/decision broadcasts of distributed
+          commits; sequential by default so Simnet chaos runs replay
+          deterministically *)
+  mutable config : config;
+  mutable requests_handled : int;
+  mutable calls_handled : int;
+  mutable handler_ms : float;  (** cumulative CPU spent serving requests *)
+  internals : internals;
+}
+
+val create : ?config:config -> ?clock:(unit -> float) -> string -> t
+(** [create uri] — [uri] is this peer's own [xrpc://] identity; [clock]
+    feeds database version timestamps and queryID lifetimes (defaults to
+    the wall clock; clusters pass the simulated clock). *)
+
+val set_transport : t -> Xrpc_net.Transport.t -> unit
+
+val set_executor : t -> Xrpc_net.Executor.t -> unit
+(** Fan this peer's 2PC broadcasts out through [executor].  Keep the
+    default {!Xrpc_net.Executor.sequential} on Simnet-backed peers. *)
+
+val register_module : t -> uri:string -> ?location:string -> string -> unit
+(** Register an XQuery module source under its namespace URI and
+    (optionally) an at-hint location, so that both [import module ... at]
+    forms and incoming XRPC requests can find it. *)
+
+val module_resolver : t -> Xrpc_xquery.Runner.module_resolver
+
+val handle_raw : t -> string -> string
+(** The raw SOAP-over-HTTP handler: body in, body out.  Any error becomes
+    a SOAP Fault ({!Xrpc_net.Xrpc_error} values losslessly, via
+    [to_soap_fault]), which the originating site turns into a run-time
+    error (§2.1, "XRPC Error Message"). *)
+
+(** {2 Client side: running queries} *)
+
+type query_result = {
+  value : Xrpc_xml.Xdm.sequence;
+  participants : string list;  (** remote peers involved *)
+  committed : bool;  (** distributed commit outcome (true if read-only) *)
+  tx : Two_pc.outcome option;
+      (** full 2PC outcome (votes + decision acks) when a distributed
+          transaction ran *)
+}
+
+val query : t -> string -> query_result
+(** [query peer source] parses and runs a main-module query at this peer.
+
+    - [execute at] calls go over the peer's transport (Bulk RPC when
+      [config.bulk_rpc]).
+    - With [declare option xrpc:isolation "repeatable"], a fresh queryID is
+      attached to every request and the local snapshot is pinned, giving
+      rule R'_Fr / R'_Fu semantics; updating queries then commit with 2PC
+      across all participating peers (broadcast through the peer's
+      {!set_executor} executor).
+    - Without it, rules R_Fr / R_Fu apply: remote updates are applied per
+      request, local updates when the query finishes. *)
+
+val query_seq : t -> string -> Xrpc_xml.Xdm.sequence
+(** Convenience: result sequence only; raises on failed distributed
+    commit. *)
+
+val resolve_in_doubt : t -> int * int * int
+(** In-doubt recovery (presumed abort, §2.3): each prepared-but-undecided
+    transaction asks its coordinator for the logged decision with a
+    [Status] message.  Returns [(committed, aborted, still_in_doubt)]. *)

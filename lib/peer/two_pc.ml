@@ -23,6 +23,7 @@
 
 module Message = Xrpc_soap.Message
 module Transport = Xrpc_net.Transport
+module Executor = Xrpc_net.Executor
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
 
@@ -85,12 +86,16 @@ let status ~transport ~dest qid = tx transport ~dest Message.Status qid
 let m_commits = Metrics.counter "twopc.commits"
 let m_aborts = Metrics.counter "twopc.aborts"
 
+(** [executor] fans the prepare and decision broadcasts out to all
+    participants concurrently; the default sequential executor keeps the
+    historical in-order behaviour (and chaos-schedule determinism). *)
 let run_detailed ?(decision_retries = 3) ?(on_decision = fun _ -> ())
-    ~transport (qid : Message.query_id) (participants : string list) : outcome =
+    ?(executor = Executor.sequential) ~transport (qid : Message.query_id)
+    (participants : string list) : outcome =
   Trace.with_span ~detail:(Message.query_id_key qid) "2pc" @@ fun () ->
   let votes =
     Trace.with_span "2pc.prepare" @@ fun () ->
-    List.map
+    Executor.map_list executor
       (fun dest ->
         let v = tx transport ~dest Message.Prepare qid in
         Trace.event ~detail:(dest ^ (if v.ok then " yes" else " no"))
@@ -114,7 +119,7 @@ let run_detailed ?(decision_retries = 3) ?(on_decision = fun _ -> ())
     Trace.with_span
       ~detail:(if all_ok then "commit" else "rollback")
       "2pc.decision"
-    @@ fun () -> List.map decide participants
+    @@ fun () -> Executor.map_list executor decide participants
   in
   { committed = all_ok; votes; decision_acks }
 

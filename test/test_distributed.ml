@@ -336,7 +336,7 @@ return ($before, $after)|}
          (Xrpc_soap.Message.to_string (Xrpc_soap.Message.Request req)))
   in
   let z_handler = Peer.handle_raw (Cluster.peer cluster "z.example.org") in
-  Simnet.register cluster.Cluster.net "xrpc://z.example.org" (fun body ->
+  Simnet.register (Cluster.net cluster) "xrpc://z.example.org" (fun body ->
       interleave ();
       z_handler body);
   (* no isolation: second read sees the interleaved film *)
@@ -408,7 +408,7 @@ let test_hoisting_loop_invariant_call () =
 let test_corrupted_response () =
   (* garbage on the wire must surface as a local error, not a crash *)
   let cluster, x = film_cluster () in
-  Simnet.register cluster.Cluster.net "xrpc://y.example.org" (fun _ ->
+  Simnet.register (Cluster.net cluster) "xrpc://y.example.org" (fun _ ->
       "<<<not xml at all");
   match Peer.query_seq x (Filmdb.q1 ~dest:"xrpc://y.example.org") with
   | exception _ -> ()
@@ -416,7 +416,7 @@ let test_corrupted_response () =
 
 let test_peer_crash_mid_query () =
   let cluster, x = film_cluster () in
-  Simnet.register cluster.Cluster.net "xrpc://y.example.org" (fun _ ->
+  Simnet.register (Cluster.net cluster) "xrpc://y.example.org" (fun _ ->
       failwith "peer crashed");
   match Peer.query_seq x (Filmdb.q2 ~dest:"xrpc://y.example.org") with
   | exception _ -> ()
@@ -495,10 +495,10 @@ let test_snapshot_isolation_end_to_end () =
          (Xrpc_soap.Message.to_string (Xrpc_soap.Message.Request req)))
   in
   let z_handler = Peer.handle_raw (Cluster.peer cluster "z.example.org") in
-  Simnet.register cluster.Cluster.net "xrpc://z.example.org" (fun body ->
+  Simnet.register (Cluster.net cluster) "xrpc://z.example.org" (fun body ->
       (* advance the shared clock past the query start, then commit *)
-      cluster.Cluster.net.Simnet.clock_ms <-
-        cluster.Cluster.net.Simnet.clock_ms +. 10_000.;
+      (Cluster.net cluster).Simnet.clock_ms <-
+        (Cluster.net cluster).Simnet.clock_ms +. 10_000.;
       interleave ();
       z_handler body);
   let q =

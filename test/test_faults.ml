@@ -118,7 +118,7 @@ let expect_error f =
 
 let test_breaker_opens_and_fast_fails () =
   let _t, inner_calls, _failing, p = breaker_fixture () in
-  let send () = p.Transport.transport.Transport.send ~dest:"d" "x" in
+  let send () = (Transport.transport p).Transport.send ~dest:"d" "x" in
   for _ = 1 to 3 do
     check bool_ "unreachable" true (expect_error send = Transport.Unreachable)
   done;
@@ -129,11 +129,11 @@ let test_breaker_opens_and_fast_fails () =
   (* open circuit rejects locally without touching the wire *)
   check bool_ "fast fail" true (expect_error send = Transport.Circuit_open);
   check int_ "inner not called on fast fail" 3 !inner_calls;
-  check int_ "fast fail counted" 1 p.Transport.stats.Transport.fast_fails
+  check int_ "fast fail counted" 1 (Transport.stats p).Transport.fast_fails
 
 let test_breaker_half_open_then_reopens () =
   let t, inner_calls, _failing, p = breaker_fixture () in
-  let send () = p.Transport.transport.Transport.send ~dest:"d" "x" in
+  let send () = (Transport.transport p).Transport.send ~dest:"d" "x" in
   for _ = 1 to 3 do
     ignore (expect_error send)
   done;
@@ -148,7 +148,7 @@ let test_breaker_half_open_then_reopens () =
 
 let test_breaker_closes_on_success () =
   let t, _inner_calls, failing, p = breaker_fixture () in
-  let send () = p.Transport.transport.Transport.send ~dest:"d" "x" in
+  let send () = (Transport.transport p).Transport.send ~dest:"d" "x" in
   for _ = 1 to 3 do
     ignore (expect_error send)
   done;
@@ -157,7 +157,7 @@ let test_breaker_closes_on_success () =
   check string_ "trial succeeds" "pong" (send ());
   check bool_ "closed again" true (Transport.breaker_state p "d" = Transport.Closed);
   check string_ "stays closed" "pong" (send ());
-  check int_ "one open recorded" 1 p.Transport.stats.Transport.circuit_opens
+  check int_ "one open recorded" 1 (Transport.stats p).Transport.circuit_opens
 
 let test_retry_until_success () =
   (* two failures then success: 3 attempts, 2 retries, backoff on the fake
@@ -179,9 +179,9 @@ let test_retry_until_success () =
       ~sleep:(fun d -> t := !t +. d)
       inner
   in
-  check string_ "eventually ok" "ok" (p.Transport.transport.Transport.send ~dest:"d" "x");
-  check int_ "attempts" 3 p.Transport.stats.Transport.attempts;
-  check int_ "retries" 2 p.Transport.stats.Transport.retries;
+  check string_ "eventually ok" "ok" ((Transport.transport p).Transport.send ~dest:"d" "x");
+  check int_ "attempts" 3 (Transport.stats p).Transport.attempts;
+  check int_ "retries" 2 (Transport.stats p).Transport.retries;
   (* deterministic backoff with jitter off: 5 + 10 ms *)
   check float_ "slept exactly the schedule" 15. !t
 
@@ -308,7 +308,7 @@ let run_traced ~seed ~loss ~policy () =
   in
   (* network recovers: lift faults, let breakers cool, resolve in-doubt *)
   Cluster.clear_faults cluster;
-  Simnet.sleep cluster.Cluster.net (chaos_policy.Transport.breaker_cooldown_ms +. 1.);
+  Simnet.sleep (Cluster.net cluster) (chaos_policy.Transport.breaker_cooldown_ms +. 1.);
   ignore (Cluster.resolve_in_doubt cluster);
   {
     clock;
@@ -486,14 +486,14 @@ let test_exactly_once_under_duplicates () =
     (film_db_display faulty);
   let y = Cluster.peer faulty "y.example.org" in
   check bool_ "cache saw the replays" true
-    (y.Peer.idem_cache.Idem_cache.hits > 0)
+    (Idem_cache.hits y.Peer.idem_cache > 0)
 
 let test_exactly_once_needs_idem_cache () =
   (* negative control: with the cache disabled the same schedule
      double-applies at least one update *)
   let faulty, fx = chaos_cluster ~faults:(dup_faults 7) () in
   let y = Cluster.peer faulty "y.example.org" in
-  y.Peer.idem_cache.Idem_cache.enabled <- false;
+  Idem_cache.set_enabled y.Peer.idem_cache false;
   add_films fx 10;
   let doubled = ref false in
   for i = 1 to 10 do
@@ -545,7 +545,7 @@ let test_idem_lru_eviction_order () =
   check bool_ "k1 hit" true (Idem_cache.find c "k1" = Some "r1");
   Idem_cache.add c "k4" "r4";
   check int_ "still at capacity" 3 (Idem_cache.size c);
-  check int_ "one eviction" 1 c.Idem_cache.evictions;
+  check int_ "one eviction" 1 (Idem_cache.evictions c);
   check bool_ "LRU key k2 evicted" true (Idem_cache.find c "k2" = None);
   check bool_ "k1 survived (recently used)" true
     (Idem_cache.find c "k1" = Some "r1");
@@ -560,7 +560,7 @@ let test_idem_replace_at_capacity () =
      even with the cache exactly full *)
   Idem_cache.add c "k1" "r1'";
   check int_ "no growth" 2 (Idem_cache.size c);
-  check int_ "no eviction" 0 c.Idem_cache.evictions;
+  check int_ "no eviction" 0 (Idem_cache.evictions c);
   check bool_ "replaced value served" true (Idem_cache.find c "k1" = Some "r1'");
   check bool_ "other key untouched" true (Idem_cache.find c "k2" = Some "r2")
 
@@ -604,11 +604,11 @@ let test_idem_evicted_key_reexecutes () =
   (* replay while cached: served from the cache, not re-executed *)
   expect_response "cached replay" (Peer.handle_raw y body);
   check int_ "not re-applied while cached" 1 (count_film y "Evict Me");
-  check bool_ "cache hit recorded" true (y.Peer.idem_cache.Idem_cache.hits > 0);
+  check bool_ "cache hit recorded" true (Idem_cache.hits y.Peer.idem_cache > 0);
   (* two fresh keys flood the capacity-2 cache; kA is the LRU victim *)
   expect_response "flood 1" (Peer.handle_raw y (add_film_request ~key:"kB" "Other B"));
   expect_response "flood 2" (Peer.handle_raw y (add_film_request ~key:"kC" "Other C"));
-  check int_ "kA evicted" 1 y.Peer.idem_cache.Idem_cache.evictions;
+  check int_ "kA evicted" 1 (Idem_cache.evictions y.Peer.idem_cache);
   (* replay after eviction: must re-execute, not fail *)
   expect_response "post-eviction replay" (Peer.handle_raw y body);
   check int_ "at-least-once fallback re-applied" 2 (count_film y "Evict Me")
@@ -629,7 +629,7 @@ let test_2pc_participant_misses_commit () =
   let z = Cluster.peer cluster "z.example.org" in
   (* y votes yes, then every Commit to y is garbled on the wire *)
   let y_handler = Peer.handle_raw y in
-  Simnet.register cluster.Cluster.net "xrpc://y.example.org" (fun body ->
+  Simnet.register (Cluster.net cluster) "xrpc://y.example.org" (fun body ->
       if is_commit_msg body then "<<<line noise" else y_handler body);
   let r = Peer.query x q_2pc in
   check bool_ "coordinator committed" true r.Peer.committed;
@@ -650,7 +650,7 @@ let test_2pc_participant_misses_commit () =
   check int_ "z applied" 1 (count_film z "New");
   check int_ "y still in doubt" 0 (count_film y "New");
   (* wire recovers; y asks the coordinator and learns the commit *)
-  Simnet.register cluster.Cluster.net "xrpc://y.example.org" y_handler;
+  Simnet.register (Cluster.net cluster) "xrpc://y.example.org" y_handler;
   let committed, aborted, in_doubt = Peer.resolve_in_doubt y in
   check int_ "recovered commit" 1 committed;
   check int_ "no aborts" 0 aborted;

@@ -76,9 +76,15 @@ let test_simnet_parallel_charges_max () =
   check (Alcotest.float 0.001) "max not sum" 5.01 net.Simnet.clock_ms
 
 let test_simnet_unknown_peer () =
+  (* an unregistered destination speaks the unified error vocabulary,
+     so the policy layer treats it like any other unreachable peer *)
   let net = Simnet.create () in
-  Alcotest.check_raises "unknown" (Simnet.Unknown_peer "xrpc://nope") (fun () ->
-      ignore (Simnet.send net ~dest:"xrpc://nope" "x"))
+  match Simnet.send net ~dest:"xrpc://nope" "x" with
+  | _ -> Alcotest.fail "unknown peer answered"
+  | exception
+      Transport.Error
+        { Xrpc_net.Xrpc_error.kind = Transport.Unreachable; dest; _ } ->
+      Alcotest.check Alcotest.string "dest reported" "xrpc://nope" dest
 
 let test_simnet_network_ms_excludes_cpu () =
   let net =
