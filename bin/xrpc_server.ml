@@ -14,6 +14,8 @@ module Executor = Xrpc_net.Executor
 module Client = Xrpc_core.Xrpc_client
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
+module Flight_recorder = Xrpc_obs.Flight_recorder
+module Export = Xrpc_obs.Export
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -47,8 +49,26 @@ let load_data peer dir =
       (Sys.readdir dir)
   else Printf.eprintf "warning: data directory %s not found\n%!" dir
 
-let serve verbose port data demo trace =
+(* /tracez?id=N — split the raw path into route and query string *)
+let split_path path =
+  match String.index_opt path '?' with
+  | Some i ->
+      ( String.sub path 0 i,
+        String.sub path (i + 1) (String.length path - i - 1) )
+  | None -> (path, "")
+
+let query_param query key =
+  List.find_map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | Some i when String.sub kv 0 i = key ->
+          Some (String.sub kv (i + 1) (String.length kv - i - 1))
+      | _ -> None)
+    (String.split_on_char '&' query)
+
+let serve verbose port data demo trace slow_ms =
   setup_logs verbose;
+  Flight_recorder.configure ~slow:slow_ms ();
   if trace then begin
     (* span ids get a per-process tag so traces stitched across several
        server processes cannot collide *)
@@ -72,9 +92,26 @@ let serve verbose port data demo trace =
   end;
   Option.iter (load_data peer) data;
   let handler ~path body =
-    match path with
+    let route, query = split_path path in
+    match route with
     | "/metrics" -> Metrics.to_text ()
     | "/metrics.json" -> Metrics.to_json ()
+    | "/requestz" -> Flight_recorder.to_text ()
+    | "/requestz.json" -> Flight_recorder.to_json ()
+    | "/slowz" -> Flight_recorder.pinned_text ()
+    | "/tracez" -> (
+        (* span trees are captured per request when --trace is on *)
+        match Option.map int_of_string_opt (query_param query "id") with
+        | Some (Some id) -> (
+            match Flight_recorder.find id with
+            | Some e ->
+                if query_param query "format" = Some "tree" then
+                  Export.span_tree_json e.Flight_recorder.spans
+                else Export.chrome_trace e.Flight_recorder.spans
+            | None -> Printf.sprintf "no request #%d in the flight recorder" id)
+        | _ ->
+            "usage: /tracez?id=N (ids listed at /requestz; &format=tree for \
+             the nested-span JSON instead of Chrome trace events)")
     | _ ->
         let out = Peer.handle_raw peer body in
         if trace then begin
@@ -87,6 +124,10 @@ let serve verbose port data demo trace =
   Printf.printf "XRPC peer listening on xrpc://127.0.0.1:%d\n%!" server.Http.port;
   Printf.printf "metrics at http://127.0.0.1:%d/metrics (and /metrics.json)\n%!"
     server.Http.port;
+  Printf.printf
+    "flight recorder at /requestz (.json), slow queries at /slowz, traces \
+     at /tracez?id=N%s\n%!"
+    (if trace then "" else " (span trees need --trace)");
   (* keep the main thread alive *)
   while true do
     Unix.sleep 3600
@@ -116,10 +157,19 @@ let trace =
     & info [ "trace" ]
         ~doc:"Enable distributed tracing; log a span tree after every request.")
 
+let slow_ms =
+  Arg.(
+    value
+    & opt float 250.
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Requests at least this slow are pinned by the flight recorder \
+           (served at /slowz).")
+
 let cmd =
   let doc = "serve XML documents and XQuery modules as an XRPC peer" in
   Cmd.v
     (Cmd.info "xrpc-server" ~doc)
-    Term.(const serve $ verbose $ port $ data $ demo $ trace)
+    Term.(const serve $ verbose $ port $ data $ demo $ trace $ slow_ms)
 
 let () = exit (Cmd.eval cmd)

@@ -10,6 +10,9 @@ module Peer = Xrpc_peer.Peer
 module Database = Xrpc_peer.Database
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
+module Profile = Xrpc_obs.Profile
+module Flight_recorder = Xrpc_obs.Flight_recorder
+module Looplift = Xrpc_algebra.Looplift
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -66,26 +69,93 @@ let run_query peer source =
       Printf.eprintf "error: %s\n%!" m);
   if Trace.enabled () then print_trace ()
 
+(* EXPLAIN: the static operator tree (Looplift's plan-node numbering,
+   annotated with the Table-1 algebra), no execution. *)
+let explain_query source =
+  match Xrpc_xquery.Parser.parse_prog source with
+  | { Xrpc_xquery.Ast.body = Some e; _ } -> print_string (Looplift.explain e)
+  | { Xrpc_xquery.Ast.body = None; _ } ->
+      print_endline "(library module — no query body to explain)"
+  | exception
+      (Xrpc_xquery.Parser.Syntax_error m | Xrpc_xquery.Lexer.Lex_error m) ->
+      Printf.eprintf "error: %s\n%!" m
+
+let profile_label source =
+  let s =
+    String.trim
+      (String.map (function '\n' | '\r' | '\t' -> ' ' | c -> c) source)
+  in
+  if String.length s > 120 then String.sub s 0 117 ^ "..." else s
+
+(* PROFILE: run the query with the profiler on and print the annotated
+   operator tree (per-node cardinalities/times, per-operator row counts,
+   per-destination traffic with the remote phase breakdown). *)
+let profile_query peer source =
+  let (), prof =
+    Profile.profiled ~label:(profile_label source) (fun () ->
+        run_query peer source)
+  in
+  print_string (Profile.render prof)
+
 (* REPL meta-commands, ':'-prefixed like most database shells. *)
-let command line =
-  match String.split_on_char ' ' (String.trim line) with
-  | [ ":trace"; "on" ] ->
+let command peer line =
+  let line = String.trim line in
+  let word, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line i (String.length line - i)) )
+    | None -> (line, "")
+  in
+  match (word, rest) with
+  | ":trace", "on" ->
       Trace.set_enabled true;
       print_endline "tracing on";
       true
-  | [ ":trace"; "off" ] ->
+  | ":trace", "off" ->
       Trace.set_enabled false;
       Trace.reset ();
       print_endline "tracing off";
       true
-  | [ ":metrics" ] ->
+  | ":metrics", "" ->
       print_string (Metrics.to_text ());
       true
-  | [ ":help" ] ->
+  | ":metrics", "reset" ->
+      Metrics.reset ();
+      print_endline "metrics reset";
+      true
+  | ":flight", "" ->
+      print_string (Flight_recorder.to_text ());
+      true
+  | ":flight", "slow" ->
+      print_string (Flight_recorder.pinned_text ());
+      true
+  | ":explain", "" ->
+      print_endline "usage: :explain <one-line query>";
+      true
+  | ":explain", q ->
+      explain_query q;
+      true
+  | ":profile", "" ->
+      print_endline "usage: :profile <one-line query>";
+      true
+  | ":profile", q ->
+      profile_query peer q;
+      true
+  | ":help", _ ->
+      print_endline ":explain <q>   — print the operator tree (no execution)";
+      print_endline
+        ":profile <q>   — run with the profiler: per-operator rows/times,";
+      print_endline
+        "                 per-destination bytes and remote phase costs";
       print_endline ":trace on|off  — print a span tree after each query";
       print_endline ":metrics       — dump the metrics registry";
+      print_endline ":metrics reset — zero every counter and histogram";
+      print_endline
+        ":flight        — recent requests from the flight recorder";
+      print_endline ":flight slow   — pinned slow queries";
       true
-  | cmd :: _ when String.length cmd > 0 && cmd.[0] = ':' ->
+  | cmd, _ when String.length cmd > 0 && cmd.[0] = ':' ->
       Printf.eprintf "unknown command %s (try :help)\n%!" cmd;
       true
   | _ -> false
@@ -93,7 +163,8 @@ let command line =
 let repl peer =
   print_endline
     "XRPC shell — terminate a query with a single '.' line; ctrl-d exits.\n\
-     Meta-commands: :trace on|off, :metrics, :help.";
+     Meta-commands: :explain <q>, :profile <q>, :trace on|off, :metrics \
+     [reset], :flight [slow], :help.";
   let buf = Buffer.create 256 in
   let rec loop () =
     (match Buffer.length buf with 0 -> print_string "xquery> " | _ -> print_string "      > ");
@@ -104,7 +175,7 @@ let repl peer =
         if Buffer.length buf > 0 then run_query peer (Buffer.contents buf);
         Buffer.clear buf;
         loop ()
-    | line when Buffer.length buf = 0 && command line -> loop ()
+    | line when Buffer.length buf = 0 && command peer line -> loop ()
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';

@@ -20,6 +20,7 @@ open Xrpc_xml
 module Message = Xrpc_soap.Message
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
+module Profile = Xrpc_obs.Profile
 
 type trace = (string * Table.t) list
 
@@ -91,6 +92,10 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
               iterps
           in
           Metrics.incr_by m_bulk_calls (List.length calls);
+          (* logical calls carried to this destination, for :profile's
+             per-destination accounting *)
+          if Profile.enabled () then
+            Profile.note_calls ~dest:peer (List.length calls);
           let request =
             {
               Message.module_uri;

@@ -118,6 +118,13 @@ let disable_tracing () =
   Xrpc_obs.Trace.set_enabled false;
   Xrpc_obs.Trace.use_wall_clock ()
 
+(** Run [f] with query profiling on, timings on this cluster's virtual
+    clock: plan-node and phase times come out as deterministic simulated
+    milliseconds, like {!enable_tracing} does for spans. *)
+let profiled t ?label f =
+  Xrpc_obs.Trace.set_clock (fun () -> t.net.Simnet.clock_ms);
+  Xrpc_obs.Profile.profiled ?label f
+
 let clock_ms t = t.net.Simnet.clock_ms
 let reset_clock t = Simnet.reset_clock t.net
 let stats t = t.net.Simnet.stats

@@ -62,6 +62,12 @@ val enable_tracing : t -> unit
     seeded chaos schedule replays to a bit-identical span tree. *)
 
 val disable_tracing : unit -> unit
+
+(** Run a thunk with query profiling on, timings on this cluster's
+    virtual clock; returns the result and the finished profile (plan-node
+    tree, per-operator rows/times, per-destination traffic and remote
+    phase breakdown). *)
+val profiled : t -> ?label:string -> (unit -> 'a) -> 'a * Xrpc_obs.Profile.t
 val clock_ms : t -> float
 val reset_clock : t -> unit
 val stats : t -> Xrpc_net.Simnet.stats

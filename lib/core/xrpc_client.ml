@@ -28,6 +28,8 @@ module Simnet = Xrpc_net.Simnet
 module Http = Xrpc_net.Http
 module Message = Xrpc_soap.Message
 module Trace = Xrpc_obs.Trace
+module Profile = Xrpc_obs.Profile
+module Metrics = Xrpc_obs.Metrics
 module Xdm = Xrpc_xml.Xdm
 
 (* ------------------------------------------------------------------ *)
@@ -136,15 +138,45 @@ let breaker t dest = Option.map (fun p -> Transport.breaker_state p dest) t.poli
 (* Raw calls                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-destination traffic series, labeled Prometheus-style; resolved per
+   call (a registry lookup), which is noise next to a network round trip. *)
+let m_dest_requests dest =
+  Metrics.counter (Metrics.with_labels "client.requests" [ ("dest", dest) ])
+
+let m_dest_bytes_out dest =
+  Metrics.counter (Metrics.with_labels "client.bytes_out" [ ("dest", dest) ])
+
+let m_dest_bytes_in dest =
+  Metrics.counter (Metrics.with_labels "client.bytes_in" [ ("dest", dest) ])
+
+let note_exchange ~dest ~out_bytes ~in_bytes =
+  Metrics.incr (m_dest_requests dest);
+  Metrics.incr_by (m_dest_bytes_out dest) out_bytes;
+  Metrics.incr_by (m_dest_bytes_in dest) in_bytes;
+  if Profile.enabled () then begin
+    Profile.note_send ~dest ~bytes:out_bytes;
+    Profile.note_recv ~dest ~bytes:in_bytes
+  end
+
 let call_raw t ~dest body =
   Trace.with_span ~detail:dest "client.call" @@ fun () ->
-  t.transport.Transport.send ~dest body
+  let raw = t.transport.Transport.send ~dest body in
+  note_exchange ~dest ~out_bytes:(String.length body)
+    ~in_bytes:(String.length raw);
+  raw
 
 let call_raw_bulk t pairs =
   Trace.with_span
     ~detail:(string_of_int (List.length pairs) ^ " peers")
     "client.scatter"
-  @@ fun () -> t.transport.Transport.send_parallel pairs
+  @@ fun () ->
+  let raws = t.transport.Transport.send_parallel pairs in
+  List.iter2
+    (fun (dest, body) raw ->
+      note_exchange ~dest ~out_bytes:(String.length body)
+        ~in_bytes:(String.length raw))
+    pairs raws;
+  raws
 
 (* ------------------------------------------------------------------ *)
 (* Typed calls                                                         *)
@@ -173,7 +205,16 @@ let request t ?query_id ?(updating = false) ?(fragments = false) ~module_uri
 
 (* a Fault reply becomes the typed error it round-trips as *)
 let decode ~dest raw =
-  match Message.of_string raw with
+  let msg =
+    if Profile.enabled () then begin
+      (* pick up the serving peer's phase breakdown from the header *)
+      let msg, server_profile = Message.of_string_profiled raw in
+      Option.iter (fun p -> Profile.note_remote ~dest p) server_profile;
+      msg
+    end
+    else Message.of_string raw
+  in
+  match msg with
   | Message.Response r -> r.Message.results
   | Message.Fault f ->
       raise
@@ -190,6 +231,7 @@ let call_bulk t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
   let req =
     request t ?query_id ?updating ?fragments ~module_uri ?location ~fn calls
   in
+  if Profile.enabled () then Profile.note_calls ~dest (List.length calls);
   decode ~dest (call_raw t ~dest (Message.to_string (Message.Request req)))
 
 let call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
@@ -200,6 +242,16 @@ let call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
   with
   | seq :: _ -> seq
   | [] -> []  (* updating requests carry no results *)
+
+(** [call] with profiling on for its duration: returns the result together
+    with the finished profile — per-destination messages/bytes and, when
+    the serving peer measured them, its parse/compile/exec/commit phase
+    costs from the response header. *)
+let call_profiled t ~dest ?query_id ?updating ?fragments ~module_uri ?location
+    ~fn params =
+  Profile.profiled ~label:(fn ^ " @ " ^ dest) (fun () ->
+      call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
+        params)
 
 (** One single-call request per destination, dispatched concurrently
     through the client's executor. *)

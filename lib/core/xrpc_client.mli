@@ -104,6 +104,23 @@ val call :
     [module_uri:fn(params...)] at [dest] and returns its result sequence
     (empty for updating calls, whose effects are the result). *)
 
+val call_profiled :
+  t ->
+  dest:string ->
+  ?query_id:Xrpc_soap.Message.query_id ->
+  ?updating:bool ->
+  ?fragments:bool ->
+  module_uri:string ->
+  ?location:string ->
+  fn:string ->
+  Xrpc_xml.Xdm.sequence list ->
+  Xrpc_xml.Xdm.sequence * Xrpc_obs.Profile.t
+(** [call] with profiling enabled for its duration: returns the result
+    together with the finished {!Xrpc_obs.Profile.t} — per-destination
+    messages, serialized bytes both ways, and (the request carries the
+    [xrpc:profile] header flag, so cooperating peers measure and return
+    them) the remote side's parse/compile/exec/commit phase costs. *)
+
 val call_bulk :
   t ->
   dest:string ->

@@ -19,6 +19,14 @@ exception Http_error of string
 let err fmt = Printf.ksprintf (fun s -> raise (Http_error s)) fmt
 
 let m_posts = Metrics.counter "http.posts"
+
+(* per-destination wire traffic, as labeled series (stable-sorted and
+   escaped by Metrics.with_labels, so /metrics output stays diff-able) *)
+let m_dest_bytes_out dest =
+  Metrics.counter (Metrics.with_labels "http.bytes_out" [ ("dest", dest) ])
+
+let m_dest_bytes_in dest =
+  Metrics.counter (Metrics.with_labels "http.bytes_in" [ ("dest", dest) ])
 let m_served = Metrics.counter "http.requests_served"
 let m_post_ms = Metrics.histogram "http.post_ms"
 
@@ -259,6 +267,8 @@ let transport ?(default_port = 8080) ?timeout_ms ?policy
     let host = uri.Xrpc_uri.host in
     let port = Option.value ~default:default_port uri.Xrpc_uri.port in
     let path = "/" ^ uri.Xrpc_uri.path in
+    Metrics.incr_by (m_dest_bytes_out dest) (String.length body);
+    let reply =
     if not keep_alive then post ?timeout_ms ~host ~port ~path body
     else begin
       Trace.with_span ~detail:dest "http.post" @@ fun () ->
@@ -287,6 +297,9 @@ let transport ?(default_port = 8080) ?timeout_ms ?policy
       Metrics.observe m_post_ms ((Unix.gettimeofday () -. t0) *. 1000.);
       r
     end
+    in
+    Metrics.incr_by (m_dest_bytes_in dest) (String.length reply);
+    reply
   in
   let send_parallel pairs =
     Executor.map_list executor (fun (dest, body) -> send ~dest body) pairs

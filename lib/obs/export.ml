@@ -1,0 +1,86 @@
+(* Exporters for collected span trees.
+
+   [chrome_trace spans] renders any span slice as Chrome trace-event JSON
+   (the chrome://tracing / Perfetto "JSON Array Format"): one complete
+   ("ph":"X") event per finished span with microsecond timestamps, one
+   instant ("ph":"i") event per span event, and the span/parent ids in
+   "args" so a consumer can rebuild the exact tree.  Open spans are
+   emitted with zero duration and "open":true.
+
+   [span_tree_json spans] is the compact structural export: the nested
+   tree with names, details, timings and events — what /tracez serves
+   next to the Chrome format. *)
+
+let jstr s = "\"" ^ Metrics.json_escape s ^ "\""
+let us_of_ms ms = ms *. 1000. (* trace-event timestamps are microseconds *)
+let jnum v = if Float.is_nan v then "0" else Printf.sprintf "%.6g" v
+
+let chrome_event buf ~first (s : Trace.span) =
+  let is_open = Float.is_nan s.Trace.end_ms in
+  let dur = if is_open then 0. else s.Trace.end_ms -. s.Trace.start_ms in
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":%s,\"cat\":\"xrpc\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{\"span\":%s%s,\"trace\":%s%s%s}}"
+       (jstr s.Trace.name)
+       (jnum (us_of_ms s.Trace.start_ms))
+       (jnum (us_of_ms dur))
+       (jstr s.Trace.span_id)
+       (match s.Trace.parent with
+       | Some p -> ",\"parent\":" ^ jstr p
+       | None -> "")
+       (jstr s.Trace.trace_id)
+       (if s.Trace.detail = "" then "" else ",\"detail\":" ^ jstr s.Trace.detail)
+       (if is_open then ",\"open\":true" else ""));
+  List.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"cat\":\"xrpc\",\"ph\":\"i\",\"ts\":%s,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":{\"span\":%s%s}}"
+           (jstr e.Trace.e_name)
+           (jnum (us_of_ms e.Trace.e_at))
+           (jstr s.Trace.span_id)
+           (if e.Trace.e_detail = "" then ""
+            else ",\"detail\":" ^ jstr e.Trace.e_detail)))
+    (List.rev s.Trace.events)
+
+let chrome_trace spans =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  List.iter (chrome_event buf ~first) spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let span_tree_json spans =
+  let roots, kids = Trace.tree_of spans in
+  let rec node_json (s : Trace.span) =
+    let dur = Trace.duration_ms s in
+    Printf.sprintf
+      "{\"name\":%s%s,\"span\":%s%s,\"start_ms\":%s,\"dur_ms\":%s%s,\"children\":[%s]}"
+      (jstr s.Trace.name)
+      (if s.Trace.detail = "" then "" else ",\"detail\":" ^ jstr s.Trace.detail)
+      (jstr s.Trace.span_id)
+      (match s.Trace.parent with
+      | Some p -> ",\"parent\":" ^ jstr p
+      | None -> "")
+      (jnum s.Trace.start_ms)
+      (if Float.is_nan dur then "null" else jnum dur)
+      (if s.Trace.events = [] then ""
+       else
+         ",\"events\":["
+         ^ String.concat ","
+             (List.map
+                (fun (e : Trace.event) ->
+                  Printf.sprintf "{\"name\":%s%s,\"at_ms\":%s}"
+                    (jstr e.Trace.e_name)
+                    (if e.Trace.e_detail = "" then ""
+                     else ",\"detail\":" ^ jstr e.Trace.e_detail)
+                    (jnum e.Trace.e_at))
+                (List.rev s.Trace.events))
+         ^ "]")
+      (String.concat "," (List.map node_json (kids s.Trace.span_id)))
+  in
+  "{\"spans\":[" ^ String.concat "," (List.map node_json roots) ^ "]}"

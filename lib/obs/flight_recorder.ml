@@ -1,0 +1,194 @@
+(* Always-on flight recorder: a bounded, mutex-guarded ring buffer of the
+   last N completed requests, each entry holding the request label (query
+   text or method), its span-tree signature, per-phase timings, error
+   kind, idem key and duration.  Entries whose duration crosses the slow
+   threshold are additionally *pinned*: kept in a separate bounded list
+   ordered by duration, so a burst of fast traffic cannot evict the
+   evidence of yesterday's slow query.
+
+   Recording one entry is a handful of field writes plus (when tracing is
+   on) a signature render over that request's span slice — cheap enough
+   to leave on in production, which is the point: /requestz answers "what
+   ran here recently" without anyone having had to plan for the question. *)
+
+type entry = {
+  id : int; (* 1-based, monotonically increasing *)
+  label : string;
+  signature : string; (* "" when tracing was off for the request *)
+  phases : (string * int * float) list; (* name, count, total ms *)
+  error : string option;
+  idem_key : string option;
+  duration_ms : float;
+  at_ms : float; (* completion time on the Trace clock *)
+  spans : Trace.span list; (* the request's span slice, creation order *)
+}
+
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let default_capacity = 128
+let default_slow_ms = 250.
+let default_pinned_capacity = 16
+let ring : entry option array ref = ref (Array.make default_capacity None)
+let next_slot = ref 0
+let total = ref 0
+let slow_ms = ref default_slow_ms
+let pinned_capacity = ref default_pinned_capacity
+let pinned_list : entry list ref = ref [] (* slowest first, bounded *)
+
+let configure ?capacity ?slow ?pinned () =
+  locked (fun () ->
+      (match capacity with
+      | Some n when n > 0 ->
+          ring := Array.make n None;
+          next_slot := 0
+      | _ -> ());
+      (match slow with Some ms -> slow_ms := ms | None -> ());
+      match pinned with
+      | Some n when n > 0 ->
+          pinned_capacity := n;
+          pinned_list :=
+            List.filteri (fun i _ -> i < n) !pinned_list
+      | _ -> ())
+
+let reset () =
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      next_slot := 0;
+      total := 0;
+      pinned_list := [])
+
+let slow_threshold_ms () = !slow_ms
+
+(* Insert into the pinned list keeping it sorted slowest-first and
+   bounded; ties keep the earlier entry first (stable). *)
+let pin_locked e =
+  let rec ins = function
+    | [] -> [ e ]
+    | x :: rest ->
+        if e.duration_ms > x.duration_ms then e :: x :: rest
+        else x :: ins rest
+  in
+  pinned_list := List.filteri (fun i _ -> i < !pinned_capacity) (ins !pinned_list)
+
+let record ?error ?idem_key ~label ~duration_ms ~spans () =
+  locked (fun () ->
+      incr total;
+      let e =
+        { id = !total; label;
+          signature = (if spans = [] then "" else Trace.signature_of spans);
+          phases =
+            (if spans = [] then [] else Trace.phase_summary_of spans);
+          error; idem_key; duration_ms; at_ms = Trace.now_ms (); spans }
+      in
+      !ring.(!next_slot) <- Some e;
+      next_slot := (!next_slot + 1) mod Array.length !ring;
+      if duration_ms >= !slow_ms then pin_locked e;
+      e.id)
+
+(* Newest first. *)
+let recent () =
+  locked (fun () ->
+      let cap = Array.length !ring in
+      let acc = ref [] in
+      for i = 0 to cap - 1 do
+        (* walk forward from the oldest slot so [acc] ends newest first *)
+        match !ring.((!next_slot + i) mod cap) with
+        | Some e -> acc := e :: !acc
+        | None -> ()
+      done;
+      !acc)
+
+let pinned () = locked (fun () -> !pinned_list)
+let total_recorded () = locked (fun () -> !total)
+
+let find id =
+  locked (fun () ->
+      let in_ring =
+        Array.fold_left
+          (fun acc slot ->
+            match (acc, slot) with
+            | Some _, _ -> acc
+            | None, Some e when e.id = id -> Some e
+            | None, _ -> None)
+          None !ring
+      in
+      match in_ring with
+      | Some _ -> in_ring
+      | None -> List.find_opt (fun e -> e.id = id) !pinned_list)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let entry_text buf e =
+  Buffer.add_string buf
+    (Printf.sprintf "#%d  %.3f ms%s%s  %s\n" e.id e.duration_ms
+       (match e.error with Some err -> "  ERROR " ^ err | None -> "")
+       (match e.idem_key with Some k -> "  idem=" ^ k | None -> "")
+       e.label);
+  if e.phases <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "    phases: %s\n"
+         (String.concat "; "
+            (List.map
+               (fun (name, n, ms) ->
+                 Printf.sprintf "%s x%d %.3f ms" name n ms)
+               e.phases)));
+  if e.signature <> "" then
+    Buffer.add_string buf (Printf.sprintf "    spans: %s\n" e.signature)
+
+let to_text () =
+  let buf = Buffer.create 1024 in
+  let rs = recent () in
+  Buffer.add_string buf
+    (Printf.sprintf "flight recorder: %d recorded, showing %d (slow >= %s ms)\n"
+       (total_recorded ()) (List.length rs)
+       (Printf.sprintf "%.0f" !slow_ms));
+  List.iter (entry_text buf) rs;
+  Buffer.contents buf
+
+let pinned_text () =
+  let buf = Buffer.create 1024 in
+  let ps = pinned () in
+  Buffer.add_string buf
+    (Printf.sprintf "pinned slow queries (>= %.0f ms): %d\n" !slow_ms
+       (List.length ps));
+  List.iter (entry_text buf) ps;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ Metrics.json_escape s ^ "\""
+
+let entry_json e =
+  Printf.sprintf
+    "{\"id\":%d,\"label\":%s,\"duration_ms\":%.6g,\"at_ms\":%.6g%s%s%s%s}"
+    e.id (jstr e.label) e.duration_ms e.at_ms
+    (match e.error with
+    | Some err -> ",\"error\":" ^ jstr err
+    | None -> "")
+    (match e.idem_key with
+    | Some k -> ",\"idem_key\":" ^ jstr k
+    | None -> "")
+    (if e.signature = "" then "" else ",\"signature\":" ^ jstr e.signature)
+    (if e.phases = [] then ""
+     else
+       ",\"phases\":["
+       ^ String.concat ","
+           (List.map
+              (fun (name, n, ms) ->
+                Printf.sprintf "{\"name\":%s,\"count\":%d,\"ms\":%.6g}"
+                  (jstr name) n ms)
+              e.phases)
+       ^ "]")
+
+let to_json () =
+  "{\"total\":"
+  ^ string_of_int (total_recorded ())
+  ^ ",\"recent\":["
+  ^ String.concat "," (List.map entry_json (recent ()))
+  ^ "],\"pinned\":["
+  ^ String.concat "," (List.map entry_json (pinned ()))
+  ^ "]}"

@@ -70,6 +70,45 @@ let histogram name =
       Hashtbl.replace registry name (Histogram h);
       h
 
+(* Canonical labeled series name: [with_labels "http.bytes_out"
+   [("dest", d)]] -> [http.bytes_out{dest="d"}].  Labels are sorted by key
+   and values are escaped (backslash, quote, newline), so the same label
+   set always produces the same registry key and /metrics output stays
+   diff-able no matter what bytes end up in a destination URI. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let with_labels name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+      let body =
+        String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      in
+      name ^ "{" ^ body ^ "}"
+
+(* Histogram sample suffixes go before the label set: the _count series of
+   [lat{dest="y"}] is [lat_count{dest="y"}], not [lat{dest="y"}_count]. *)
+let suffixed name suffix =
+  match String.index_opt name '{' with
+  | Some i ->
+      String.sub name 0 i ^ suffix
+      ^ String.sub name i (String.length name - i)
+  | None -> name ^ suffix
+
 let incr c = c.count <- c.count + 1
 let incr_by c d = c.count <- c.count + d
 let set g v = g.value <- v
@@ -81,7 +120,13 @@ let bucket_of v =
     let i = int_of_float (Float.log2 (v /. bucket_lo)) in
     if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
 
+(* Durations measured on the Simnet virtual clock are frequently exactly 0
+   (several actions on one tick) and can come out negative when a test
+   rewinds an injected clock; both used to land in bucket 0 but poisoned
+   sum/min/max.  Clamp to 0 — a histogram of elapsed times has no business
+   recording negative or NaN observations. *)
 let observe h v =
+  let v = if Float.is_nan v || v < 0. then 0. else v in
   h.n <- h.n + 1;
   h.sum <- h.sum +. v;
   if v < h.min_v then h.min_v <- v;
@@ -141,15 +186,16 @@ let to_text () =
       | Counter c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.count)
       | Gauge g -> Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fnum g.value))
       | Histogram h ->
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.n);
-          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (fnum h.sum));
+          let s suffix = suffixed name suffix in
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" (s "_count") h.n);
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" (s "_sum") (fnum h.sum));
           if h.n > 0 then begin
             Buffer.add_string buf
-              (Printf.sprintf "%s_p50 %s\n" name (fnum (quantile h 0.50)));
+              (Printf.sprintf "%s %s\n" (s "_p50") (fnum (quantile h 0.50)));
             Buffer.add_string buf
-              (Printf.sprintf "%s_p95 %s\n" name (fnum (quantile h 0.95)));
+              (Printf.sprintf "%s %s\n" (s "_p95") (fnum (quantile h 0.95)));
             Buffer.add_string buf
-              (Printf.sprintf "%s_p99 %s\n" name (fnum (quantile h 0.99)))
+              (Printf.sprintf "%s %s\n" (s "_p99") (fnum (quantile h 0.99)))
           end)
     (sorted_metrics ());
   Buffer.contents buf

@@ -1,0 +1,392 @@
+(* Query profiling: per-operator cardinalities and timings, per-destination
+   message accounting, and the remote peer's phase breakdown — the data
+   behind the shell's :profile command and Xrpc_client.call_profiled.
+
+   The model mirrors Trace but collects *aggregates* instead of raw spans:
+
+   - a profile is a tree of plan nodes.  Looplift opens one node per
+     algebra expression it evaluates (stable ids in evaluation order,
+     which for a given query is deterministic pre-order), Eval opens one
+     per top-level function application, Bulk_rpc / Eval.bulk_execute one
+     per distributed dispatch;
+   - each node accumulates the kernel-level operator stats (rows in/out,
+     calls, inclusive wall time) that Ops reports while the node is the
+     ambient one on its thread;
+   - destination stats (messages, logical calls, serialized bytes both
+     ways, and the remote peer's parse/compile/exec/commit costs parsed
+     from the response's serverProfile attribute) hang off the profile
+     itself, keyed by destination URI.
+
+   Gating discipline is the same as Trace (ISSUE 3): when profiling is off
+   — the default — every entry point returns after one flag test, so the
+   instrumented hot paths stay at ~0%% cost.  Timings use Trace's
+   injectable clock, so Cluster-bound profiles run on the virtual clock
+   and replay deterministically. *)
+
+type op_stat = {
+  mutable os_calls : int;
+  mutable os_rows_in : int;
+  mutable os_rows_out : int;
+  mutable os_ms : float;
+}
+
+type node = {
+  id : int;
+  name : string;
+  detail : string;
+  parent : int option;
+  mutable rows_out : int; (* -1 = not set *)
+  mutable incl_ms : float; (* inclusive wall time, accumulated *)
+  mutable ops : (string * op_stat) list; (* insertion order *)
+}
+
+type dest_stat = {
+  mutable d_msgs : int; (* serialized request messages *)
+  mutable d_calls : int; (* logical calls carried inside them *)
+  mutable d_bytes_out : int;
+  mutable d_bytes_in : int;
+  mutable d_remote : (string * float) list; (* phase -> total ms *)
+}
+
+type t = {
+  label : string;
+  mutable nodes : node list; (* newest first *)
+  mutable n_nodes : int;
+  mutable dropped : int;
+  mutable root_ops : (string * op_stat) list; (* ops outside any node *)
+  dests : (string, dest_stat) Hashtbl.t;
+  started_ms : float;
+  mutable total_ms : float; (* nan until the profiled run finishes *)
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+(* Plan nodes are bounded: a query that re-evaluates a subtree per tuple
+   (If branches under loop-lifting, recursive functions under Eval) could
+   otherwise grow the node list with the data.  Past the cap new nodes
+   are counted as dropped; op stats still accumulate into the nearest
+   live ancestor. *)
+let capacity = ref 10_000
+let set_capacity n = capacity := n
+
+let state_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_mutex) f
+
+let make label =
+  { label; nodes = []; n_nodes = 0; dropped = 0; root_ops = [];
+    dests = Hashtbl.create 8; started_ms = Trace.now_ms (); total_ms = nan }
+
+let current : t option ref = ref None
+
+(* Per-thread stack of open nodes: the dispatch executor runs Bulk RPC
+   legs on pool threads, and each leg's kernel work must land under that
+   leg's node, not under whatever the main thread has open. *)
+let stacks : (int, node list ref) Hashtbl.t = Hashtbl.create 8
+let stacks_mutex = Mutex.create ()
+
+let my_stack () =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock stacks_mutex;
+  let st =
+    match Hashtbl.find_opt stacks id with
+    | Some st -> st
+    | None ->
+        let st = ref [] in
+        Hashtbl.replace stacks id st;
+        st
+  in
+  Mutex.unlock stacks_mutex;
+  st
+
+let with_node ?(detail = "") name f =
+  if not !enabled_flag then f ()
+  else
+    match !current with
+    | None -> f ()
+    | Some p ->
+        let st = my_stack () in
+        let parent = match !st with [] -> None | n :: _ -> Some n.id in
+        let n =
+          locked (fun () ->
+              if p.n_nodes >= !capacity then begin
+                p.dropped <- p.dropped + 1;
+                None
+              end
+              else begin
+                let n =
+                  { id = p.n_nodes + 1; name; detail; parent; rows_out = -1;
+                    incl_ms = 0.; ops = [] }
+                in
+                p.nodes <- n :: p.nodes;
+                p.n_nodes <- p.n_nodes + 1;
+                Some n
+              end)
+        in
+        (match n with
+        | None -> f ()
+        | Some n ->
+            st := n :: !st;
+            let t0 = Trace.now_ms () in
+            Fun.protect
+              ~finally:(fun () ->
+                n.incl_ms <- n.incl_ms +. (Trace.now_ms () -. t0);
+                match !st with
+                | top :: rest when top == n -> st := rest
+                | _ -> ())
+              f)
+
+(* Set the output cardinality of the innermost open node. *)
+let set_rows rows =
+  if !enabled_flag then
+    match !(my_stack ()) with [] -> () | n :: _ -> n.rows_out <- rows
+
+let merge_op ops name ~rows_in ~rows_out ms =
+  match List.assoc_opt name ops with
+  | Some os ->
+      os.os_calls <- os.os_calls + 1;
+      os.os_rows_in <- os.os_rows_in + rows_in;
+      os.os_rows_out <- os.os_rows_out + rows_out;
+      os.os_ms <- os.os_ms +. ms;
+      ops
+  | None ->
+      ops
+      @ [ (name, { os_calls = 1; os_rows_in = rows_in;
+                   os_rows_out = rows_out; os_ms = ms }) ]
+
+(* Called by Ops.timed for every kernel invocation while profiling is on;
+   attributes the work to the innermost open plan node on this thread. *)
+let record_op name ~rows_in ~rows_out ms =
+  if !enabled_flag then
+    match !current with
+    | None -> ()
+    | Some p -> (
+        match !(my_stack ()) with
+        | n :: _ -> n.ops <- merge_op n.ops name ~rows_in ~rows_out ms
+        | [] ->
+            locked (fun () ->
+                p.root_ops <- merge_op p.root_ops name ~rows_in ~rows_out ms))
+
+(* ------------------------------------------------------------------ *)
+(* Destination accounting                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dest_stat_locked p dest =
+  match Hashtbl.find_opt p.dests dest with
+  | Some d -> d
+  | None ->
+      let d =
+        { d_msgs = 0; d_calls = 0; d_bytes_out = 0; d_bytes_in = 0;
+          d_remote = [] }
+      in
+      Hashtbl.replace p.dests dest d;
+      d
+
+let with_dest dest f =
+  if !enabled_flag then
+    match !current with
+    | None -> ()
+    | Some p -> locked (fun () -> f (dest_stat_locked p dest))
+
+let note_send ~dest ~bytes =
+  with_dest dest (fun d ->
+      d.d_msgs <- d.d_msgs + 1;
+      d.d_bytes_out <- d.d_bytes_out + bytes)
+
+let note_recv ~dest ~bytes =
+  with_dest dest (fun d -> d.d_bytes_in <- d.d_bytes_in + bytes)
+
+let note_calls ~dest n = with_dest dest (fun d -> d.d_calls <- d.d_calls + n)
+
+(* Remote phase costs parsed from the response's serverProfile attribute;
+   summed per phase name across all messages to this destination. *)
+let note_remote ~dest phases =
+  with_dest dest (fun d ->
+      List.iter
+        (fun (name, ms) ->
+          d.d_remote <-
+            (if List.mem_assoc name d.d_remote then
+               List.map
+                 (fun (n, v) -> if n = name then (n, v +. ms) else (n, v))
+                 d.d_remote
+             else d.d_remote @ [ (name, ms) ]))
+        phases)
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] with profiling on and a fresh profile collecting; returns the
+   result together with the finished profile.  Nests: the previous
+   profile (if any) is restored afterwards. *)
+let profiled ?(label = "") f =
+  let p = make label in
+  let old_cur = !current and old_en = !enabled_flag in
+  current := Some p;
+  enabled_flag := true;
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        p.total_ms <- Trace.now_ms () -. p.started_ms;
+        enabled_flag := old_en;
+        current := old_cur)
+      f
+  in
+  (r, p)
+
+let label p = p.label
+let total_ms p = p.total_ms
+let node_count p = p.n_nodes
+let dropped_count p = p.dropped
+
+let dests p =
+  Hashtbl.fold (fun dest d acc -> (dest, d) :: acc) p.dests []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let nodes p = List.rev p.nodes (* creation order: stable plan-node ids *)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tree_of p =
+  let all = nodes p in
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  List.iter
+    (fun n ->
+      match n.parent with
+      | Some pid ->
+          let l = try Hashtbl.find children pid with Not_found -> [] in
+          Hashtbl.replace children pid (n :: l)
+      | None -> roots := n :: !roots)
+    all;
+  let kids id =
+    List.rev (try Hashtbl.find children id with Not_found -> [])
+  in
+  (List.rev !roots, kids)
+
+let render_ops buf indent ops =
+  List.iter
+    (fun (name, os) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sops: %s x%d  %d->%d rows  %.3f ms\n" indent name
+           os.os_calls os.os_rows_in os.os_rows_out os.os_ms))
+    ops
+
+let render p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "profile%s: total %s  (%d plan nodes%s)\n"
+       (if p.label = "" then "" else " " ^ p.label)
+       (if Float.is_nan p.total_ms then "OPEN"
+        else Printf.sprintf "%.3f ms" p.total_ms)
+       p.n_nodes
+       (if p.dropped > 0 then Printf.sprintf ", %d dropped" p.dropped else ""));
+  let roots, kids = tree_of p in
+  let rec pr indent n =
+    Buffer.add_string buf
+      (Printf.sprintf "%s#%d %s%s  %.3f ms%s\n" indent n.id n.name
+         (if n.detail = "" then "" else " (" ^ n.detail ^ ")")
+         n.incl_ms
+         (if n.rows_out >= 0 then Printf.sprintf "  rows=%d" n.rows_out
+          else ""));
+    render_ops buf (indent ^ "   ") n.ops;
+    List.iter (pr (indent ^ "  ")) (kids n.id)
+  in
+  List.iter (pr "") roots;
+  render_ops buf "" p.root_ops;
+  let ds = dests p in
+  if ds <> [] then begin
+    Buffer.add_string buf "destinations:\n";
+    List.iter
+      (fun (dest, d) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s  %d msg%s, %d call%s, %d B out, %d B in\n"
+             dest d.d_msgs
+             (if d.d_msgs = 1 then "" else "s")
+             d.d_calls
+             (if d.d_calls = 1 then "" else "s")
+             d.d_bytes_out d.d_bytes_in);
+        if d.d_remote <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "    remote: %s\n"
+               (String.concat "; "
+                  (List.map
+                     (fun (n, ms) -> Printf.sprintf "%s %.3f ms" n ms)
+                     d.d_remote))))
+      ds
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let jnum v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
+let jstr s = "\"" ^ Metrics.json_escape s ^ "\""
+
+let ops_json ops =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (name, os) ->
+           Printf.sprintf
+             "{\"op\":%s,\"calls\":%d,\"rows_in\":%d,\"rows_out\":%d,\"ms\":%s}"
+             (jstr name) os.os_calls os.os_rows_in os.os_rows_out
+             (jnum os.os_ms))
+         ops)
+  ^ "]"
+
+let to_json p =
+  let buf = Buffer.create 1024 in
+  let roots, kids = tree_of p in
+  let rec node_json n =
+    Printf.sprintf
+      "{\"id\":%d,\"name\":%s%s,\"ms\":%s%s,\"ops\":%s,\"children\":[%s]}"
+      n.id (jstr n.name)
+      (if n.detail = "" then "" else ",\"detail\":" ^ jstr n.detail)
+      (jnum n.incl_ms)
+      (if n.rows_out >= 0 then Printf.sprintf ",\"rows\":%d" n.rows_out
+       else "")
+      (ops_json n.ops)
+      (String.concat "," (List.map node_json (kids n.id)))
+  in
+  Buffer.add_string buf "{";
+  if p.label <> "" then
+    Buffer.add_string buf (Printf.sprintf "\"label\":%s," (jstr p.label));
+  Buffer.add_string buf (Printf.sprintf "\"total_ms\":%s," (jnum p.total_ms));
+  Buffer.add_string buf
+    (Printf.sprintf "\"plan\":[%s]"
+       (String.concat "," (List.map node_json roots)));
+  if p.root_ops <> [] then
+    Buffer.add_string buf (Printf.sprintf ",\"ops\":%s" (ops_json p.root_ops));
+  let ds = dests p in
+  if ds <> [] then begin
+    Buffer.add_string buf ",\"dests\":{";
+    List.iteri
+      (fun i (dest, d) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s:{\"msgs\":%d,\"calls\":%d,\"bytes_out\":%d,\"bytes_in\":%d"
+             (jstr dest) d.d_msgs d.d_calls d.d_bytes_out d.d_bytes_in);
+        if d.d_remote <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf ",\"remote\":{%s}"
+               (String.concat ","
+                  (List.map
+                     (fun (n, ms) ->
+                       Printf.sprintf "%s:%s" (jstr n) (jnum ms))
+                     d.d_remote)));
+        Buffer.add_char buf '}')
+      ds;
+    Buffer.add_char buf '}'
+  end;
+  if p.dropped > 0 then
+    Buffer.add_string buf (Printf.sprintf ",\"dropped\":%d" p.dropped);
+  Buffer.add_string buf "}";
+  Buffer.contents buf

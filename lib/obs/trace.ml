@@ -190,6 +190,26 @@ let propagation () =
   else match current () with Some s -> Some (s.trace_id, s.span_id) | None -> None
 
 let spans () = List.rev !recorded (* creation order *)
+
+(* Mark/since: capture the spans created during one request without
+   copying the buffer.  [mark] snapshots the recorded count; [since m]
+   returns the spans recorded after that point, in creation order.  The
+   flight recorder uses the pair to attach each request's span slice to
+   its ring entry. *)
+let mark () = locked (fun () -> !recorded_n)
+
+let since m =
+  let all, n = locked (fun () -> (!recorded, !recorded_n)) in
+  if n <= m then []
+  else
+    (* [all] is newest first: the spans since the mark are its first
+       [n - m] elements. *)
+    let rec take k acc = function
+      | s :: rest when k > 0 -> take (k - 1) (s :: acc) rest
+      | _ -> acc
+    in
+    take (n - m) [] all
+
 let dropped_count () = !dropped
 
 let open_count () =
@@ -248,8 +268,7 @@ let render () =
 (* Structure-only rendering — span names, nesting and event names, but no
    timestamps or durations. Two runs of the same seeded schedule must
    produce equal signatures (replay determinism extended to traces). *)
-let signature () =
-  let all = spans () in
+let signature_of all =
   let roots, kids = tree_of all in
   let buf = Buffer.create 512 in
   let rec pr s =
@@ -266,9 +285,11 @@ let signature () =
   List.iteri (fun i r -> if i > 0 then Buffer.add_char buf ';'; pr r) roots;
   Buffer.contents buf
 
+let signature () = signature_of (spans ())
+
 (* Aggregate per-phase totals: (name, count, total inclusive ms), sorted by
    total descending — the paper's Table-2-style cost breakdown. *)
-let phase_summary () =
+let phase_summary_of all =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun s ->
@@ -276,6 +297,8 @@ let phase_summary () =
       if not (Float.is_nan d) then
         let n, t = try Hashtbl.find tbl s.name with Not_found -> (0, 0.) in
         Hashtbl.replace tbl s.name (n + 1, t +. d))
-    (spans ());
+    all;
   Hashtbl.fold (fun name (n, t) acc -> (name, n, t) :: acc) tbl []
   |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let phase_summary () = phase_summary_of (spans ())

@@ -22,6 +22,8 @@ module Xrpc_error = Xrpc_net.Xrpc_error
 module Xrpc_uri = Xrpc_net.Xrpc_uri
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
+module Profile = Xrpc_obs.Profile
+module Flight_recorder = Xrpc_obs.Flight_recorder
 
 let log_src = Logs.Src.create "xrpc.peer" ~doc:"XRPC peer request handling"
 
@@ -210,15 +212,30 @@ let dispatcher peer peers_acc : Xctx.dispatcher =
   in
   let note dest = if not (List.mem dest !peers_acc) then peers_acc := dest :: !peers_acc in
   let decode dest raw =
-    match Message.of_string raw with
+    (* with profiling on, pull the serving peer's phase breakdown out of
+       the response's serverProfile attribute and account the response
+       bytes to [dest] *)
+    let msg =
+      if Profile.enabled () then begin
+        Profile.note_recv ~dest ~bytes:(String.length raw);
+        let msg, server_profile = Message.of_string_profiled raw in
+        Option.iter (fun p -> Profile.note_remote ~dest p) server_profile;
+        msg
+      end
+      else Message.of_string raw
+    in
+    match msg with
     | Message.Response r as m ->
         note dest;
         List.iter note r.Message.peers;
         m
     | m -> m
   in
-  let serialize req =
-    Message.to_string (Message.Request (assign_idem_key peer req))
+  let serialize ~dest req =
+    let body = Message.to_string (Message.Request (assign_idem_key peer req)) in
+    if Profile.enabled () then
+      Profile.note_send ~dest ~bytes:(String.length body);
+    body
   in
   (* each logical RPC gets its own span; the request body is serialized
      inside it so the SOAP header's parent-span is the rpc span — retries
@@ -227,7 +244,7 @@ let dispatcher peer peers_acc : Xctx.dispatcher =
     Xctx.call =
       (fun ~dest req ->
         Trace.with_span ~detail:dest "rpc" @@ fun () ->
-        decode dest (transport.Transport.send ~dest (serialize req)));
+        decode dest (transport.Transport.send ~dest (serialize ~dest req)));
     call_parallel =
       (fun reqs ->
         Trace.with_span
@@ -235,7 +252,7 @@ let dispatcher peer peers_acc : Xctx.dispatcher =
           "rpc.parallel"
         @@ fun () ->
         let bodies =
-          List.map (fun (dest, req) -> (dest, serialize req)) reqs
+          List.map (fun (dest, req) -> (dest, serialize ~dest req)) reqs
         in
         List.map2
           (fun (dest, _) raw -> decode dest raw)
@@ -280,7 +297,19 @@ let compile_module peer ~uri ~location : Func_cache.compiled =
       Xrpc_xquery.Check.check_prog_exn ctx prog;
       { Func_cache.prog; funcs = ctx.Xctx.funcs })
 
-let handle_request peer (r : Message.request) : Message.t =
+(* Accumulate a named phase's wall cost into [phases] (when the caller
+   wants the server-side breakdown); the cost is recorded even when [f]
+   raises, so a faulted request still reports where it spent its time. *)
+let phase_timed phases name f =
+  match phases with
+  | None -> f ()
+  | Some acc ->
+      let t0 = Trace.now_ms () in
+      Fun.protect
+        ~finally:(fun () -> acc := !acc @ [ (name, Trace.now_ms () -. t0) ])
+        f
+
+let handle_request ?phases peer (r : Message.request) : Message.t =
   peer.requests_handled <- peer.requests_handled + 1;
   peer.calls_handled <- peer.calls_handled + List.length r.Message.calls;
   Metrics.incr m_requests;
@@ -328,6 +357,7 @@ let handle_request peer (r : Message.request) : Message.t =
   else
     let compiled =
       (* covers parse + prolog + static check on a cache miss; ~0 on a hit *)
+      phase_timed phases "compile" @@ fun () ->
       Trace.with_span ~detail:r.Message.module_uri "peer.compile" @@ fun () ->
       compile_module peer ~uri:r.Message.module_uri ~location:r.Message.location
     in
@@ -348,6 +378,7 @@ let handle_request peer (r : Message.request) : Message.t =
        answered with one scan + hash join over all calls (the set-oriented
        opportunity of §1); otherwise the body runs once per call *)
     let results =
+      phase_timed phases "exec" @@ fun () ->
       Trace.with_span ~detail:r.Message.method_ "peer.exec" @@ fun () ->
       let joined =
         if f.Xctx.decl.Xrpc_xquery.Ast.fn_updating then None
@@ -367,6 +398,7 @@ let handle_request peer (r : Message.request) : Message.t =
     (* updating semantics *)
     let pul = List.rev !(ctx.Xctx.pul) in
     (if pul <> [] then
+       phase_timed phases "commit" @@ fun () ->
        Trace.with_span "peer.commit" @@ fun () ->
        match entry with
        | Some e ->
@@ -463,16 +495,57 @@ let with_peer_lock peer f =
 let handle_raw peer (body : string) : string =
   let t0 = Unix.gettimeofday () in
   with_peer_lock peer @@ fun () ->
+  let fr_mark = Trace.mark () in
+  let tparse0 = Trace.now_ms () in
   let parsed =
-    try Ok (Message.of_string_traced body) with e -> Error e
+    try Ok (Message.of_string_server body) with e -> Error e
   in
-  let msg = Result.map fst parsed in
+  let parse_ms = Trace.now_ms () -. tparse0 in
+  let msg = Result.map (fun (m, _, _) -> m) parsed in
+  (* measure the server-side phase breakdown whenever someone will read
+     it: the caller asked (the profile request attribute), sent a trace
+     context (a traced distributed query), or observability is on in
+     this process.  Plain traffic pays nothing and its wire format is
+     unchanged. *)
+  let want_profile =
+    Profile.enabled () || Trace.enabled ()
+    || (match parsed with
+       | Ok (_, Some _, _) | Ok (_, _, true) -> true
+       | _ -> false)
+  in
+  let phases =
+    if want_profile then Some (ref [ ("parse", parse_ms) ]) else None
+  in
+  let flight_label =
+    match msg with
+    | Ok (Message.Request r) ->
+        Printf.sprintf "%s:%s#%d (%d call%s)" r.Message.module_uri
+          r.Message.method_ r.Message.arity
+          (List.length r.Message.calls)
+          (if List.length r.Message.calls = 1 then "" else "s")
+    | Ok (Message.Tx_request (op, qid)) ->
+        Printf.sprintf "tx:%s %s"
+          (match op with
+          | Message.Prepare -> "prepare"
+          | Message.Commit -> "commit"
+          | Message.Rollback -> "rollback"
+          | Message.Status -> "status")
+          (Message.query_id_key qid)
+    | Ok _ -> "unexpected message kind"
+    | Error e -> "unparseable request: " ^ Printexc.to_string e
+  in
+  let record_flight ?error ~idem_key () =
+    ignore
+      (Flight_recorder.record ?error ?idem_key ~label:flight_label
+         ~duration_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+         ~spans:(Trace.since fr_mark) ())
+  in
   (* the span adopts the caller's propagated (trace-id, parent-span) when
      the envelope header carries one, so peer-side work lands in the
      originating query's tree; the parse itself is recorded as an event *)
   let span_body f =
     match parsed with
-    | Ok (_, Some (trace_id, parent)) ->
+    | Ok (_, Some (trace_id, parent), _) ->
         Trace.with_remote_parent ~detail:peer.uri ~trace_id ~parent
           "peer.handle" f
     | _ -> Trace.with_span ~detail:peer.uri "peer.handle" f
@@ -498,12 +571,13 @@ let handle_raw peer (body : string) : string =
       Metrics.incr m_idem_hits;
       Trace.event "idem-hit";
       peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+      record_flight ~idem_key ();
       out
   | None ->
   let reply =
     try
       match msg with
-      | Ok (Message.Request r) -> handle_request peer r
+      | Ok (Message.Request r) -> handle_request ?phases peer r
       | Ok (Message.Tx_request (op, qid)) -> handle_tx peer op qid
       | Ok _ -> Message.Fault { fault_code = `Sender; reason = "expected a request" }
       | Error e -> raise e
@@ -540,7 +614,12 @@ let handle_raw peer (body : string) : string =
       Trace.event ~detail:f.Message.reason "fault";
       Log.warn (fun m -> m "%s: fault: %s" peer.uri f.Message.reason)
   | _ -> ());
-  let out = Message.to_string reply in
+  (* the phase breakdown rides back on the response element, so the
+     calling site's profile can split remote time into
+     parse/compile/exec/commit without another round trip *)
+  let out =
+    Message.to_string ?server_profile:(Option.map ( ! ) phases) reply
+  in
   (* remember successful replies only: a faulted request had no effects,
      so a retry may legitimately re-execute it *)
   (match (idem_key, reply) with
@@ -550,6 +629,12 @@ let handle_raw peer (body : string) : string =
   let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
   peer.handler_ms <- peer.handler_ms +. elapsed;
   Metrics.observe m_handle_ms elapsed;
+  record_flight
+    ?error:
+      (match reply with
+      | Message.Fault f -> Some f.Message.reason
+      | _ -> None)
+    ~idem_key ();
   out
 
 (* ------------------------------------------------------------------ *)
@@ -583,9 +668,25 @@ type query_result = {
       across all participating peers.
     - Without it, rules R_Fr / R_Fu apply: remote updates are applied per
       request, local updates when the query finishes. *)
+(* Flight-recorder label for a client-side query: first line, bounded. *)
+let query_label source =
+  let one_line = String.map (fun c -> if c = '\n' then ' ' else c) source in
+  let trimmed = String.trim one_line in
+  if String.length trimmed <= 120 then trimmed
+  else String.sub trimmed 0 117 ^ "..."
+
 let query peer (source : string) : query_result =
   Metrics.incr m_queries;
-  Trace.with_span ~detail:peer.uri "query" @@ fun () ->
+  let fr_mark = Trace.mark () in
+  let t0 = Unix.gettimeofday () in
+  let record_flight error =
+    ignore
+      (Flight_recorder.record ?error ~label:(query_label source)
+         ~duration_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+         ~spans:(Trace.since fr_mark) ())
+  in
+  match
+    Trace.with_span ~detail:peer.uri "query" @@ fun () ->
   let prog =
     Trace.with_span "client.parse" @@ fun () ->
     Xrpc_xquery.Parser.parse_prog source
@@ -659,6 +760,13 @@ let query peer (source : string) : query_result =
         (true, None)
   in
   { value; participants; committed; tx }
+  with
+  | r ->
+      record_flight None;
+      r
+  | exception e ->
+      record_flight (Some (Printexc.to_string e));
+      raise e
 
 (** Convenience: result sequence only; raises on failed distributed commit. *)
 let query_seq peer source =

@@ -14,6 +14,7 @@ open Xrpc_xml
 module Message = Xrpc_soap.Message
 module Metrics = Xrpc_obs.Metrics
 module Trace = Xrpc_obs.Trace
+module Profile = Xrpc_obs.Profile
 
 exception Error of string
 
@@ -703,20 +704,26 @@ and convert_argument ~fname (q : Qname.t) (ty : Ast.seq_type option)
 
 and apply_function ctx (f : Context.func) (arg_values : Xdm.sequence list) =
   Metrics.incr m_applications;
-  if not (Trace.enabled ()) then apply_function_inner ctx f arg_values
+  if not (Trace.enabled () || Profile.enabled ()) then
+    apply_function_inner ctx f arg_values
   else begin
-    (* span only the outermost application (the unit the XRPC handler
+    (* span/node only the outermost application (the unit the XRPC handler
        bills per call); inner recursion is aggregated into the histogram *)
     let t0 = Trace.now_ms () in
     let run () =
       let r = apply_function_inner ctx f arg_values in
-      Metrics.observe m_apply_ms (Trace.now_ms () -. t0);
+      if Trace.enabled () then Metrics.observe m_apply_ms (Trace.now_ms () -. t0);
       r
     in
-    if ctx.Context.call_depth = 0 then
-      Trace.with_span
-        ~detail:(Qname.to_string f.Context.decl.Ast.fn_name)
-        "eval.apply" run
+    if ctx.Context.call_depth = 0 then begin
+      let name = Qname.to_string f.Context.decl.Ast.fn_name in
+      let traced () =
+        if Trace.enabled () then Trace.with_span ~detail:name "eval.apply" run
+        else run ()
+      in
+      if Profile.enabled () then Profile.with_node ~detail:name "apply" traced
+      else traced ()
+    end
     else run ()
   end
 
@@ -819,6 +826,7 @@ and bulk_execute base_ctx tuples dest_e fname args =
             calls = [ p0 ];
           }
         in
+        if Profile.enabled () then Profile.note_calls ~dest:d0 1;
         let result =
           match dispatcher.Context.call ~dest:d0 req with
           | Message.Response { results = [ r ]; _ } -> r
@@ -861,10 +869,23 @@ and bulk_execute base_ctx tuples dest_e fname args =
           } ))
       dests
   in
-  let responses =
+  let dispatch () =
     match requests with
     | [ (dest, req) ] -> [ dispatcher.Context.call ~dest req ]
     | reqs -> dispatcher.Context.call_parallel reqs
+  in
+  let responses =
+    if Profile.enabled () then begin
+      List.iter
+        (fun (dest, req) ->
+          Profile.note_calls ~dest (List.length req.Message.calls))
+        requests;
+      Profile.with_node
+        ~detail:(Printf.sprintf "%s -> %d dest(s)" fname.Qname.local
+                   (List.length requests))
+        "bulkrpc" dispatch
+    end
+    else dispatch ()
   in
   (* map back: walk tuples in order, pulling the next result for their
      destination (the mapp tables of Figure 1) *)

@@ -1,0 +1,765 @@
+(* Profiling suite: the Profile plan-node collector and its operator /
+   destination accounting, the always-on flight recorder (ring eviction,
+   pinned slow queries, concurrent writers), the Chrome trace-event and
+   span-tree exporters, the metrics satellites (histogram clamping,
+   labeled series), and the end-to-end acceptance of the PR — profiling a
+   distributed query over two simulated peers yields per-destination
+   byte/call counts and the remote side's parse/compile/exec phase
+   breakdown, at zero recording cost when profiling is off. *)
+
+open Xrpc_xml
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
+module Profile = Xrpc_obs.Profile
+module Flight_recorder = Xrpc_obs.Flight_recorder
+module Export = Xrpc_obs.Export
+module Cluster = Xrpc_core.Cluster
+module Client = Xrpc_core.Xrpc_client
+module Peer = Xrpc_peer.Peer
+module Simnet = Xrpc_net.Simnet
+module Message = Xrpc_soap.Message
+module Looplift = Xrpc_algebra.Looplift
+module Ops = Xrpc_algebra.Ops
+module Table = Xrpc_algebra.Table
+module Parser = Xrpc_xquery.Parser
+module Testmod = Xrpc_workloads.Testmod
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let has needle hay =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+let assert_has what needle hay =
+  if not (has needle hay) then
+    Alcotest.failf "%s: %S not found in:\n%s" what needle hay
+
+(* Every test leaves the global observability state as it found it. *)
+let with_clean f =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.use_wall_clock ();
+      Trace.reset ();
+      Profile.set_capacity 10_000;
+      Flight_recorder.configure ~capacity:128 ~slow:250. ~pinned:16 ();
+      Flight_recorder.reset ())
+    f
+
+let fake_clock () =
+  let t = ref 0. in
+  Trace.set_clock (fun () -> !t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON well-formedness checker (RFC 8259 grammar, no
+   semantics) so exporter tests fail on any broken quoting/commas.      *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_json of string
+
+let check_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else bad (Printf.sprintf "expected %c" c)
+  in
+  let lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l
+    else bad ("expected " ^ w)
+  in
+  let string_ () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then bad "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (match peek () with
+            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
+            | Some 'u' ->
+                incr pos;
+                for _ = 1 to 4 do
+                  match peek () with
+                  | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
+                  | _ -> bad "bad \\u escape"
+                done
+            | _ -> bad "bad escape");
+            go ()
+        | c when Char.code c < 0x20 -> bad "control char in string"
+        | _ ->
+            incr pos;
+            go ()
+    in
+    go ()
+  in
+  let number () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let start = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = start then bad "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then incr pos
+        else
+          let rec members () =
+            skip_ws ();
+            string_ ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ()
+            | _ -> expect '}'
+          in
+          members ()
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then incr pos
+        else
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements ()
+            | _ -> expect ']'
+          in
+          elements ()
+    | Some '"' -> string_ ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> bad "expected a JSON value"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage"
+
+let assert_json what s =
+  match check_json s with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "%s: invalid JSON (%s):\n%s" what msg s
+
+(* ------------------------------------------------------------------ *)
+(* Metrics satellites: clamping, labels                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_clamps_bad_durations () =
+  Metrics.reset ();
+  let h = Metrics.histogram "p.clamp_ms" in
+  Metrics.observe h (-5.);
+  Metrics.observe h Float.nan;
+  Metrics.observe h 3.;
+  check int_ "all three observations counted" 3 h.Metrics.n;
+  check (Alcotest.float 1e-9) "negatives and NaN clamp to zero" 3. h.Metrics.sum;
+  check bool_ "quantile stays finite" true
+    (Float.is_finite (Metrics.quantile h 0.99))
+
+let test_labeled_series_canonical () =
+  check string_ "labels sorted by key" {|m{a="x",z="1"}|}
+    (Metrics.with_labels "m" [ ("z", "1"); ("a", "x") ]);
+  check string_ "same set, any order, same series"
+    (Metrics.with_labels "m" [ ("a", "x"); ("z", "1") ])
+    (Metrics.with_labels "m" [ ("z", "1"); ("a", "x") ]);
+  check string_ "no labels, bare name" "m" (Metrics.with_labels "m" []);
+  check string_ "quotes, backslashes, newlines escaped"
+    "m{k=\"a\\\"b\\nc\\\\d\"}"
+    (Metrics.with_labels "m" [ ("k", "a\"b\nc\\d") ]);
+  check string_ "histogram suffix goes before the label set"
+    {|lat_count{dest="y"}|}
+    (Metrics.suffixed {|lat{dest="y"}|} "_count")
+
+let test_labeled_series_in_text_export () =
+  Metrics.reset ();
+  Metrics.incr (Metrics.counter (Metrics.with_labels "p.req" [ ("dest", "y") ]));
+  Metrics.incr_by
+    (Metrics.counter (Metrics.with_labels "p.req" [ ("dest", "x") ]))
+    2;
+  let h = Metrics.histogram (Metrics.with_labels "p.lat_ms" [ ("dest", "y") ]) in
+  Metrics.observe h 4.;
+  let text = Metrics.to_text () in
+  assert_has "x series" {|p.req{dest="x"} 2|} text;
+  assert_has "y series" {|p.req{dest="y"} 1|} text;
+  assert_has "histogram count series" {|p.lat_ms_count{dest="y"} 1|} text;
+  (* series dump is sorted, so the export is diff-able run to run *)
+  let ix = String.index text 'x' in
+  ignore ix;
+  let posx =
+    match String.split_on_char '\n' text with
+    | lines ->
+        let rec find i = function
+          | [] -> (-1, -1)
+          | l :: rest ->
+              if has {|p.req{dest="x"}|} l then (i, snd (find (i + 1) rest))
+              else if has {|p.req{dest="y"}|} l then (fst (find (i + 1) rest), i)
+              else find (i + 1) rest
+        in
+        find 0 lines
+  in
+  (match posx with
+  | ix, iy when ix >= 0 && iy >= 0 ->
+      check bool_ "x sorts before y" true (ix < iy)
+  | _ -> Alcotest.fail "labeled series missing from text export");
+  assert_json "metrics json export" (Metrics.to_json ())
+
+(* ------------------------------------------------------------------ *)
+(* Exporters over a hand-built span tree                               *)
+(* ------------------------------------------------------------------ *)
+
+let build_spans () =
+  let t = fake_clock () in
+  Trace.set_enabled true;
+  Trace.with_span ~detail:"root d" "root" (fun () ->
+      t := 1.;
+      Trace.with_span "child" (fun () ->
+          t := 2.;
+          Trace.event ~detail:"ed" "tick";
+          t := 3.);
+      t := 10.);
+  Trace.spans ()
+
+let test_chrome_trace_export () =
+  with_clean @@ fun () ->
+  let spans = build_spans () in
+  let json = Export.chrome_trace spans in
+  assert_json "chrome trace" json;
+  (* one complete event per span, one instant event per span event *)
+  let count needle =
+    let rec go i acc =
+      if i + String.length needle > String.length json then acc
+      else if String.sub json i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check int_ "two complete events" 2 (count "\"ph\":\"X\"");
+  check int_ "one instant event" 1 (count "\"ph\":\"i\"");
+  (* microsecond timestamps: child [1ms,3ms] nests inside root [0,10ms] *)
+  assert_has "child start" "\"ts\":1000," json;
+  assert_has "child duration" "\"dur\":2000," json;
+  assert_has "root duration" "\"dur\":10000," json;
+  assert_has "event timestamp" "\"ts\":2000," json;
+  (* parentage is preserved in args, so the tree is reconstructable *)
+  let root =
+    List.find (fun s -> s.Trace.name = "root") spans
+  and child = List.find (fun s -> s.Trace.name = "child") spans in
+  assert_has "child points at root"
+    (Printf.sprintf "\"parent\":\"%s\"" root.Trace.span_id)
+    json;
+  assert_has "detail preserved" "\"detail\":\"root d\"" json;
+  check bool_ "no open spans flagged" false (has "\"open\":true" json);
+  ignore child
+
+let test_span_tree_json_export () =
+  with_clean @@ fun () ->
+  let spans = build_spans () in
+  let json = Export.span_tree_json spans in
+  assert_json "span tree json" json;
+  assert_has "root node" "\"name\":\"root\"" json;
+  assert_has "child nested" "\"children\":[{\"name\":\"child\"" json;
+  assert_has "durations" "\"dur_ms\":2" json;
+  assert_has "event list" "\"events\":[{\"name\":\"tick\"" json
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec_one ?error ~ms i =
+  ignore
+    (Flight_recorder.record ?error
+       ~label:(Printf.sprintf "q%d" i)
+       ~duration_ms:ms ~spans:[] ())
+
+let test_flight_ring_eviction () =
+  with_clean @@ fun () ->
+  Flight_recorder.configure ~capacity:8 ~slow:1e9 ~pinned:4 ();
+  Flight_recorder.reset ();
+  for i = 1 to 20 do
+    rec_one ~ms:(float_of_int i) i
+  done;
+  check int_ "all recordings counted" 20 (Flight_recorder.total_recorded ());
+  let rs = Flight_recorder.recent () in
+  check int_ "ring bounded" 8 (List.length rs);
+  check int_ "newest first" 20 (List.hd rs).Flight_recorder.id;
+  check int_ "oldest survivor" 13
+    (List.nth rs 7).Flight_recorder.id;
+  check bool_ "evicted entry unfindable" true (Flight_recorder.find 5 = None);
+  check bool_ "live entry findable" true
+    (match Flight_recorder.find 20 with
+    | Some e -> e.Flight_recorder.label = "q20"
+    | None -> false);
+  check int_ "nothing crossed the slow bar" 0
+    (List.length (Flight_recorder.pinned ()))
+
+let test_flight_pinned_slow_queries () =
+  with_clean @@ fun () ->
+  Flight_recorder.configure ~capacity:4 ~slow:100. ~pinned:3 ();
+  Flight_recorder.reset ();
+  List.iteri
+    (fun i ms -> rec_one ~ms (i + 1))
+    [ 10.; 150.; 500.; 50.; 300.; 120.; 700. ];
+  let ps = Flight_recorder.pinned () in
+  check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "slowest first, bounded" [ 700.; 500.; 300. ]
+    (List.map (fun e -> e.Flight_recorder.duration_ms) ps);
+  (* the 500ms query (id 3) was evicted from the ring by fast traffic,
+     but stays reachable through its pin *)
+  let ring_ids =
+    List.map (fun e -> e.Flight_recorder.id) (Flight_recorder.recent ())
+  in
+  check bool_ "slow query evicted from the ring" false (List.mem 3 ring_ids);
+  check bool_ "…but still findable via the pin" true
+    (match Flight_recorder.find 3 with
+    | Some e -> e.Flight_recorder.duration_ms = 500.
+    | None -> false);
+  assert_has "text export lists pins" "pinned slow queries" (Flight_recorder.pinned_text ());
+  assert_has "slow threshold shown" "100" (Flight_recorder.pinned_text ());
+  assert_json "flight json export" (Flight_recorder.to_json ())
+
+let test_flight_concurrent_writers () =
+  with_clean @@ fun () ->
+  Flight_recorder.configure ~capacity:32 ~slow:90. ~pinned:8 ();
+  Flight_recorder.reset ();
+  let per_thread = 50 and nthreads = 4 in
+  let worker k () =
+    for i = 1 to per_thread do
+      rec_one ~ms:(float_of_int ((i + k) mod 100)) i
+    done
+  in
+  let ts = List.init nthreads (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join ts;
+  check int_ "every record counted" (per_thread * nthreads)
+    (Flight_recorder.total_recorded ());
+  let rs = Flight_recorder.recent () in
+  check int_ "ring exactly full" 32 (List.length rs);
+  let ids = List.map (fun e -> e.Flight_recorder.id) rs in
+  check int_ "no duplicate ids in the ring"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  let ps = Flight_recorder.pinned () in
+  check bool_ "pinned list bounded" true (List.length ps <= 8);
+  List.iter
+    (fun e ->
+      if e.Flight_recorder.duration_ms < 90. then
+        Alcotest.failf "pinned a fast query (%.0f ms)"
+          e.Flight_recorder.duration_ms)
+    ps;
+  let rec sorted = function
+    | a :: b :: rest ->
+        a.Flight_recorder.duration_ms >= b.Flight_recorder.duration_ms
+        && sorted (b :: rest)
+    | _ -> true
+  in
+  check bool_ "pinned stays sorted under concurrency" true (sorted ps)
+
+(* ------------------------------------------------------------------ *)
+(* Profile collection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_nodes_and_ops () =
+  with_clean @@ fun () ->
+  let t = fake_clock () in
+  check bool_ "profiling off by default" false (Profile.enabled ());
+  let r, p =
+    Profile.profiled ~label:"unit" (fun () ->
+        Profile.with_node "a" (fun () ->
+            t := 2.;
+            Profile.with_node ~detail:"d" "b" (fun () ->
+                t := 5.;
+                Profile.set_rows 7;
+                Profile.record_op "select" ~rows_in:10 ~rows_out:7 1.5;
+                Profile.record_op "select" ~rows_in:4 ~rows_out:2 0.5));
+        42)
+  in
+  check int_ "thunk result returned" 42 r;
+  check bool_ "profiling restored off" false (Profile.enabled ());
+  check (Alcotest.float 1e-9) "total on the injected clock" 5.
+    (Profile.total_ms p);
+  check int_ "two plan nodes" 2 (Profile.node_count p);
+  (match Profile.nodes p with
+  | [ a; b ] ->
+      check int_ "stable pre-order ids" 1 a.Profile.id;
+      check string_ "names" "b" b.Profile.name;
+      check bool_ "parentage" true (b.Profile.parent = Some a.Profile.id);
+      check int_ "cardinality recorded" 7 b.Profile.rows_out;
+      check (Alcotest.float 1e-9) "inclusive time of b" 3. b.Profile.incl_ms;
+      (match b.Profile.ops with
+      | [ ("select", os) ] ->
+          check int_ "op calls merged" 2 os.Profile.os_calls;
+          check int_ "rows in summed" 14 os.Profile.os_rows_in;
+          check int_ "rows out summed" 9 os.Profile.os_rows_out;
+          check (Alcotest.float 1e-9) "op time summed" 2. os.Profile.os_ms
+      | _ -> Alcotest.fail "expected one merged select op")
+  | l -> Alcotest.failf "expected 2 nodes, got %d" (List.length l));
+  let text = Profile.render p in
+  assert_has "label" "profile unit" text;
+  assert_has "node line" "#2 b (d)" text;
+  assert_has "cardinality" "rows=7" text;
+  assert_has "merged op" "select x2" text;
+  assert_json "profile json" (Profile.to_json p)
+
+let test_profile_node_capacity () =
+  with_clean @@ fun () ->
+  ignore (fake_clock ());
+  Profile.set_capacity 3;
+  let (), p =
+    Profile.profiled (fun () ->
+        for _ = 1 to 5 do
+          Profile.with_node "n" (fun () -> ())
+        done)
+  in
+  check int_ "nodes capped" 3 (Profile.node_count p);
+  check int_ "overflow counted" 2 (Profile.dropped_count p)
+
+let test_profile_off_records_nothing () =
+  with_clean @@ fun () ->
+  (* outside [profiled] every hook is a single flag test and a return *)
+  check int_ "with_node passes through" 9
+    (Profile.with_node "x" (fun () -> 9));
+  Profile.record_op "select" ~rows_in:1 ~rows_out:1 1.;
+  Profile.note_send ~dest:"xrpc://y" ~bytes:10;
+  Profile.set_rows 5;
+  (* a later profile must not see any of it *)
+  let (), p = Profile.profiled (fun () -> ()) in
+  check int_ "no leaked nodes" 0 (Profile.node_count p);
+  check int_ "no leaked dests" 0 (List.length (Profile.dests p))
+
+let iii rows =
+  Table.make [ "iter"; "pos"; "item" ]
+    (List.map
+       (fun (i, pos, v) ->
+         [ Table.Int i; Table.Int pos; Table.Item (Xdm.str v) ])
+       rows)
+
+let test_profile_captures_kernel_ops () =
+  with_clean @@ fun () ->
+  let t = iii [ (1, 1, "a"); (2, 1, "a"); (1, 1, "a") ] in
+  let (), p =
+    Profile.profiled (fun () ->
+        Profile.with_node "plan" (fun () ->
+            ignore (Ops.distinct t);
+            ignore (Ops.select_eq t "item" (Table.Item (Xdm.str "a")))))
+  in
+  match Profile.nodes p with
+  | [ n ] ->
+      let op name =
+        match List.assoc_opt name n.Profile.ops with
+        | Some os -> os
+        | None ->
+            Alcotest.failf "kernel op %s missing (have: %s)" name
+              (String.concat ", " (List.map fst n.Profile.ops))
+      in
+      check int_ "distinct rows in" 3 (op "distinct").Profile.os_rows_in;
+      check int_ "distinct rows out" 2 (op "distinct").Profile.os_rows_out;
+      check int_ "select_eq rows in" 3 (op "select_eq").Profile.os_rows_in;
+      check int_ "select_eq rows out" 3 (op "select_eq").Profile.os_rows_out
+  | l -> Alcotest.failf "expected the one plan node, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let q_two_peers =
+  {|import module namespace t="test" at "http://x.example.org/test.xq";
+for $d in ("xrpc://y", "xrpc://z")
+return execute at {$d} {t:ping(1)}|}
+
+let test_explain_plan () =
+  let prog = Parser.parse_prog q_two_peers in
+  let body =
+    match prog.Xrpc_xquery.Ast.body with
+    | Some e -> e
+    | None -> Alcotest.fail "query has no body"
+  in
+  let plan = Looplift.explain body in
+  assert_has "numbered nodes" "#1 " plan;
+  assert_has "flwor node" "flwor" plan;
+  assert_has "for clause annotated" "for $d" plan;
+  assert_has "execute node" "execute_at" plan;
+  assert_has "Bulk RPC translation named" "Bulk RPC" plan;
+  (* numbering is deterministic: same query, same plan text *)
+  check string_ "stable rendering" plan (Looplift.explain body)
+
+(* ------------------------------------------------------------------ *)
+(* serverProfile attribute round-trip                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ping_request =
+  Message.Request
+    {
+      Message.module_uri = "test";
+      location = "http://x.example.org/test.xq";
+      method_ = "ping";
+      arity = 1;
+      updating = false;
+      fragments = false;
+      query_id = None;
+      idem_key = None;
+      calls = [ [ [ Xdm.int 1 ] ] ];
+    }
+
+let test_server_profile_roundtrip () =
+  with_clean @@ fun () ->
+  let resp =
+    Message.Response
+      {
+        Message.resp_module = "test";
+        resp_method = "ping";
+        results = [ [ Xdm.int 1 ] ];
+        peers = [];
+      }
+  in
+  let s =
+    Message.to_string ~server_profile:[ ("parse", 0.5); ("exec", 1.25) ] resp
+  in
+  (match Message.of_string_profiled s with
+  | Message.Response _, Some phases ->
+      check
+        (Alcotest.list (Alcotest.pair string_ (Alcotest.float 1e-9)))
+        "phases round-trip in order"
+        [ ("parse", 0.5); ("exec", 1.25) ]
+        phases
+  | _, None -> Alcotest.fail "serverProfile attribute lost"
+  | _ -> Alcotest.fail "bad parse");
+  (* a plain response carries no header *)
+  (match Message.of_string_profiled (Message.to_string resp) with
+  | _, None -> ()
+  | _, Some _ -> Alcotest.fail "spurious serverProfile attribute")
+
+let test_profile_flag_stamped_on_requests () =
+  with_clean @@ fun () ->
+  (* profiling off: no flag *)
+  let _, _, flag = Message.of_string_server (Message.to_string ping_request) in
+  check bool_ "no flag when off" false flag;
+  (* inside a profiled run every serialized request asks the server to
+     measure its phases *)
+  let (), _ =
+    Profile.profiled (fun () ->
+        let _, _, flag =
+          Message.of_string_server (Message.to_string ping_request)
+        in
+        check bool_ "flag when profiling" true flag)
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a profiled distributed query over two simulated peers   *)
+(* ------------------------------------------------------------------ *)
+
+let sim_config = { Simnet.default_config with Simnet.charge_cpu = false }
+
+let test_cluster () =
+  let cluster = Cluster.create ~config:sim_config ~names:[ "x"; "y"; "z" ] () in
+  Cluster.register_module_everywhere cluster ~uri:Testmod.module_ns
+    ~location:Testmod.module_at Testmod.test_module;
+  cluster
+
+let test_distributed_profile () =
+  with_clean @@ fun () ->
+  let cluster = test_cluster () in
+  let r, p =
+    Cluster.profiled cluster ~label:"q2" (fun () ->
+        Peer.query_seq (Cluster.peer cluster "x") q_two_peers)
+  in
+  check string_ "query answered" "1 1" (Xdm.to_display r);
+  check bool_ "total recorded" true (not (Float.is_nan (Profile.total_ms p)));
+  (* the Bulk RPC dispatch shows up as a plan node *)
+  check bool_ "bulk dispatch node present" true
+    (List.exists (fun n -> n.Profile.name = "bulkrpc") (Profile.nodes p));
+  (* per-destination accounting: both peers, real bytes both ways, one
+     logical call each, and the remote side's phase breakdown *)
+  let ds = Profile.dests p in
+  check
+    (Alcotest.list string_)
+    "both destinations accounted" [ "xrpc://y"; "xrpc://z" ] (List.map fst ds);
+  List.iter
+    (fun (dest, d) ->
+      check bool_ (dest ^ " sent a message") true (d.Profile.d_msgs >= 1);
+      check int_ (dest ^ " one logical call") 1 d.Profile.d_calls;
+      check bool_ (dest ^ " bytes out") true (d.Profile.d_bytes_out > 0);
+      check bool_ (dest ^ " bytes in") true (d.Profile.d_bytes_in > 0);
+      let remote = List.map fst d.Profile.d_remote in
+      List.iter
+        (fun ph ->
+          if not (List.mem ph remote) then
+            Alcotest.failf "%s remote phase %s missing (have: %s)" dest ph
+              (String.concat ", " remote))
+        [ "parse"; "compile"; "exec" ])
+    ds;
+  let text = Profile.render p in
+  assert_has "label rendered" "profile q2" text;
+  assert_has "destination section" "destinations:" text;
+  assert_has "remote breakdown rendered" "remote:" text;
+  assert_json "profile json export" (Profile.to_json p)
+
+let test_call_profiled () =
+  with_clean @@ fun () ->
+  let cluster = test_cluster () in
+  let r, p =
+    Client.call_profiled (Cluster.client cluster) ~dest:"xrpc://y"
+      ~module_uri:Testmod.module_ns ~location:Testmod.module_at ~fn:"ping"
+      [ [ Xdm.int 7 ] ]
+  in
+  check string_ "result" "7" (Xdm.to_display r);
+  check string_ "label names call and destination" "ping @ xrpc://y"
+    (Profile.label p);
+  match Profile.dests p with
+  | [ ("xrpc://y", d) ] ->
+      check int_ "one message" 1 d.Profile.d_msgs;
+      check int_ "one call" 1 d.Profile.d_calls;
+      check bool_ "bytes out" true (d.Profile.d_bytes_out > 0);
+      check bool_ "bytes in" true (d.Profile.d_bytes_in > 0);
+      check bool_ "remote exec phase" true
+        (List.mem_assoc "exec" d.Profile.d_remote)
+  | ds -> Alcotest.failf "expected one destination, got %d" (List.length ds)
+
+let test_flight_records_distributed_query () =
+  with_clean @@ fun () ->
+  Flight_recorder.reset ();
+  Flight_recorder.configure ~capacity:32 ~slow:1e9 ~pinned:4 ();
+  let cluster = test_cluster () in
+  Cluster.enable_tracing cluster;
+  ignore (Peer.query_seq (Cluster.peer cluster "x") q_two_peers);
+  Cluster.disable_tracing ();
+  (* both remote peers' request handling plus the originating query are
+     on the record, without anyone having asked beforehand *)
+  check bool_ "at least three entries" true
+    (Flight_recorder.total_recorded () >= 3);
+  let rs = Flight_recorder.recent () in
+  let by_label pre =
+    List.find_opt
+      (fun e ->
+        String.length e.Flight_recorder.label >= String.length pre
+        && String.sub e.Flight_recorder.label 0 (String.length pre) = pre)
+      rs
+  in
+  (match by_label "import module" with
+  | Some e ->
+      check bool_ "query entry carries spans" true (e.Flight_recorder.spans <> []);
+      check bool_ "per-phase rollup present" true
+        (List.mem_assoc "peer.handle"
+           (List.map
+              (fun (n, c, ms) -> (n, (c, ms)))
+              e.Flight_recorder.phases));
+      assert_has "signature captured" "query" e.Flight_recorder.signature;
+      (* the captured slice exports as a valid Chrome trace *)
+      assert_json "per-request chrome trace"
+        (Export.chrome_trace e.Flight_recorder.spans)
+  | None -> Alcotest.fail "originating query not recorded");
+  (match by_label "test:ping" with
+  | Some e ->
+      check bool_ "server-side phases recorded" true
+        (List.exists
+           (fun (n, _, _) -> n = "peer.exec" || n = "eval.apply")
+           e.Flight_recorder.phases)
+  | None ->
+      Alcotest.failf "remote handling not recorded (labels: %s)"
+        (String.concat " | "
+           (List.map (fun e -> e.Flight_recorder.label) rs)));
+  assert_has "text export renders" "flight recorder:" (Flight_recorder.to_text ())
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram clamps bad durations" `Quick
+            test_histogram_clamps_bad_durations;
+          Alcotest.test_case "canonical labeled series" `Quick
+            test_labeled_series_canonical;
+          Alcotest.test_case "labels in text export" `Quick
+            test_labeled_series_in_text_export;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace events" `Quick
+            test_chrome_trace_export;
+          Alcotest.test_case "span tree json" `Quick test_span_tree_json_export;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_flight_ring_eviction;
+          Alcotest.test_case "pinned slow queries" `Quick
+            test_flight_pinned_slow_queries;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_flight_concurrent_writers;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "nodes, rows and merged ops" `Quick
+            test_profile_nodes_and_ops;
+          Alcotest.test_case "bounded plan nodes" `Quick
+            test_profile_node_capacity;
+          Alcotest.test_case "off records nothing" `Quick
+            test_profile_off_records_nothing;
+          Alcotest.test_case "kernel ops attributed" `Quick
+            test_profile_captures_kernel_ops;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "static plan rendering" `Quick test_explain_plan ]
+      );
+      ( "propagation",
+        [
+          Alcotest.test_case "serverProfile round-trip" `Quick
+            test_server_profile_roundtrip;
+          Alcotest.test_case "profile flag on requests" `Quick
+            test_profile_flag_stamped_on_requests;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "profiled two-peer query" `Quick
+            test_distributed_profile;
+          Alcotest.test_case "call_profiled" `Quick test_call_profiled;
+          Alcotest.test_case "flight recorder sees the query" `Quick
+            test_flight_records_distributed_query;
+        ] );
+    ]
