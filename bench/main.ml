@@ -204,6 +204,8 @@ let algebra_bench () =
           Message.resp_module = req.Message.module_uri;
           resp_method = req.Message.method_;
           results = List.map (fun _ -> [ Xdm.int 0 ]) req.Message.calls;
+          cached = false;
+          db_version = None;
           peers = [];
         }
     in
@@ -488,6 +490,8 @@ let figures () =
           List.map
             (fun c -> answer (Xdm.string_value (List.hd (List.hd c))))
             req.Message.calls;
+        cached = false;
+        db_version = None;
         peers = [ dest ];
       }
   in
@@ -554,7 +558,7 @@ let micro () =
            updating = false;
            fragments = false;
            query_id = None;
-           idem_key = None;
+           idem_key = None; cache_ok = true;
            calls = List.init 100 (fun i -> [ [ Xdm.int i ] ]);
          })
   in
@@ -580,7 +584,7 @@ let micro () =
            updating = false;
            fragments = false;
            query_id = None;
-           idem_key = None;
+           idem_key = None; cache_ok = true;
            calls = [ [ [ Xdm.str "persons.xml" ]; [ Xdm.str "person7" ] ] ];
          })
   in
@@ -604,7 +608,7 @@ let micro () =
            updating = false;
            fragments = false;
            query_id = None;
-           idem_key = None;
+           idem_key = None; cache_ok = true;
            calls =
              List.init 100 (fun i ->
                  [ [ Xdm.str "persons.xml" ];
@@ -728,7 +732,7 @@ let ablations () =
            updating = false;
            fragments = false;
            query_id = None;
-           idem_key = None;
+           idem_key = None; cache_ok = true;
            calls;
          })
   in

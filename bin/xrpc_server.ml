@@ -99,6 +99,23 @@ let serve verbose port data demo trace slow_ms =
     | "/requestz" -> Flight_recorder.to_text ()
     | "/requestz.json" -> Flight_recorder.to_json ()
     | "/slowz" -> Flight_recorder.pinned_text ()
+    | "/cachez" -> Peer.cache_stats_text peer
+    | "/cachez.json" ->
+        let s = Peer.cache_stats peer in
+        let p = s.Peer.plan and r = s.Peer.result in
+        Printf.sprintf
+          {|{"plan_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d,"capacity":%d,"enabled":%b},"result_cache":{"hits":%d,"misses":%d,"stale":%d,"invalidations":%d,"evictions":%d,"size":%d,"capacity":%d,"enabled":%b},"func_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d},"idem_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d}}|}
+          p.Xrpc_peer.Plan_cache.hits p.Xrpc_peer.Plan_cache.misses
+          p.Xrpc_peer.Plan_cache.evictions p.Xrpc_peer.Plan_cache.size
+          p.Xrpc_peer.Plan_cache.capacity p.Xrpc_peer.Plan_cache.enabled
+          r.Xrpc_peer.Result_cache.hits r.Xrpc_peer.Result_cache.misses
+          r.Xrpc_peer.Result_cache.stale
+          r.Xrpc_peer.Result_cache.invalidations
+          r.Xrpc_peer.Result_cache.evictions r.Xrpc_peer.Result_cache.size
+          r.Xrpc_peer.Result_cache.capacity r.Xrpc_peer.Result_cache.enabled
+          s.Peer.func_hits s.Peer.func_misses s.Peer.func_evictions
+          s.Peer.func_size s.Peer.idem_hits s.Peer.idem_misses
+          s.Peer.idem_evictions s.Peer.idem_size
     | "/tracez" -> (
         (* span trees are captured per request when --trace is on *)
         match Option.map int_of_string_opt (query_param query "id") with
@@ -125,8 +142,8 @@ let serve verbose port data demo trace slow_ms =
   Printf.printf "metrics at http://127.0.0.1:%d/metrics (and /metrics.json)\n%!"
     server.Http.port;
   Printf.printf
-    "flight recorder at /requestz (.json), slow queries at /slowz, traces \
-     at /tracez?id=N%s\n%!"
+    "flight recorder at /requestz (.json), slow queries at /slowz, cache \
+     stats at /cachez (.json), traces at /tracez?id=N%s\n%!"
     (if trace then "" else " (span trees need --trace)");
   (* keep the main thread alive *)
   while true do

@@ -142,6 +142,26 @@ let command peer line =
   | ":profile", q ->
       profile_query peer q;
       true
+  | ":cache", ("" | "stats") ->
+      print_endline (Peer.cache_stats_text peer);
+      true
+  | ":cache", "clear" ->
+      Peer.clear_caches peer;
+      print_endline "caches cleared (plan, result, module plans)";
+      true
+  | ":cache", "on" ->
+      Peer.set_plan_caching peer true;
+      Peer.set_result_caching peer true;
+      print_endline "plan + result caching on";
+      true
+  | ":cache", "off" ->
+      Peer.set_plan_caching peer false;
+      Peer.set_result_caching peer false;
+      print_endline "plan + result caching off";
+      true
+  | ":cache", _ ->
+      print_endline "usage: :cache [stats|clear|on|off]";
+      true
   | ":help", _ ->
       print_endline ":explain <q>   — print the operator tree (no execution)";
       print_endline
@@ -154,6 +174,11 @@ let command peer line =
       print_endline
         ":flight        — recent requests from the flight recorder";
       print_endline ":flight slow   — pinned slow queries";
+      print_endline
+        ":cache [stats] — plan/result/module/idem cache counters";
+      print_endline ":cache clear   — drop the performance caches";
+      print_endline
+        ":cache on|off  — toggle plan + result caching (cache=off calls)";
       true
   | cmd, _ when String.length cmd > 0 && cmd.[0] = ':' ->
       Printf.eprintf "unknown command %s (try :help)\n%!" cmd;
@@ -164,7 +189,7 @@ let repl peer =
   print_endline
     "XRPC shell — terminate a query with a single '.' line; ctrl-d exits.\n\
      Meta-commands: :explain <q>, :profile <q>, :trace on|off, :metrics \
-     [reset], :flight [slow], :help.";
+     [reset], :flight [slow], :cache [stats|clear|on|off], :help.";
   let buf = Buffer.create 256 in
   let rec loop () =
     (match Buffer.length buf with 0 -> print_string "xquery> " | _ -> print_string "      > ");
@@ -188,7 +213,11 @@ let repl peer =
 let main verbose data trace query_file =
   setup_logs verbose;
   if trace then Trace.set_enabled true;
-  let peer = Peer.create "xrpc://shell.local" in
+  (* the peer URI seeds outgoing idempotency keys (origin/seq); a fixed
+     name would make every shell process stamp the same keys, so a second
+     process's first call could be answered from a server's idem cache
+     with the FIRST process's response *)
+  let peer = Peer.create (Printf.sprintf "xrpc://shell-%d.local" (Unix.getpid ())) in
   Peer.set_transport peer (Xrpc_net.Http.transport ());
   Option.iter (load_data peer) data;
   match query_file with

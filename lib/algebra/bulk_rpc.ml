@@ -105,7 +105,7 @@ let execute ~(dst : Table.t) ~(params : Table.t list)
               updating = false;
               fragments = false;
               query_id;
-              idem_key = None;
+              idem_key = None; cache_ok = true;
               calls;
             }
           in

@@ -168,3 +168,27 @@ let resolve_in_doubt t =
       let c', a', d' = Peer.resolve_in_doubt p in
       (c + c', a + a', d + d'))
     (0, 0, 0) t.peers
+
+(* ------------------------------------------------------------------ *)
+(* Cache control                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-peer cache counters, [(name, stats)] in creation order. *)
+let cache_stats t =
+  List.map (fun (name, p) -> (name, Peer.cache_stats p)) (List.rev t.peers)
+
+let set_plan_caching t on =
+  List.iter (fun (_, p) -> Peer.set_plan_caching p on) t.peers
+
+let set_result_caching t on =
+  List.iter (fun (_, p) -> Peer.set_result_caching p on) t.peers
+
+let clear_caches t = List.iter (fun (_, p) -> Peer.clear_caches p) t.peers
+
+(** Every peer's {!Peer.cache_stats_text} block, name-prefixed. *)
+let cache_stats_text t =
+  String.concat "\n"
+    (List.map
+       (fun (name, p) ->
+         Printf.sprintf "== %s ==\n%s" name (Peer.cache_stats_text p))
+       (List.rev t.peers))

@@ -88,3 +88,20 @@ val resolve_in_doubt : t -> int * int * int
 (** Run {!Xrpc_peer.Peer.resolve_in_doubt} on every peer (models
     "everyone reconnects after the network recovers"); returns summed
     [(committed, aborted, still_in_doubt)]. *)
+
+(** {2 Cache control} *)
+
+val cache_stats : t -> (string * Xrpc_peer.Peer.cache_stats) list
+(** Per-peer cache counters, [(name, stats)] in creation order. *)
+
+val set_plan_caching : t -> bool -> unit
+(** Toggle every peer's compiled-plan cache. *)
+
+val set_result_caching : t -> bool -> unit
+(** Toggle every peer's semantic result cache. *)
+
+val clear_caches : t -> unit
+(** Drop every peer's performance caches (plan, result, module plans). *)
+
+val cache_stats_text : t -> string
+(** Every peer's {!Xrpc_peer.Peer.cache_stats_text} block, name-prefixed. *)

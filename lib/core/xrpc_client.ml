@@ -43,11 +43,16 @@ type config = {
   tracing : bool;  (** enable the global tracer on connect *)
   keep_alive : bool;  (** HTTP: pool one connection per destination *)
   default_port : int;  (** HTTP: port for xrpc:// URIs without one *)
+  result_cache : bool;
+      (** allow serving peers to answer this client's read-only calls from
+          their semantic result caches (default); [false] stamps every
+          request [cache="off"] *)
 }
 
 let config ?policy ?(executor = Executor.sequential) ?(seed = 0)
-    ?(tracing = false) ?(keep_alive = false) ?(default_port = 8080) () =
-  { policy; executor; seed; tracing; keep_alive; default_port }
+    ?(tracing = false) ?(keep_alive = false) ?(default_port = 8080)
+    ?(result_cache = true) () =
+  { policy; executor; seed; tracing; keep_alive; default_port; result_cache }
 
 let default_config = config ()
 
@@ -60,6 +65,8 @@ type t = {
   origin : string;  (** identity stamped into idempotency keys *)
   mutable idem_seq : int;
   seq_lock : Mutex.t;
+  mutable cache_ok : bool;
+      (** default for requests without an explicit [?cache] argument *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -75,6 +82,7 @@ let make ?(origin = "xrpc://client") ~config:cfg ~executor transport policied =
     origin;
     idem_seq = 0;
     seq_lock = Mutex.create ();
+    cache_ok = cfg.result_cache;
   }
 
 (** Front an arbitrary transport.  With [config.policy], the recovery
@@ -134,6 +142,9 @@ let executor t = t.executor
 let policy_stats t = Option.map Transport.stats t.policied
 let breaker t dest = Option.map (fun p -> Transport.breaker_state p dest) t.policied
 
+let set_result_caching t on = t.cache_ok <- on
+let result_caching t = t.cache_ok
+
 (* ------------------------------------------------------------------ *)
 (* Raw calls                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -158,18 +169,16 @@ let note_exchange ~dest ~out_bytes ~in_bytes =
     Profile.note_recv ~dest ~bytes:in_bytes
   end
 
-let call_raw t ~dest body =
-  Trace.with_span ~detail:dest "client.call" @@ fun () ->
+(* unspanned sends: the typed calls open the span themselves so response
+   decoding (and its trace events, e.g. remote-cache-hit) happens inside
+   it; the public raw entry points wrap these in the same spans *)
+let send_raw t ~dest body =
   let raw = t.transport.Transport.send ~dest body in
   note_exchange ~dest ~out_bytes:(String.length body)
     ~in_bytes:(String.length raw);
   raw
 
-let call_raw_bulk t pairs =
-  Trace.with_span
-    ~detail:(string_of_int (List.length pairs) ^ " peers")
-    "client.scatter"
-  @@ fun () ->
+let send_raw_bulk t pairs =
   let raws = t.transport.Transport.send_parallel pairs in
   List.iter2
     (fun (dest, body) raw ->
@@ -177,6 +186,16 @@ let call_raw_bulk t pairs =
         ~in_bytes:(String.length raw))
     pairs raws;
   raws
+
+let span_call ~dest f = Trace.with_span ~detail:dest "client.call" f
+
+let span_scatter ~n f =
+  Trace.with_span ~detail:(string_of_int n ^ " peers") "client.scatter" f
+
+let call_raw t ~dest body = span_call ~dest (fun () -> send_raw t ~dest body)
+
+let call_raw_bulk t pairs =
+  span_scatter ~n:(List.length pairs) (fun () -> send_raw_bulk t pairs)
 
 (* ------------------------------------------------------------------ *)
 (* Typed calls                                                         *)
@@ -189,8 +208,8 @@ let fresh_idem_key t =
   Mutex.unlock t.seq_lock;
   Printf.sprintf "%s/%d" t.origin seq
 
-let request t ?query_id ?(updating = false) ?(fragments = false) ~module_uri
-    ?(location = "") ~fn calls =
+let request t ?query_id ?(updating = false) ?(fragments = false) ?cache
+    ~module_uri ?(location = "") ~fn calls =
   {
     Message.module_uri;
     location;
@@ -200,8 +219,20 @@ let request t ?query_id ?(updating = false) ?(fragments = false) ~module_uri
     fragments;
     query_id;
     idem_key = Some (fresh_idem_key t);
+    cache_ok = (match cache with Some b -> b | None -> t.cache_ok);
     calls;
   }
+
+(* per-destination remote-cache observability: how often this client's
+   calls were answered from the serving peer's result cache, and the last
+   database version each destination reported *)
+let m_dest_cache_hits dest =
+  Metrics.counter
+    (Metrics.with_labels "client.remote_cache_hits" [ ("dest", dest) ])
+
+let m_dest_db_version dest =
+  Metrics.gauge
+    (Metrics.with_labels "client.remote_db_version" [ ("dest", dest) ])
 
 (* a Fault reply becomes the typed error it round-trips as *)
 let decode ~dest raw =
@@ -215,7 +246,15 @@ let decode ~dest raw =
     else Message.of_string raw
   in
   match msg with
-  | Message.Response r -> r.Message.results
+  | Message.Response r ->
+      if r.Message.cached then begin
+        Metrics.incr (m_dest_cache_hits dest);
+        Trace.event ~detail:dest "remote-cache-hit"
+      end;
+      Option.iter
+        (fun v -> Metrics.set (m_dest_db_version dest) (float_of_int v))
+        r.Message.db_version;
+      r.Message.results
   | Message.Fault f ->
       raise
         (Xrpc_error.Error
@@ -226,19 +265,21 @@ let decode ~dest raw =
         ~kind:(Xrpc_error.Protocol "unexpected-reply")
         ~dest "expected a response or fault"
 
-let call_bulk t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
-    calls =
+let call_bulk t ~dest ?query_id ?updating ?fragments ?cache ~module_uri
+    ?location ~fn calls =
   let req =
-    request t ?query_id ?updating ?fragments ~module_uri ?location ~fn calls
+    request t ?query_id ?updating ?fragments ?cache ~module_uri ?location ~fn
+      calls
   in
   if Profile.enabled () then Profile.note_calls ~dest (List.length calls);
-  decode ~dest (call_raw t ~dest (Message.to_string (Message.Request req)))
+  span_call ~dest @@ fun () ->
+  decode ~dest (send_raw t ~dest (Message.to_string (Message.Request req)))
 
-let call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
-    params =
+let call t ~dest ?query_id ?updating ?fragments ?cache ~module_uri ?location
+    ~fn params =
   match
-    call_bulk t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
-      [ params ]
+    call_bulk t ~dest ?query_id ?updating ?fragments ?cache ~module_uri
+      ?location ~fn [ params ]
   with
   | seq :: _ -> seq
   | [] -> []  (* updating requests carry no results *)
@@ -247,31 +288,32 @@ let call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
     with the finished profile — per-destination messages/bytes and, when
     the serving peer measured them, its parse/compile/exec/commit phase
     costs from the response header. *)
-let call_profiled t ~dest ?query_id ?updating ?fragments ~module_uri ?location
-    ~fn params =
+let call_profiled t ~dest ?query_id ?updating ?fragments ?cache ~module_uri
+    ?location ~fn params =
   Profile.profiled ~label:(fn ^ " @ " ^ dest) (fun () ->
-      call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
-        params)
+      call t ~dest ?query_id ?updating ?fragments ?cache ~module_uri ?location
+        ~fn params)
 
 (** One single-call request per destination, dispatched concurrently
     through the client's executor. *)
-let call_scatter t ?query_id ?updating ?fragments ~module_uri ?location ~fn
-    dest_params =
+let call_scatter t ?query_id ?updating ?fragments ?cache ~module_uri ?location
+    ~fn dest_params =
   let pairs =
     List.map
       (fun (dest, params) ->
         let req =
-          request t ?query_id ?updating ?fragments ~module_uri ?location ~fn
-            [ params ]
+          request t ?query_id ?updating ?fragments ?cache ~module_uri ?location
+            ~fn [ params ]
         in
         (dest, Message.to_string (Message.Request req)))
       dest_params
   in
+  span_scatter ~n:(List.length pairs) @@ fun () ->
   List.map2
     (fun (dest, _) raw ->
       match decode ~dest raw with seq :: _ -> seq | [] -> [])
     dest_params
-    (call_raw_bulk t pairs)
+    (send_raw_bulk t pairs)
 
 (* ------------------------------------------------------------------ *)
 (* Asynchronous calls                                                  *)
@@ -279,11 +321,11 @@ let call_scatter t ?query_id ?updating ?fragments ~module_uri ?location ~fn
 
 type 'a future = 'a Executor.future
 
-let call_async t ~dest ?query_id ?updating ?fragments ~module_uri ?location
-    ~fn params =
+let call_async t ~dest ?query_id ?updating ?fragments ?cache ~module_uri
+    ?location ~fn params =
   Executor.submit t.executor (fun () ->
-      call t ~dest ?query_id ?updating ?fragments ~module_uri ?location ~fn
-        params)
+      call t ~dest ?query_id ?updating ?fragments ?cache ~module_uri ?location
+        ~fn params)
 
 let await = Executor.await
 let await_result = Executor.await_result

@@ -33,6 +33,10 @@ type config = {
   tracing : bool;  (** enable the global tracer on connect *)
   keep_alive : bool;  (** HTTP: pool one connection per destination *)
   default_port : int;  (** HTTP: port for xrpc:// URIs without one *)
+  result_cache : bool;
+      (** allow serving peers to answer this client's read-only calls from
+          their semantic result caches (default); [false] stamps every
+          request [cache="off"] *)
 }
 
 val config :
@@ -42,10 +46,11 @@ val config :
   ?tracing:bool ->
   ?keep_alive:bool ->
   ?default_port:int ->
+  ?result_cache:bool ->
   unit ->
   config
 (** Builder with the defaults: no policy, sequential executor, seed 0,
-    tracing off, keep-alive off, port 8080. *)
+    tracing off, keep-alive off, port 8080, result caching allowed. *)
 
 val default_config : config
 
@@ -84,6 +89,12 @@ val executor : t -> Xrpc_net.Executor.t
 val policy_stats : t -> Xrpc_net.Transport.policy_stats option
 val breaker : t -> string -> Xrpc_net.Transport.breaker_state option
 
+val set_result_caching : t -> bool -> unit
+(** Flip the default for requests without an explicit [?cache] argument:
+    [false] stamps them [cache="off"], so serving peers always execute. *)
+
+val result_caching : t -> bool
+
 (** {2 Calls}
 
     All typed calls raise {!Xrpc_net.Xrpc_error.Error} on transport
@@ -95,6 +106,7 @@ val call :
   ?query_id:Xrpc_soap.Message.query_id ->
   ?updating:bool ->
   ?fragments:bool ->
+  ?cache:bool ->
   module_uri:string ->
   ?location:string ->
   fn:string ->
@@ -110,6 +122,7 @@ val call_profiled :
   ?query_id:Xrpc_soap.Message.query_id ->
   ?updating:bool ->
   ?fragments:bool ->
+  ?cache:bool ->
   module_uri:string ->
   ?location:string ->
   fn:string ->
@@ -127,6 +140,7 @@ val call_bulk :
   ?query_id:Xrpc_soap.Message.query_id ->
   ?updating:bool ->
   ?fragments:bool ->
+  ?cache:bool ->
   module_uri:string ->
   ?location:string ->
   fn:string ->
@@ -140,6 +154,7 @@ val call_scatter :
   ?query_id:Xrpc_soap.Message.query_id ->
   ?updating:bool ->
   ?fragments:bool ->
+  ?cache:bool ->
   module_uri:string ->
   ?location:string ->
   fn:string ->
@@ -164,6 +179,7 @@ val call_async :
   ?query_id:Xrpc_soap.Message.query_id ->
   ?updating:bool ->
   ?fragments:bool ->
+  ?cache:bool ->
   module_uri:string ->
   ?location:string ->
   fn:string ->

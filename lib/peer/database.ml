@@ -12,7 +12,15 @@ module Update = Xrpc_xquery.Update
 
 module Doc_map = Map.Make (String)
 
-type version = { docs : Store.t Doc_map.t; version_no : int }
+type version = {
+  docs : Store.t Doc_map.t;
+  version_no : int;
+  doc_versions : int Doc_map.t;
+      (** per-document version vector: the [version_no] at which each
+          document was last (re)loaded or rebuilt — what the semantic
+          result cache pins its entries to, so an update to one document
+          invalidates exactly the results that read it *)
+}
 
 type t = {
   mutable current : version;
@@ -21,6 +29,11 @@ type t = {
           enables the distributed snapshot isolation of §2.2 ("all peers
           use the same timestamp t_q") *)
   clock : unit -> float;
+  mutable on_commit : (string list -> unit) list;
+      (** fired after every version bump with the touched document names
+          (commits {e and} [add_doc] loads, never rollbacks — a presumed-
+          abort 2PC rollback releases the isolation entry without ever
+          reaching here, which is exactly the invalidation contract) *)
 }
 
 exception No_such_document of string
@@ -29,10 +42,18 @@ let history_limit = 128
 
 let create ?(clock = Unix.gettimeofday) () =
   {
-    current = { docs = Doc_map.empty; version_no = 0 };
+    current = { docs = Doc_map.empty; version_no = 0; doc_versions = Doc_map.empty };
     history = [];
     clock;
+    on_commit = [];
   }
+
+(** Register an invalidation hook; hooks run newest-first, after the new
+    version is installed. *)
+let on_commit db f = db.on_commit <- f :: db.on_commit
+
+let fire_hooks db touched =
+  if touched <> [] then List.iter (fun f -> f touched) db.on_commit
 
 let remember db =
   db.history <- (db.clock (), db.current) :: db.history;
@@ -43,12 +64,15 @@ let remember db =
 (** [add_doc db name tree] loads (or replaces) a document. *)
 let add_doc db name tree =
   let store = Store.shred ~uri:name tree in
+  let version_no = db.current.version_no + 1 in
   db.current <-
     {
       docs = Doc_map.add name store db.current.docs;
-      version_no = db.current.version_no + 1;
+      version_no;
+      doc_versions = Doc_map.add name version_no db.current.doc_versions;
     };
-  remember db
+  remember db;
+  fire_hooks db [ name ]
 
 let add_doc_xml db name xml = add_doc db name (Xml_parse.document xml)
 
@@ -79,6 +103,20 @@ let doc (v : version) name =
 let doc_exn v name =
   match doc v name with Some s -> s | None -> raise (No_such_document name)
 
+(** [doc_version v name] — the version at which [name] was last rebuilt
+    (0 for a document this version does not know, tolerating the same
+    leading-slash variation as {!doc}). *)
+let doc_version (v : version) name =
+  match Doc_map.find_opt name v.doc_versions with
+  | Some n -> n
+  | None ->
+      let trimmed =
+        if String.length name > 0 && name.[0] = '/' then
+          String.sub name 1 (String.length name - 1)
+        else name
+      in
+      Option.value ~default:0 (Doc_map.find_opt trimmed v.doc_versions)
+
 let doc_names (v : version) = List.map fst (Doc_map.bindings v.docs)
 
 (** [commit db pul] applies a pending update list: every touched document
@@ -90,28 +128,43 @@ let commit db (pul : Update.pul) =
   if pul = [] then ()
   else begin
   let updated_docs, puts = Update.apply pul in
+  let touched = ref [] in
   let docs =
     List.fold_left
       (fun docs (store, tree) ->
         let name = store.Store.uri in
         match Doc_map.find_opt name docs with
         | Some current when current.Store.doc_id = store.Store.doc_id ->
+            touched := name :: !touched;
             Doc_map.add name (Store.shred ~uri:name tree) docs
         | Some _ | None ->
             (* snapshot-based update: the PUL was built against an older
                version; still apply it by name (last-committer-wins, which
                matches the paper's non-deterministic update order) *)
             if name = "" then docs
-            else Doc_map.add name (Store.shred ~uri:name tree) docs)
+            else begin
+              touched := name :: !touched;
+              Doc_map.add name (Store.shred ~uri:name tree) docs
+            end)
       db.current.docs updated_docs
   in
   let docs =
     List.fold_left
-      (fun docs (uri, tree) -> Doc_map.add uri (Store.shred ~uri tree) docs)
+      (fun docs (uri, tree) ->
+        touched := uri :: !touched;
+        Doc_map.add uri (Store.shred ~uri tree) docs)
       docs puts
   in
-  db.current <- { docs; version_no = db.current.version_no + 1 };
-  remember db
+  let touched = List.sort_uniq String.compare !touched in
+  let version_no = db.current.version_no + 1 in
+  let doc_versions =
+    List.fold_left
+      (fun dv name -> Doc_map.add name version_no dv)
+      db.current.doc_versions touched
+  in
+  db.current <- { docs; version_no; doc_versions };
+  remember db;
+  fire_hooks db touched
   end
 
 (** Document names a PUL touches (used for 2PC conflict detection). *)

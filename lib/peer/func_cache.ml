@@ -6,46 +6,90 @@
     program together with a function registry ready to evaluate.  A miss
     re-parses and re-loads the module; the [on_compile] hook fires on every
     miss so benchmarks can charge the paper's observed module translation
-    cost (~130 ms in MonetDB) to the simulated clock. *)
+    cost (~130 ms in MonetDB) to the simulated clock.
+
+    The store is a bounded LRU (the {!Idem_cache} eviction pattern): an
+    evicted module simply recompiles on its next request.  Hits, misses
+    and evictions are exported through the {!Xrpc_obs.Metrics} registry
+    ([peer.func_cache.*]) as well as kept as per-cache counters. *)
 
 module Xast = Xrpc_xquery.Ast
 module Xctx = Xrpc_xquery.Context
+module Metrics = Xrpc_obs.Metrics
+
+let m_hits = Metrics.counter "peer.func_cache.hits"
+let m_misses = Metrics.counter "peer.func_cache.misses"
+let m_evictions = Metrics.counter "peer.func_cache.evictions"
 
 type compiled = {
   prog : Xast.prog;
   funcs : (Xctx.func_key, Xctx.func) Hashtbl.t;
 }
 
+type entry = { compiled : compiled; mutable last_used : int }
+
 type t = {
   mutable enabled : bool;
-  cache : (string, compiled) Hashtbl.t;  (** module uri -> compiled *)
+  capacity : int;
+  cache : (string, entry) Hashtbl.t;  (** module uri -> compiled *)
+  mutable tick : int;  (** logical time for LRU recency *)
   mutable on_compile : string -> unit;  (** fired on every (re)compile *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-let create ?(enabled = true) () =
+let create ?(enabled = true) ?(capacity = 64) () =
   {
     enabled;
+    capacity = max 1 capacity;
     cache = Hashtbl.create 16;
+    tick = 0;
     on_compile = (fun _ -> ());
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (key, e))
+      t.cache None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.cache key;
+      t.evictions <- t.evictions + 1;
+      Metrics.incr m_evictions
+  | None -> ()
 
 (** [compile t ~uri ~load] returns the compiled module for [uri], using
     [load ()] (parse + prolog processing) on a miss. *)
 let compile t ~uri ~(load : unit -> compiled) =
   match if t.enabled then Hashtbl.find_opt t.cache uri else None with
-  | Some c ->
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.last_used <- t.tick;
       t.hits <- t.hits + 1;
-      c
+      Metrics.incr m_hits;
+      e.compiled
   | None ->
       t.misses <- t.misses + 1;
+      Metrics.incr m_misses;
       t.on_compile uri;
       let c = load () in
-      if t.enabled then Hashtbl.replace t.cache uri c;
+      if t.enabled then begin
+        if (not (Hashtbl.mem t.cache uri)) && Hashtbl.length t.cache >= t.capacity
+        then evict_lru t;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.cache uri { compiled = c; last_used = t.tick }
+      end;
       c
 
 let invalidate t uri = Hashtbl.remove t.cache uri
 let clear t = Hashtbl.reset t.cache
+let size t = Hashtbl.length t.cache

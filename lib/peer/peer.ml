@@ -39,9 +39,18 @@ type config = {
   idem_capacity : int;
       (** idempotency-cache capacity; an evicted key falls back to
           at-least-once (the request re-executes on replay) *)
+  plan_capacity : int;  (** compiled-plan cache entries (ad-hoc queries) *)
+  result_capacity : int;  (** semantic result-cache entries *)
 }
 
-let default_config = { bulk_rpc = true; default_timeout = 30; idem_capacity = 256 }
+let default_config =
+  {
+    bulk_rpc = true;
+    default_timeout = 30;
+    idem_capacity = 256;
+    plan_capacity = 128;
+    result_capacity = 512;
+  }
 
 let m_requests = Metrics.counter "peer.requests"
 let m_calls = Metrics.counter "peer.calls"
@@ -76,6 +85,12 @@ type t = {
   uri : string;
   db : Database.t;
   func_cache : Func_cache.t;
+  plan_cache : Plan_cache.t;
+      (** compiled plans for ad-hoc [query] sources, keyed on canonical
+          query text — repeats skip parse + prolog + static check *)
+  result_cache : Result_cache.t;
+      (** memoized answers for read-only remote calls, pinned to the
+          per-document version vector; invalidated by commits *)
   idem_cache : Idem_cache.t;
       (** responses by idempotency key, so retried/duplicated requests do
           not re-execute updating functions *)
@@ -93,10 +108,13 @@ type t = {
 }
 
 let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
+  let peer =
   {
     uri;
     db = Database.create ~clock ();
     func_cache = Func_cache.create ();
+    plan_cache = Plan_cache.create ~capacity:config.plan_capacity ();
+    result_cache = Result_cache.create ~capacity:config.result_capacity ();
     idem_cache = Idem_cache.create ~capacity:config.idem_capacity ();
     isolation = Isolation.create ~clock ();
     transport = None;
@@ -117,6 +135,14 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
         locked_by = None;
       };
   }
+  in
+  (* eager result-cache invalidation: every version bump (committed XQUF
+     update, document load, Commit leg of 2PC) evicts exactly the entries
+     depending on a touched document.  An aborted 2PC releases its
+     isolation entry without committing, so it never fires this hook. *)
+  Database.on_commit peer.db (fun touched ->
+      ignore (Result_cache.invalidate_docs peer.result_cache touched));
+  peer
 
 let set_transport peer transport = peer.transport <- Some transport
 let set_executor peer executor = peer.executor <- executor
@@ -129,7 +155,13 @@ let register_module peer ~uri ?location source =
   (match location with
   | Some loc -> Hashtbl.replace peer.internals.locations loc source
   | None -> ());
-  Func_cache.invalidate peer.func_cache uri
+  Func_cache.invalidate peer.func_cache uri;
+  (* cached results of calls into this module reflect the old code *)
+  ignore (Result_cache.invalidate_module peer.result_cache uri);
+  (* cached ad-hoc plans may embed functions imported from this module;
+     plans carry no import provenance, so clear wholesale — blunt but
+     correct, and module re-registration is rare *)
+  Plan_cache.clear peer.plan_cache
 
 let module_resolver peer : Runner.module_resolver =
  fun ~uri ~location ->
@@ -171,7 +203,7 @@ let doc_resolver peer (version : Database.version) uri_str : Store.t =
           updating = false;
           fragments = false;
           query_id = None;
-          idem_key = None;
+          idem_key = None; cache_ok = true;
           calls = [ [ [ Xdm.str uri.Xrpc_uri.path ] ] ];
         }
       in
@@ -273,13 +305,60 @@ let memoized_doc_resolver peer version =
         Hashtbl.replace cache uri store;
         store
 
-let make_context peer ~version ~query_id ~peers_acc : Xctx.t =
+(* Result-cache dependency tracking: every locally resolved document is
+   recorded under its canonical store name with the doc version it was
+   read at (the entry's version vector); a document fetched from another
+   peer depends on state we cannot version, so it poisons cacheability. *)
+let tracking_doc_resolver peer version ~deps ~remote_dep =
+  let base = memoized_doc_resolver peer version in
+  let self_key = Xrpc_uri.peer_key_of_string peer.uri in
+  fun uri_str ->
+    let store = base uri_str in
+    let local =
+      if not (String.length uri_str >= 7 && String.sub uri_str 0 7 = "xrpc://")
+      then true
+      else Xrpc_uri.peer_key (Xrpc_uri.parse uri_str) = self_key
+    in
+    if local then
+      Hashtbl.replace deps store.Store.uri
+        (Database.doc_version version store.Store.uri)
+    else remote_dep := true;
+    store
+
+let make_context ?deps ?remote_dep peer ~version ~query_id ~peers_acc : Xctx.t =
   let base = Xctx.empty () in
+  let resolver =
+    match (deps, remote_dep) with
+    | Some deps, Some remote_dep ->
+        tracking_doc_resolver peer version ~deps ~remote_dep
+    | _ -> memoized_doc_resolver peer version
+  in
+  let dispatcher =
+    if peer.transport = None then None
+    else
+      let d = dispatcher peer peers_acc in
+      match remote_dep with
+      | None -> Some d
+      | Some remote_dep ->
+          (* any dispatch — even back to this peer — executes code whose
+             document reads are not tracked here, so the result cannot be
+             pinned to a version vector *)
+          Some
+            {
+              Xctx.call =
+                (fun ~dest req ->
+                  remote_dep := true;
+                  d.Xctx.call ~dest req);
+              call_parallel =
+                (fun reqs ->
+                  remote_dep := true;
+                  d.Xctx.call_parallel reqs);
+            }
+  in
   {
     base with
-    Xctx.doc_resolver = memoized_doc_resolver peer version;
-    dispatcher =
-      (if peer.transport = None then None else Some (dispatcher peer peers_acc));
+    Xctx.doc_resolver = resolver;
+    dispatcher;
     query_id;
     bulk_rpc = peer.config.bulk_rpc;
   }
@@ -352,9 +431,57 @@ let handle_request ?phases peer (r : Message.request) : Message.t =
         resp_module = r.Message.module_uri;
         resp_method = r.Message.method_;
         results;
+        cached = false;
+        db_version = None;
         peers = [ peer.uri ];
       }
   else
+    (* semantic result cache (R_Fr only): a read-only, non-isolated call
+       whose caller did not opt out is answerable from a memoized result,
+       provided the entry's document-version vector still matches.  A
+       queryID-pinned call (R'_Fr) bypasses the cache — its snapshot may
+       legitimately diverge from the current version. *)
+    let cache_key =
+      if
+        r.Message.cache_ok
+        && (not r.Message.updating)
+        && (not r.Message.fragments)
+           (* call-by-fragment arguments carry ancestor context beyond
+              their serialized value, which the value-based key cannot
+              distinguish — never cache them *)
+        && r.Message.query_id = None
+        && Result_cache.enabled peer.result_cache
+      then
+        Some
+          (Result_cache.key ~module_uri:r.Message.module_uri
+             ~fn:r.Message.method_ ~arity:r.Message.arity
+             ~calls:r.Message.calls)
+      else None
+    in
+    match
+      match cache_key with
+      | Some key ->
+          phase_timed phases "cache" @@ fun () ->
+          Result_cache.find peer.result_cache ~key
+            ~doc_version:(Database.doc_version version)
+      | None -> None
+    with
+    | Some results ->
+        Trace.event
+          ~detail:(r.Message.module_uri ^ ":" ^ r.Message.method_)
+          "result-cache-hit";
+        Profile.record_op "cache.result_hit" ~rows_in:0
+          ~rows_out:(List.length results) 0.;
+        Message.Response
+          {
+            resp_module = r.Message.module_uri;
+            resp_method = r.Message.method_;
+            results;
+            cached = true;
+            db_version = Some version.Database.version_no;
+            peers = [ peer.uri ];
+          }
+    | None ->
     let compiled =
       (* covers parse + prolog + static check on a cache miss; ~0 on a hit *)
       phase_timed phases "compile" @@ fun () ->
@@ -362,7 +489,12 @@ let handle_request ?phases peer (r : Message.request) : Message.t =
       compile_module peer ~uri:r.Message.module_uri ~location:r.Message.location
     in
     let peers_acc = ref [ peer.uri ] in
-    let ctx = make_context peer ~version ~query_id:r.Message.query_id ~peers_acc in
+    let deps = Hashtbl.create 4 in
+    let remote_dep = ref false in
+    let ctx =
+      make_context ~deps ~remote_dep peer ~version ~query_id:r.Message.query_id
+        ~peers_acc
+    in
     let ctx = { ctx with Xctx.funcs = compiled.Func_cache.funcs } in
     let fname =
       Qname.make ~uri:r.Message.module_uri r.Message.method_
@@ -407,11 +539,27 @@ let handle_request ?phases peer (r : Message.request) : Message.t =
        | None ->
            (* R_Fu: apply the pending update list immediately *)
            Database.commit peer.db pul);
+    (* store the result iff the execution was provably a pure function of
+       this peer's documents: nothing updated, no remote document fetched,
+       no dispatch to any peer (tracked via [remote_dep] and the
+       participant accumulator) *)
+    (match cache_key with
+    | Some key
+      when pul = []
+           && (not f.Xctx.decl.Xrpc_xquery.Ast.fn_updating)
+           && (not !remote_dep)
+           && !peers_acc = [ peer.uri ] ->
+        Result_cache.add peer.result_cache ~key
+          ~deps:(Hashtbl.fold (fun d v acc -> (d, v) :: acc) deps [])
+          results
+    | _ -> ());
     Message.Response
       {
         resp_module = r.Message.module_uri;
         resp_method = r.Message.method_;
         results = (if r.Message.updating then [] else results);
+        cached = false;
+        db_version = Some version.Database.version_no;
         peers = !peers_acc;
       }
 
@@ -675,6 +823,26 @@ let query_label source =
   if String.length trimmed <= 120 then trimmed
   else String.sub trimmed 0 117 ^ "..."
 
+(* The static (cacheable) half of ad-hoc query compilation: parse, prolog
+   pass 1 (imports, functions, options), static check.  Global variable
+   binding is prolog pass 2 — database-dependent, re-run per execution by
+   {!Runner.bind_globals} — which is what keeps a cached plan coherent
+   with a database that changed under it. *)
+let compile_static peer (source : string) : Plan_cache.compiled =
+  let prog =
+    Trace.with_span "client.parse" @@ fun () ->
+    Xrpc_xquery.Parser.parse_prog source
+  in
+  let cctx = Xctx.empty () in
+  Runner.load_prolog_static cctx ~resolver:(module_resolver peer) prog;
+  Xrpc_xquery.Check.check_prog_exn cctx prog;
+  {
+    Plan_cache.prog;
+    funcs = cctx.Xctx.funcs;
+    options = !(cctx.Xctx.options);
+    imports = !(cctx.Xctx.imports);
+  }
+
 let query peer (source : string) : query_result =
   Metrics.incr m_queries;
   let fr_mark = Trace.mark () in
@@ -687,19 +855,27 @@ let query peer (source : string) : query_result =
   in
   match
     Trace.with_span ~detail:peer.uri "query" @@ fun () ->
-  let prog =
-    Trace.with_span "client.parse" @@ fun () ->
-    Xrpc_xquery.Parser.parse_prog source
+  let compiled, plan_hit =
+    Trace.with_span "client.compile" @@ fun () ->
+    Plan_cache.find_or_compile peer.plan_cache source ~compile:(fun () ->
+        compile_static peer source)
   in
+  if plan_hit then begin
+    Trace.event ~detail:(query_label source) "plan-cache-hit";
+    Profile.record_op "cache.plan_hit" ~rows_in:0 ~rows_out:0 0.
+  end
+  else Trace.event "plan-cache-miss";
+  let prog = compiled.Plan_cache.prog in
   let version = Database.snapshot peer.db in
   let peers_acc = ref [] in
-  (* two-phase context setup: prolog processing may already need docs *)
   let ctx0 = make_context peer ~version ~query_id:None ~peers_acc in
+  let ctx0 = { ctx0 with Xctx.funcs = compiled.Plan_cache.funcs } in
+  ctx0.Xctx.options := compiled.Plan_cache.options;
+  ctx0.Xctx.imports := compiled.Plan_cache.imports;
+  (* prolog pass 2: bind global variables against the current database
+     (their initializers may call fn:doc or even [execute at]) *)
   let ctx =
-    Trace.with_span "client.compile" @@ fun () ->
-    let ctx = Runner.load_prolog ctx0 ~resolver:(module_resolver peer) prog in
-    Xrpc_xquery.Check.check_prog_exn ctx prog;
-    ctx
+    Trace.with_span "client.bind" @@ fun () -> Runner.bind_globals ctx0 prog
   in
   let isolation_level = Xctx.isolation ctx in
   let timeout =
@@ -809,3 +985,64 @@ let resolve_in_doubt peer : int * int * int =
             (c, a + 1, d)
           end)
         (0, 0, 0) prepared
+
+(* ------------------------------------------------------------------ *)
+(* Cache introspection & control                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cache_stats = {
+  plan : Plan_cache.stats;
+  result : Result_cache.stats;
+  func_hits : int;
+  func_misses : int;
+  func_evictions : int;
+  func_size : int;
+  idem_hits : int;
+  idem_misses : int;
+  idem_evictions : int;
+  idem_size : int;
+}
+
+let cache_stats peer =
+  {
+    plan = Plan_cache.stats peer.plan_cache;
+    result = Result_cache.stats peer.result_cache;
+    func_hits = peer.func_cache.Func_cache.hits;
+    func_misses = peer.func_cache.Func_cache.misses;
+    func_evictions = peer.func_cache.Func_cache.evictions;
+    func_size = Func_cache.size peer.func_cache;
+    idem_hits = Idem_cache.hits peer.idem_cache;
+    idem_misses = Idem_cache.misses peer.idem_cache;
+    idem_evictions = Idem_cache.evictions peer.idem_cache;
+    idem_size = Idem_cache.size peer.idem_cache;
+  }
+
+let set_plan_caching peer on = Plan_cache.set_enabled peer.plan_cache on
+let set_result_caching peer on = Result_cache.set_enabled peer.result_cache on
+
+(** Drop every performance cache (plan, result, module).  The idempotency
+    cache is deliberately kept: it is a correctness mechanism
+    (exactly-once updates), not a performance one. *)
+let clear_caches peer =
+  Plan_cache.clear peer.plan_cache;
+  Result_cache.clear peer.result_cache;
+  Func_cache.clear peer.func_cache
+
+(** Human-readable stats block — what [/cachez] and the shell's [:cache
+    stats] print. *)
+let cache_stats_text peer =
+  let s = cache_stats peer in
+  let p = s.plan and r = s.result in
+  Printf.sprintf
+    "plan_cache:   hits=%d misses=%d evictions=%d size=%d/%d enabled=%b\n\
+     result_cache: hits=%d misses=%d stale=%d invalidations=%d evictions=%d \
+     size=%d/%d enabled=%b\n\
+     func_cache:   hits=%d misses=%d evictions=%d size=%d\n\
+     idem_cache:   hits=%d misses=%d evictions=%d size=%d"
+    p.Plan_cache.hits p.Plan_cache.misses p.Plan_cache.evictions
+    p.Plan_cache.size p.Plan_cache.capacity p.Plan_cache.enabled
+    r.Result_cache.hits r.Result_cache.misses r.Result_cache.stale
+    r.Result_cache.invalidations r.Result_cache.evictions r.Result_cache.size
+    r.Result_cache.capacity r.Result_cache.enabled s.func_hits s.func_misses
+    s.func_evictions s.func_size s.idem_hits s.idem_misses s.idem_evictions
+    s.idem_size

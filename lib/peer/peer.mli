@@ -24,6 +24,8 @@ type config = {
   idem_capacity : int;
       (** idempotency-cache capacity; an evicted key falls back to
           at-least-once (the request re-executes on replay) *)
+  plan_capacity : int;  (** compiled-plan cache entries (ad-hoc queries) *)
+  result_capacity : int;  (** semantic result-cache entries *)
 }
 
 val default_config : config
@@ -36,6 +38,12 @@ type t = {
   uri : string;
   db : Database.t;
   func_cache : Func_cache.t;
+  plan_cache : Plan_cache.t;
+      (** compiled plans for ad-hoc [query] sources, keyed on canonical
+          query text — repeats skip parse + prolog + static check *)
+  result_cache : Result_cache.t;
+      (** memoized answers for read-only remote calls, pinned to the
+          per-document version vector; invalidated by commits *)
   idem_cache : Idem_cache.t;
       (** responses by idempotency key, so retried/duplicated requests do
           not re-execute updating functions *)
@@ -108,3 +116,38 @@ val resolve_in_doubt : t -> int * int * int
 (** In-doubt recovery (presumed abort, §2.3): each prepared-but-undecided
     transaction asks its coordinator for the logged decision with a
     [Status] message.  Returns [(committed, aborted, still_in_doubt)]. *)
+
+(** {2 Cache introspection & control} *)
+
+type cache_stats = {
+  plan : Plan_cache.stats;
+  result : Result_cache.stats;
+  func_hits : int;
+  func_misses : int;
+  func_evictions : int;
+  func_size : int;
+  idem_hits : int;
+  idem_misses : int;
+  idem_evictions : int;
+  idem_size : int;
+}
+
+val cache_stats : t -> cache_stats
+(** Aggregated counters across all four caches (plan, result, module
+    plan, idempotency). *)
+
+val set_plan_caching : t -> bool -> unit
+(** Toggle the compiled-plan cache; disabled, every [query] recompiles. *)
+
+val set_result_caching : t -> bool -> unit
+(** Toggle the semantic result cache; disabled, every incoming call
+    executes. *)
+
+val clear_caches : t -> unit
+(** Drop every performance cache (plan, result, module).  The idempotency
+    cache is kept — it is a correctness mechanism (exactly-once updates),
+    not a performance one. *)
+
+val cache_stats_text : t -> string
+(** Human-readable stats block — what [/cachez] and the shell's
+    [:cache stats] print. *)

@@ -231,6 +231,8 @@ let handle_raw (w : t) (body : string) : string =
              resp_module = module_uri;
              resp_method = method_;
              results;
+             cached = false;
+             db_version = None;
              peers = [ w.uri ];
            })
     else begin
@@ -263,7 +265,7 @@ let handle_raw (w : t) (body : string) : string =
           updating = false;
           fragments = false;
           query_id = None;
-          idem_key = None;
+          idem_key = None; cache_ok = true;
           calls = [ [ [ Xdm.str uri.Xrpc_net.Xrpc_uri.path ] ] ];
         }
       in
@@ -322,6 +324,8 @@ let handle_raw (w : t) (body : string) : string =
                                 resp_module = module_uri;
                                 resp_method = method_;
                                 results;
+                                cached = false;
+                                db_version = None;
                                 peers = [ w.uri ];
                               }))
                   | None -> None)

@@ -39,6 +39,11 @@ type request = {
       (** idempotency key: peers cache the response under this key so a
           retried or duplicated request (at-least-once transports) returns
           the cached reply instead of re-executing updating functions *)
+  cache_ok : bool;
+      (** [false] rides as [cache="off"] and forbids the serving peer to
+          answer from its semantic result cache — the escape hatch the
+          differential tests use to compare cached vs fresh answers.  The
+          default [true] leaves the wire format unchanged. *)
   calls : Xdm.sequence list list;
       (** one entry per call; each call is [arity] parameter sequences *)
 }
@@ -48,6 +53,13 @@ type response = {
   resp_method : string;
   results : Xdm.sequence list;  (** one result sequence per call *)
   peers : string list;  (** piggybacked participating peers (§2.3) *)
+  cached : bool;
+      (** the serving peer answered from its semantic result cache
+          (rides as [cached="true"], omitted otherwise) *)
+  db_version : int option;
+      (** the serving peer's database version token ([dbVersion]
+          attribute) — lets callers observe remote data movement without
+          another round trip *)
 }
 
 type fault = { fault_code : [ `Sender | `Receiver ]; reason : string }
@@ -186,6 +198,10 @@ let to_tree ?trace ?server_profile ?(profile_flag = false) = function
                  a header element) to keep the flag at one node of cost *)
               @ (if profile_flag then [ Tree.attr (Qname.make "profile") "true" ]
                  else [])
+              (* cache="off" only when the caller opts out — the common
+                 case costs zero wire bytes *)
+              @ (if r.cache_ok then []
+                 else [ Tree.attr (Qname.make "cache") "off" ])
               @ if r.fragments then [ Tree.attr (Qname.make "fragments") "true" ] else [])
             (qid @ calls);
         ]
@@ -213,6 +229,12 @@ let to_tree ?trace ?server_profile ?(profile_flag = false) = function
                  Tree.attr (Qname.make "module") r.resp_module;
                  Tree.attr (Qname.make "method") r.resp_method;
                ]
+              @ (if r.cached then [ Tree.attr (Qname.make "cached") "true" ]
+                 else [])
+              @ (match r.db_version with
+                | Some v ->
+                    [ Tree.attr (Qname.make "dbVersion") (string_of_int v) ]
+                | None -> [])
               @ profile_attr server_profile)
             (peers @ seqs);
         ]
@@ -356,6 +378,7 @@ let of_tree tree =
           fragments = find_attr attrs "fragments" = Some "true";
           query_id;
           idem_key = find_attr attrs "idemKey";
+          cache_ok = find_attr attrs "cache" <> Some "off";
           calls;
         }
   | [ Tree.Element { name; attrs; children } ] when name.Qname.local = "response" ->
@@ -389,6 +412,9 @@ let of_tree tree =
           resp_method = Option.value ~default:"" (find_attr attrs "method");
           results;
           peers;
+          cached = find_attr attrs "cached" = Some "true";
+          db_version =
+            Option.bind (find_attr attrs "dbVersion") int_of_string_opt;
         }
   | [ Tree.Element { name; children; _ } ] when name.Qname.local = "Fault" ->
       let kids = elem_children children in

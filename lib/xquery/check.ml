@@ -159,6 +159,18 @@ let check_expr (ctx : Context.t) ~(bound : Ast.Var_set.t) (e : Ast.expr) :
     prolog loaded (functions registered, imports resolved, variables
     bound). *)
 let check_prog (ctx : Context.t) (prog : Ast.prog) : error list =
+  (* variables this prolog itself declares are statically in scope for the
+     body and for function bodies, whether or not pass 2 has bound them
+     yet — lets the checker run on a statically-loaded (plan-cacheable)
+     context, before global initializers are evaluated *)
+  let globals =
+    List.fold_left
+      (fun s decl ->
+        match decl with
+        | Ast.P_var (v, _) -> Ast.Var_set.add (Ast.var_set_key v) s
+        | _ -> s)
+      Ast.Var_set.empty prog.Ast.prolog
+  in
   let fn_errors =
     List.concat_map
       (fun decl ->
@@ -167,7 +179,7 @@ let check_prog (ctx : Context.t) (prog : Ast.prog) : error list =
             let bound =
               List.fold_left
                 (fun s (p, _) -> Ast.Var_set.add (Ast.var_set_key p) s)
-                Ast.Var_set.empty fn_params
+                globals fn_params
             in
             List.map
               (fun e ->
@@ -181,7 +193,7 @@ let check_prog (ctx : Context.t) (prog : Ast.prog) : error list =
   in
   let body_errors =
     match prog.Ast.body with
-    | Some body -> check_expr ctx ~bound:Ast.Var_set.empty body
+    | Some body -> check_expr ctx ~bound:globals body
     | None -> []
   in
   fn_errors @ body_errors

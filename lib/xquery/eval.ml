@@ -822,7 +822,7 @@ and bulk_execute base_ctx tuples dest_e fname args =
             updating;
             fragments = base_ctx.Context.fragments;
             query_id = base_ctx.Context.query_id;
-            idem_key = None;
+            idem_key = None; cache_ok = true;
             calls = [ p0 ];
           }
         in
@@ -864,7 +864,7 @@ and bulk_execute base_ctx tuples dest_e fname args =
             updating;
             fragments = base_ctx.Context.fragments;
             query_id = base_ctx.Context.query_id;
-            idem_key = None;
+            idem_key = None; cache_ok = true;
             calls = params_for_dest;
           } ))
       dests

@@ -1,0 +1,81 @@
+(** Canonical query text — the plan-cache key (§3.3).
+
+    Two sources that differ only in whitespace or [(: comments :)] should
+    share one cached plan, so the key is the token stream re-rendered in a
+    single canonical spelling: tokens separated by one space, literals
+    kind-tagged so [3], [3.0] and [3e0] (integer, decimal, double — all of
+    which print alike through OCaml floats) can never collide with each
+    other or with a name.
+
+    Direct element constructors are the one construct the lexer cannot
+    see through: the parser hands [<name ...] to a character-level parser
+    in which interior whitespace is {e semantic} ([<a> 1 </a>] and
+    [<a>1</a>] are different queries, yet they lex to the same token
+    stream).  When a [<] is immediately followed by a constructor-looking
+    character, canonicalization falls back to the raw source text — repeat
+    queries still hit byte-for-byte, they just stop being
+    whitespace-insensitive.  The fallback is prefixed so it can never
+    collide with a canonical rendering (which contains no NUL). *)
+
+let raw_prefix = "raw\000"
+
+let render = function
+  | Lexer.Name ("", l) -> l
+  | Lexer.Name (p, l) -> p ^ ":" ^ l
+  | Lexer.Star_colon l -> "*:" ^ l
+  | Lexer.Ns_star p -> p ^ ":*"
+  (* '#' cannot start or continue a name, so a kind tag built on it keeps
+     numeric literals disjoint from names and from each other *)
+  | Lexer.Int_lit i -> "#" ^ string_of_int i
+  | Lexer.Dec_lit f -> "#d" ^ string_of_float f
+  | Lexer.Dbl_lit f -> "#e" ^ string_of_float f
+  | Lexer.Str_lit s -> Printf.sprintf "%S" s
+  | Lexer.Var ("", l) -> "$" ^ l
+  | Lexer.Var (p, l) -> "$" ^ p ^ ":" ^ l
+  | Lexer.Sym s -> s
+  | Lexer.Eof -> ""
+
+(* Is this [Sym "<"] plausibly the start of a direct constructor?  The
+   char right after the '<' decides: a name-start character (element
+   constructor), '!' (comment/CDATA) or '?' (processing instruction).
+   Comparisons are written with space or a non-name operand after '<', so
+   ordinary queries do not trip this. *)
+let constructor_suspect (lx : Lexer.t) =
+  let next = lx.Lexer.tok_start + 1 in
+  next < String.length lx.Lexer.src
+  &&
+  match lx.Lexer.src.[next] with
+  | '!' | '?' -> true
+  | c -> Lexer.is_name_start c
+
+exception Fallback
+
+(** [canonical source] — the cache key for [source]: a
+    whitespace/comment-insensitive canonical rendering, or (for sources
+    containing direct constructors, or that do not lex) the raw text. *)
+let canonical (source : string) : string =
+  match
+    let buf = Buffer.create (String.length source) in
+    let lx = Lexer.make source in
+    let first = ref true in
+    let rec loop () =
+      match lx.Lexer.tok with
+      | Lexer.Eof -> Buffer.contents buf
+      | tok ->
+          (match tok with
+          | Lexer.Sym "<" when constructor_suspect lx -> raise Fallback
+          | _ -> ());
+          if !first then first := false else Buffer.add_char buf ' ';
+          Buffer.add_string buf (render tok);
+          Lexer.next lx;
+          loop ()
+    in
+    loop ()
+  with
+  | key -> key
+  | exception (Fallback | Lexer.Lex_error _) -> raw_prefix ^ source
+
+(** Did [canonical] fall back to raw text? (Exposed for tests/stats.) *)
+let is_raw key =
+  String.length key >= String.length raw_prefix
+  && String.sub key 0 (String.length raw_prefix) = raw_prefix

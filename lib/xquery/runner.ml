@@ -70,6 +70,67 @@ let rec load_prolog (ctx : Context.t) ~(resolver : module_resolver)
       | _ -> ctx)
     ctx prog.Ast.prolog
 
+(** Pass 1 only — imports (recursively), function registration and
+    [declare option] values, all of which mutate [ctx] in place and depend
+    only on the source text and the module registry.  Nothing is
+    evaluated, so the result is what a plan cache may keep; the variable
+    bindings of pass 2 ({!bind_globals}) are database-dependent and must
+    re-run per execution.  Imported modules' own global variables are not
+    bound — matching {!load_prolog}, which evaluates and discards them. *)
+let rec load_prolog_static (ctx : Context.t) ~(resolver : module_resolver)
+    ?(visited = ref []) (prog : Ast.prog) : unit =
+  let module_uri, location =
+    match prog.Ast.module_decl with
+    | Some (_pfx, uri) -> (uri, "")
+    | None -> ("", "")
+  in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.P_import_module (_pfx, uri, at) ->
+          let at = Option.value ~default:"" at in
+          ctx.Context.imports := (uri, at) :: !(ctx.Context.imports);
+          if not (List.mem uri !visited) then (
+            visited := uri :: !visited;
+            let source = resolver ~uri ~location:at in
+            let sub = Parser.parse_prog source in
+            (match sub.Ast.module_decl with
+            | Some (_, sub_uri) when sub_uri <> uri ->
+                err "module at %s declares namespace %s, expected %s" at
+                  sub_uri uri
+            | Some _ -> ()
+            | None -> err "imported %s is not a library module" uri);
+            load_prolog_static ctx ~resolver ~visited sub)
+      | Ast.P_function f ->
+          let location =
+            if location <> "" then location
+            else
+              match
+                List.assoc_opt f.Ast.fn_name.Qname.uri !(ctx.Context.imports)
+              with
+              | Some at -> at
+              | None -> ""
+          in
+          let module_uri =
+            if module_uri <> "" then module_uri else f.Ast.fn_name.Qname.uri
+          in
+          Context.register_function ctx ~module_uri ~location f
+      | Ast.P_option (q, v) -> Context.set_option ctx q v
+      | _ -> ())
+    prog.Ast.prolog
+
+(** Pass 2 — bind this program's global variables, in declaration order.
+    Evaluation may read documents (and even the network, through
+    [execute at] in an initializer), so it runs once per execution and is
+    never cached. *)
+let bind_globals (ctx : Context.t) (prog : Ast.prog) : Context.t =
+  List.fold_left
+    (fun ctx decl ->
+      match decl with
+      | Ast.P_var (v, e) -> Context.bind_var ctx v (Eval.eval ctx e)
+      | _ -> ctx)
+    ctx prog.Ast.prolog
+
 (** Check whether a program's body contains any updating expression or call
     to a declared updating function — used by peers to classify queries. *)
 let prog_is_updating (ctx : Context.t) (prog : Ast.prog) =

@@ -1,0 +1,544 @@
+(* Two-level caching suite (plan cache + semantic result cache).
+
+   Covers: canonical-key normalization (whitespace/comment insensitivity,
+   literal-kind tagging, the direct-constructor raw fallback), the bounded
+   LRU primitive, plan-cache reuse at a peer (same answer, fresh global
+   bindings, module re-registration invalidates), and the semantic result
+   cache across a simulated cluster: version-vector invalidation on
+   committed updates, precision (an update to one document keeps entries
+   that depend only on another), the deterministic aborted-2PC schedule
+   (presumed abort must NOT invalidate — and the later committed rerun
+   must), queryID bypass, the cache="off" escape hatch, serverProfile
+   phase attribution (a warm repeat runs zero exec phases), trace events,
+   and a seeded chaos sweep where cached answers must stay consistent with
+   cache-off answers while distributed updates commit and abort around
+   them.  Replay the chaos schedules with FAULT_SEED=<n> dune runtest. *)
+
+open Xrpc_xml
+module Cluster = Xrpc_core.Cluster
+module Client = Xrpc_core.Xrpc_client
+module Peer = Xrpc_peer.Peer
+module Database = Xrpc_peer.Database
+module Plan_cache = Xrpc_peer.Plan_cache
+module Result_cache = Xrpc_peer.Result_cache
+module Lru = Xrpc_peer.Lru
+module Normalize = Xrpc_xquery.Normalize
+module Filmdb = Xrpc_workloads.Filmdb
+module Simnet = Xrpc_net.Simnet
+module Transport = Xrpc_net.Transport
+module Message = Xrpc_soap.Message
+module Trace = Xrpc_obs.Trace
+module Profile = Xrpc_obs.Profile
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Canonical query text                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_canonical_insensitive () =
+  let a = Normalize.canonical "1   +\n\t2 (: a comment :)" in
+  let b = Normalize.canonical "1+2" in
+  check string_ "whitespace and comments do not matter" b a;
+  check bool_ "ordinary queries canonicalize" false (Normalize.is_raw a)
+
+let test_canonical_literal_kinds () =
+  (* 1, 1.0, 1e0 and "1" are four different queries; so is the name x1
+     next to the literal 1 *)
+  let keys =
+    List.map Normalize.canonical [ "1"; "1.0"; "1e0"; {|"1"|}; "x1" ]
+  in
+  let distinct = List.sort_uniq compare keys in
+  check int_ "literal kinds stay disjoint" (List.length keys)
+    (List.length distinct)
+
+let test_canonical_raw_fallback () =
+  (* whitespace inside a direct constructor is semantic, so the lexer
+     cannot canonicalize past it: the raw source is the key *)
+  let a = Normalize.canonical "<a>1</a>" in
+  check bool_ "constructors fall back to raw" true (Normalize.is_raw a);
+  check bool_ "raw keys keep the exact spelling" true
+    (a <> Normalize.canonical "<a> 1 </a>")
+
+(* ------------------------------------------------------------------ *)
+(* The LRU primitive                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_bounds_and_recency () =
+  let lru = Lru.create ~capacity:2 () in
+  let evicted = ref [] in
+  Lru.set_on_evict lru (fun k -> evicted := k :: !evicted);
+  Lru.add lru "a" 1;
+  Lru.add lru "b" 2;
+  check (Alcotest.option int_) "a cached" (Some 1) (Lru.find lru "a");
+  (* a was just used, so inserting c must evict b *)
+  Lru.add lru "c" 3;
+  check int_ "bounded" 2 (Lru.size lru);
+  check (Alcotest.option int_) "LRU victim gone" None (Lru.find lru "b");
+  check (Alcotest.option int_) "recently used survives" (Some 1)
+    (Lru.find lru "a");
+  check int_ "one eviction" 1 (Lru.evictions lru);
+  check (Alcotest.list string_) "on_evict saw the victim" [ "b" ] !evicted
+
+let test_lru_disabled () =
+  let lru = Lru.create ~enabled:false ~capacity:2 () in
+  Lru.add lru "a" 1;
+  check (Alcotest.option int_) "disabled stores nothing" None
+    (Lru.find lru "a");
+  check int_ "empty" 0 (Lru.size lru)
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache at a peer                                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan_stats peer = (Peer.cache_stats peer).Peer.plan
+
+let test_plan_cache_reuse () =
+  let peer = Peer.create "xrpc://plan.local" in
+  let a = Xdm.to_display (Peer.query_seq peer "for $v in (1 to 4) return $v * $v") in
+  let b =
+    Xdm.to_display
+      (Peer.query_seq peer
+         "for  $v  in (1 to 4) (: same plan :)\nreturn $v * $v")
+  in
+  check string_ "cached plan prints the same answer" a b;
+  let s = plan_stats peer in
+  check int_ "one compilation" 1 s.Plan_cache.misses;
+  check int_ "one plan-cache hit" 1 s.Plan_cache.hits
+
+let test_plan_cache_rebinds_globals () =
+  (* prolog pass 2 (global variable binding) must re-run per execution:
+     a cached plan may never pin the database state it was compiled
+     against *)
+  let peer = Peer.create "xrpc://plan.local" in
+  Database.add_doc_xml peer.Peer.db "d.xml" "<n/>";
+  let q = {|declare variable $c := count(doc("d.xml")//m); $c|} in
+  check string_ "before the update" "0" (Xdm.to_display (Peer.query_seq peer q));
+  ignore
+    (Peer.query peer {|insert node <m/> into exactly-one(doc("d.xml")/n)|});
+  check string_ "cached plan sees the new document" "1"
+    (Xdm.to_display (Peer.query_seq peer q));
+  check bool_ "second run really was a plan-cache hit" true
+    ((plan_stats peer).Plan_cache.hits >= 1)
+
+let test_plan_cache_module_invalidation () =
+  let peer = Peer.create "xrpc://plan.local" in
+  let version n =
+    Printf.sprintf
+      {|module namespace m = "m";
+declare function m:one() as xs:integer { %d };|}
+      n
+  in
+  Peer.register_module peer ~uri:"m" ~location:"m.xq" (version 1);
+  let q = {|import module namespace m = "m" at "m.xq"; m:one()|} in
+  check string_ "v1 answer" "1" (Xdm.to_display (Peer.query_seq peer q));
+  (* re-registering the module changes the code cached plans refer to *)
+  Peer.register_module peer ~uri:"m" ~location:"m.xq" (version 2);
+  check string_ "re-registration drops the stale plan" "2"
+    (Xdm.to_display (Peer.query_seq peer q))
+
+(* ------------------------------------------------------------------ *)
+(* Result cache across a cluster                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sim_config = { Simnet.default_config with Simnet.charge_cpu = false }
+
+(* two peers: x originates, y serves the film database *)
+let film_pair () =
+  let cluster =
+    Cluster.create ~config:sim_config
+      ~names:[ "x.example.org"; "y.example.org" ] ()
+  in
+  let x = Cluster.peer cluster "x.example.org" in
+  let y = Cluster.peer cluster "y.example.org" in
+  Filmdb.install y ();
+  Peer.register_module x ~uri:Filmdb.module_ns ~location:Filmdb.module_at
+    Filmdb.film_module;
+  (cluster, x, y)
+
+let result_stats peer = (Peer.cache_stats peer).Peer.result
+
+let films_by ?cache ?query_id client ~dest actor =
+  Client.call client ~dest ?cache ?query_id ~module_uri:Filmdb.module_ns
+    ~location:Filmdb.module_at ~fn:"filmsByActor"
+    [ [ Xdm.str actor ] ]
+
+let test_result_cache_hit () =
+  let cluster, _, y = film_pair () in
+  let client = Cluster.client cluster in
+  let dest = "xrpc://y.example.org" in
+  let a = Xdm.to_display (films_by client ~dest "Sean Connery") in
+  let b = Xdm.to_display (films_by client ~dest "Sean Connery") in
+  check string_ "repeat answers identically" a b;
+  let s = result_stats y in
+  check int_ "first call executed" 1 s.Result_cache.misses;
+  check int_ "second was served from cache" 1 s.Result_cache.hits;
+  check int_ "one entry" 1 s.Result_cache.size
+
+let test_update_then_read_invalidates () =
+  (* a committed remote update (rule R_Fu) must evict the dependent
+     entry: the next read executes and sees the new film, identically to
+     a cache=off read *)
+  let cluster, x, y = film_pair () in
+  let client = Cluster.client cluster in
+  let dest = "xrpc://y.example.org" in
+  ignore (films_by client ~dest "Sean Connery");
+  ignore (films_by client ~dest "Sean Connery");
+  check int_ "warm" 1 (result_stats y).Result_cache.hits;
+  let r =
+    Peer.query x
+      {|import module namespace f="films" at "http://x.example.org/film.xq";
+execute at {"xrpc://y.example.org"} {f:addFilm("Fresh", "Sean Connery")}|}
+  in
+  check bool_ "update applied" true r.Peer.committed;
+  check bool_ "commit evicted the dependent entry" true
+    ((result_stats y).Result_cache.invalidations >= 1);
+  let cached = Xdm.to_display (films_by client ~dest "Sean Connery") in
+  let off = Xdm.to_display (films_by client ~dest ~cache:false "Sean Connery") in
+  check string_ "post-update cached == cache-off" off cached;
+  check bool_ "the new film is visible" true (contains cached "Fresh")
+
+let test_version_vector_precision () =
+  (* entries are pinned per document: an update touching a.xml evicts
+     only the entries that read a.xml *)
+  let cluster =
+    Cluster.create ~config:sim_config ~names:[ "x"; "y" ] ()
+  in
+  let y = Cluster.peer cluster "y" in
+  Database.add_doc_xml y.Peer.db "a.xml" "<a>1</a>";
+  Database.add_doc_xml y.Peer.db "b.xml" "<b>2</b>";
+  Peer.register_module y ~uri:"m" ~location:"m.xq"
+    {|module namespace m = "m";
+declare function m:ra() as node()* { doc("a.xml") };
+declare function m:rb() as node()* { doc("b.xml") };
+declare updating function m:wa()
+{ insert node <x/> into exactly-one(doc("a.xml")/a) };|};
+  let client = Cluster.client cluster in
+  let call fn =
+    Client.call client ~dest:"xrpc://y" ~module_uri:"m" ~location:"m.xq" ~fn []
+  in
+  ignore (call "ra");
+  ignore (call "rb");
+  check int_ "both entries cached" 2 (result_stats y).Result_cache.size;
+  ignore
+    (Client.call client ~dest:"xrpc://y" ~updating:true ~module_uri:"m"
+       ~location:"m.xq" ~fn:"wa" []);
+  check int_ "only the a.xml entry was evicted" 1
+    (result_stats y).Result_cache.invalidations;
+  check int_ "b.xml entry survives" 1 (result_stats y).Result_cache.size;
+  let hits0 = (result_stats y).Result_cache.hits in
+  ignore (call "rb");
+  check int_ "b repeat still hits" (hits0 + 1) (result_stats y).Result_cache.hits;
+  check string_ "a repeat re-executes and sees the update" "<a>1<x/></a>"
+    (Xdm.to_display (call "ra"))
+
+let test_aborted_2pc_does_not_invalidate () =
+  (* deterministic presumed-abort schedule: a prepared blocker at y makes
+     the distributed update abort — the rollback never reaches
+     Database.commit, so the cache keeps its (still correct) entry; after
+     the blocker is rolled back, the rerun commits and must invalidate *)
+  let cluster =
+    Cluster.create ~config:sim_config
+      ~names:[ "x.example.org"; "y.example.org"; "z.example.org" ] ()
+  in
+  let x = Cluster.peer cluster "x.example.org" in
+  let y = Cluster.peer cluster "y.example.org" in
+  Filmdb.install y ();
+  Filmdb.install (Cluster.peer cluster "z.example.org") ~variant:`Z ();
+  Peer.register_module x ~uri:Filmdb.module_ns ~location:Filmdb.module_at
+    Filmdb.film_module;
+  let client = Cluster.client cluster in
+  let dest = "xrpc://y.example.org" in
+  let warm = Xdm.to_display (films_by client ~dest "Sean Connery") in
+  ignore (films_by client ~dest "Sean Connery");
+  check int_ "warm" 1 (result_stats y).Result_cache.hits;
+  (* an earlier transaction holds the prepared state on filmDB at y *)
+  let blocker =
+    { Message.host = "xrpc://blocker"; timestamp = "0.1"; timeout = 1000;
+      level = Message.Repeatable }
+  in
+  let blocking_update =
+    {
+      Message.module_uri = Filmdb.module_ns;
+      location = Filmdb.module_at;
+      method_ = "addFilm";
+      arity = 2;
+      updating = true;
+      fragments = false;
+      query_id = Some blocker;
+      idem_key = None;
+      cache_ok = true;
+      calls = [ [ [ Xdm.str "Blocker" ]; [ Xdm.str "B" ] ] ];
+    }
+  in
+  ignore (Peer.handle_raw y (Message.to_string (Message.Request blocking_update)));
+  ignore
+    (Peer.handle_raw y
+       (Message.to_string (Message.Tx_request (Message.Prepare, blocker))));
+  let q_doomed =
+    {|import module namespace f="films" at "http://x.example.org/film.xq";
+declare option xrpc:isolation "repeatable";
+for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+return execute at {$dst} {f:addFilm("Doomed", "Sean Connery")}|}
+  in
+  let aborted = Peer.query x q_doomed in
+  check bool_ "commit refused" false aborted.Peer.committed;
+  check int_ "aborted 2PC invalidated nothing" 0
+    (result_stats y).Result_cache.invalidations;
+  let after_abort = Xdm.to_display (films_by client ~dest "Sean Connery") in
+  check string_ "cached answer unchanged by the abort" warm after_abort;
+  check int_ "and it was still a cache hit" 2 (result_stats y).Result_cache.hits;
+  check string_ "cache-off agrees" warm
+    (Xdm.to_display (films_by client ~dest ~cache:false "Sean Connery"));
+  (* release the blocker; the rerun commits — and THAT invalidates *)
+  ignore
+    (Peer.handle_raw y
+       (Message.to_string (Message.Tx_request (Message.Rollback, blocker))));
+  let committed = Peer.query x q_doomed in
+  check bool_ "rerun commits" true committed.Peer.committed;
+  check bool_ "committed 2PC invalidates" true
+    ((result_stats y).Result_cache.invalidations >= 1);
+  let cached = Xdm.to_display (films_by client ~dest "Sean Connery") in
+  let off = Xdm.to_display (films_by client ~dest ~cache:false "Sean Connery") in
+  check string_ "post-commit cached == cache-off" off cached;
+  check bool_ "the committed film is visible" true (cached <> warm)
+
+let test_query_id_bypasses_cache () =
+  (* R'_Fr calls pin a snapshot that may diverge from the current
+     version; they must not populate or consult the cache *)
+  let cluster, _, y = film_pair () in
+  let client = Cluster.client cluster in
+  let dest = "xrpc://y.example.org" in
+  let qid =
+    { Message.host = "xrpc://x.example.org"; timestamp = "1.0";
+      timeout = 1000; level = Message.Repeatable }
+  in
+  ignore (films_by client ~dest ~query_id:qid "Sean Connery");
+  ignore (films_by client ~dest ~query_id:qid "Sean Connery");
+  let s = result_stats y in
+  check int_ "no lookups" 0 (s.Result_cache.hits + s.Result_cache.misses);
+  check int_ "no entries" 0 s.Result_cache.size
+
+let test_cache_off_escape_hatch () =
+  let cluster, _, y = film_pair () in
+  let client = Cluster.client cluster in
+  let dest = "xrpc://y.example.org" in
+  let warm = Xdm.to_display (films_by client ~dest "Sean Connery") in
+  ignore (films_by client ~dest "Sean Connery");
+  let hits0 = (result_stats y).Result_cache.hits in
+  let off = Xdm.to_display (films_by client ~dest ~cache:false "Sean Connery") in
+  check string_ "cache=off answers identically" warm off;
+  check int_ "cache=off never consults the cache" hits0
+    (result_stats y).Result_cache.hits;
+  (* the client-wide default works too *)
+  Client.set_result_caching client false;
+  ignore (films_by client ~dest "Sean Connery");
+  check int_ "client default off" hits0 (result_stats y).Result_cache.hits;
+  Client.set_result_caching client true;
+  ignore (films_by client ~dest "Sean Connery");
+  check int_ "back on" (hits0 + 1) (result_stats y).Result_cache.hits
+
+let test_warm_repeat_runs_zero_exec_phases () =
+  (* the acceptance check: serverProfile of a warm repeat shows the cache
+     phase and NO exec phase at the serving peer *)
+  let cluster, _, _ = film_pair () in
+  let client = Cluster.client cluster in
+  let dest = "xrpc://y.example.org" in
+  ignore (films_by client ~dest "Sean Connery");
+  let _, profile =
+    Client.call_profiled client ~dest ~module_uri:Filmdb.module_ns
+      ~location:Filmdb.module_at ~fn:"filmsByActor"
+      [ [ Xdm.str "Sean Connery" ] ]
+  in
+  let phases =
+    List.concat_map
+      (fun (_, d) -> List.map fst d.Profile.d_remote)
+      (Profile.dests profile)
+  in
+  check bool_ "cache phase present" true (List.mem "cache" phases);
+  check bool_ "no exec phase" false (List.mem "exec" phases)
+
+let test_trace_events () =
+  let cluster, x, _ = film_pair () in
+  let client = Cluster.client cluster in
+  let dest = "xrpc://y.example.org" in
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      ignore (Peer.query_seq x "2 + 2");
+      ignore (Peer.query_seq x "2 + 2");
+      ignore (films_by client ~dest "Sean Connery");
+      ignore (films_by client ~dest "Sean Connery");
+      let events =
+        List.concat_map
+          (fun s -> List.map (fun e -> e.Trace.e_name) s.Trace.events)
+          (Trace.spans ())
+      in
+      List.iter
+        (fun name ->
+          check bool_ name true (List.mem name events))
+        [ "plan-cache-hit"; "result-cache-hit"; "remote-cache-hit" ])
+
+(* ------------------------------------------------------------------ *)
+(* Seeded chaos: caching never changes an answer                       *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_policy =
+  {
+    Transport.timeout_ms = 1_000.;
+    max_retries = 4;
+    backoff_base_ms = 5.;
+    backoff_cap_ms = 40.;
+    backoff_jitter = 0.5;
+    breaker_threshold = 0;
+    breaker_cooldown_ms = 100.;
+  }
+
+let chaos_seeds () =
+  match Sys.getenv_opt "FAULT_SEED" with
+  | Some s -> [ int_of_string (String.trim s) ]
+  | None -> List.init 8 (fun i -> 100 + i)
+
+let replay_hint seed = Printf.sprintf "FAULT_SEED=%d dune runtest" seed
+
+let test_chaos_cached_answers_consistent () =
+  (* interleave reads (cached, then cache=off) with distributed 2PC
+     updates under seeded faults.  During the run a cached answer must
+     match one of the uncached answers bracketing it; after the network
+     recovers, cached and uncached answers must agree exactly — whatever
+     mixture of commits and presumed-abort rollbacks the schedule
+     produced.  And if nothing ever committed at y, its result cache must
+     show zero invalidations: aborted transactions invalidate nothing. *)
+  List.iter
+    (fun seed ->
+      let cluster =
+        Cluster.create ~config:sim_config
+          ~faults:(Simnet.chaos ~seed ~loss:0.1 ())
+          ~policy:chaos_policy
+          ~names:[ "x.example.org"; "y.example.org"; "z.example.org" ] ()
+      in
+      let x = Cluster.peer cluster "x.example.org" in
+      let y = Cluster.peer cluster "y.example.org" in
+      Filmdb.install y ();
+      Filmdb.install (Cluster.peer cluster "z.example.org") ~variant:`Z ();
+      Peer.register_module x ~uri:Filmdb.module_ns ~location:Filmdb.module_at
+        Filmdb.film_module;
+      let client = Cluster.client cluster in
+      let dest = "xrpc://y.example.org" in
+      let rng = Random.State.make [| seed; 77 |] in
+      let read ?cache () =
+        try Some (Xdm.to_display (films_by client ~dest ?cache "Sean Connery"))
+        with _ -> None
+      in
+      for step = 1 to 6 do
+        if Random.State.int rng 3 = 0 then
+          ignore
+            (try
+               (Peer.query x
+                  (Printf.sprintf
+                     {|import module namespace f="films" at "http://x.example.org/film.xq";
+declare option xrpc:isolation "repeatable";
+for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+return execute at {$dst} {f:addFilm("C%d-%d", "Sean Connery")}|}
+                     seed step))
+                 .Peer.committed
+             with _ -> false)
+        else
+          let before = read ~cache:false () in
+          let cached = read () in
+          let after = read ~cache:false () in
+          match cached with
+          | None -> ()
+          | Some c ->
+              if Some c <> before && Some c <> after then
+                Alcotest.failf
+                  "seed %d step %d: cached answer %s matches neither \
+                   bracketing uncached answer\nreplay: %s"
+                  seed step c (replay_hint seed)
+      done;
+      (* network recovers: cached and uncached must agree exactly *)
+      Cluster.clear_faults cluster;
+      Simnet.sleep (Cluster.net cluster)
+        (chaos_policy.Transport.breaker_cooldown_ms +. 1.);
+      ignore (Cluster.resolve_in_doubt cluster);
+      let off =
+        Xdm.to_display (films_by client ~dest ~cache:false "Sean Connery")
+      in
+      let cached = Xdm.to_display (films_by client ~dest "Sean Connery") in
+      if cached <> off then
+        Alcotest.failf
+          "seed %d: recovered cached answer diverges\ncached:    %s\n\
+           cache-off: %s\nreplay: %s"
+          seed cached off (replay_hint seed);
+      (* if y's database never changed, no commit ever fired its hook *)
+      let baseline = not (contains off (Printf.sprintf "C%d-" seed)) in
+      if baseline && (result_stats y).Result_cache.invalidations > 0 then
+        Alcotest.failf
+          "seed %d: no update committed at y, yet its cache was \
+           invalidated\nreplay: %s"
+          seed (replay_hint seed))
+    (chaos_seeds ())
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "normalize",
+        [
+          Alcotest.test_case "whitespace-insensitive" `Quick
+            test_canonical_insensitive;
+          Alcotest.test_case "literal kinds disjoint" `Quick
+            test_canonical_literal_kinds;
+          Alcotest.test_case "constructor raw fallback" `Quick
+            test_canonical_raw_fallback;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "bounds and recency" `Quick
+            test_lru_bounds_and_recency;
+          Alcotest.test_case "disabled" `Quick test_lru_disabled;
+        ] );
+      ( "plan-cache",
+        [
+          Alcotest.test_case "reuse, identical answers" `Quick
+            test_plan_cache_reuse;
+          Alcotest.test_case "globals rebound per run" `Quick
+            test_plan_cache_rebinds_globals;
+          Alcotest.test_case "module re-registration invalidates" `Quick
+            test_plan_cache_module_invalidation;
+        ] );
+      ( "result-cache",
+        [
+          Alcotest.test_case "hit on repeat" `Quick test_result_cache_hit;
+          Alcotest.test_case "update-then-read invalidates" `Quick
+            test_update_then_read_invalidates;
+          Alcotest.test_case "version-vector precision" `Quick
+            test_version_vector_precision;
+          Alcotest.test_case "aborted 2PC does not invalidate" `Quick
+            test_aborted_2pc_does_not_invalidate;
+          Alcotest.test_case "queryID bypasses" `Quick
+            test_query_id_bypasses_cache;
+          Alcotest.test_case "cache=off escape hatch" `Quick
+            test_cache_off_escape_hatch;
+          Alcotest.test_case "warm repeat: zero exec phases" `Quick
+            test_warm_repeat_runs_zero_exec_phases;
+          Alcotest.test_case "trace events" `Quick test_trace_events;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "cached answers consistent under faults" `Quick
+            test_chaos_cached_answers_consistent;
+        ] );
+    ]

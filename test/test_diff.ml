@@ -244,6 +244,44 @@ let test_differential_corners () =
       "count((for $v in (1 to 5) return (1 to $v))[7])";
     ]
 
+(* Eval vs the caching peer path: the same generated queries, run twice
+   each through one Peer with its plan cache on (second run is a plan-
+   cache hit) against a fresh interpreter run as the reference — cached
+   plans and their per-execution global rebinding may never change an
+   answer.  Cases 500..699 keep the seeds disjoint from the Looplift
+   battery above. *)
+let test_cached_peer_battery () =
+  let base = base_seed () in
+  let peer = Xrpc_peer.Peer.create "xrpc://diff.local" in
+  for case = 500 to 699 do
+    let q = gen_query ~base ~case in
+    let reference = try Ok (run_eval q) with e -> Error (Printexc.to_string e) in
+    let via_peer () =
+      try Ok (Xdm.to_display (Xrpc_peer.Peer.query_seq peer q))
+      with e -> Error (Printexc.to_string e)
+    in
+    let first = via_peer () in
+    let second = via_peer () in
+    let agrees = function
+      | Ok d -> reference = Ok d
+      | Error _ -> ( match reference with Ok _ -> false | Error _ -> true)
+    in
+    if not (agrees first && agrees second) then
+      let show = function Ok s -> Printf.sprintf "%S" s | Error m -> m in
+      Alcotest.failf
+        "cached peer diverges on case %d of base seed %d\n\
+         query:       %s\n\
+         interpreter: %s\n\
+         first run:   %s\n\
+         cached run:  %s\n\
+         replay the battery with: DIFF_SEED=%d dune runtest"
+        case base q (show reference) (show first) (show second) base
+  done;
+  let stats = (Xrpc_peer.Peer.cache_stats peer).Xrpc_peer.Peer.plan in
+  if stats.Xrpc_peer.Plan_cache.hits < 200 then
+    Alcotest.failf "expected >= 200 plan-cache hits, saw %d"
+      stats.Xrpc_peer.Plan_cache.hits
+
 (* the battery is itself deterministic: same base seed, same 500 queries *)
 let test_generator_deterministic () =
   let base = base_seed () in
@@ -260,6 +298,8 @@ let () =
           Alcotest.test_case "corner cases" `Quick test_differential_corners;
           Alcotest.test_case "500 seeded queries" `Quick
             test_differential_battery;
+          Alcotest.test_case "200 queries, Eval vs cached peer" `Quick
+            test_cached_peer_battery;
           Alcotest.test_case "generator determinism" `Quick
             test_generator_deterministic;
         ] );

@@ -327,7 +327,7 @@ return ($before, $after)|}
         updating = true;
         fragments = false;
         query_id = None;
-        idem_key = None;
+        idem_key = None; cache_ok = true;
         calls = [ [ [ Xdm.str "Interleaved" ]; [ Xdm.str "Sean Connery" ] ] ];
       }
     in
@@ -442,7 +442,7 @@ let test_2pc_abort_applies_nowhere () =
       updating = true;
       fragments = false;
       query_id = Some blocker;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls = [ [ [ Xdm.str "Blocker" ]; [ Xdm.str "B" ] ] ];
     }
   in
@@ -486,7 +486,7 @@ let test_snapshot_isolation_end_to_end () =
         updating = true;
         fragments = false;
         query_id = None;
-        idem_key = None;
+        idem_key = None; cache_ok = true;
         calls = [ [ [ Xdm.str "Interleaved" ]; [ Xdm.str "Sean Connery" ] ] ];
       }
     in

@@ -576,7 +576,7 @@ let add_film_request ~key name =
          updating = true;
          fragments = false;
          query_id = None;
-         idem_key = Some key;
+         idem_key = Some key; cache_ok = true;
          calls = [ [ [ Xdm.str name ]; [ Xdm.str "Actor E" ] ] ];
        })
 

@@ -176,7 +176,7 @@ let test_http_concurrent_peer () =
                updating = false;
                fragments = false;
                query_id = None;
-               idem_key = None;
+               idem_key = None; cache_ok = true;
                calls = [ [ [ Xrpc_xml.Xdm.str "Sean Connery" ] ] ];
              })
       in

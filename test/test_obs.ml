@@ -216,7 +216,7 @@ let ping_request =
       updating = false;
       fragments = false;
       query_id = None;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls = [ [ [ Xdm.int 1 ] ] ];
     }
 

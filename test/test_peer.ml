@@ -32,7 +32,7 @@ let film_request ?(actors = [ "Sean Connery" ]) ?query_id () =
     updating = false;
     fragments = false;
     query_id;
-    idem_key = None;
+    idem_key = None; cache_ok = true;
     calls = List.map (fun a -> [ [ Xdm.str a ] ]) actors;
   }
 
@@ -86,7 +86,7 @@ declare function b:boom() { error("XYZ: kaboom") };|};
       updating = false;
       fragments = false;
       query_id = None;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls = [ [] ];
     }
   in
@@ -106,6 +106,9 @@ let test_malformed_message_fault () =
 
 let test_func_cache_hits () =
   let peer, _ = make_peer () in
+  (* pin the test to the module-plan cache: with result caching on, the
+     repeats are answered above it and never reach the compile path *)
+  Peer.set_result_caching peer false;
   ignore (handle peer (film_request ()));
   ignore (handle peer (film_request ()));
   ignore (handle peer (film_request ()));
@@ -114,6 +117,7 @@ let test_func_cache_hits () =
 
 let test_func_cache_disabled () =
   let peer, _ = make_peer () in
+  Peer.set_result_caching peer false;
   peer.Peer.func_cache.Func_cache.enabled <- false;
   ignore (handle peer (film_request ()));
   ignore (handle peer (film_request ()));
@@ -121,6 +125,7 @@ let test_func_cache_disabled () =
 
 let test_func_cache_on_compile_hook () =
   let peer, _ = make_peer () in
+  Peer.set_result_caching peer false;
   let compiles = ref 0 in
   peer.Peer.func_cache.Func_cache.on_compile <- (fun _ -> incr compiles);
   ignore (handle peer (film_request ()));
@@ -158,7 +163,7 @@ let test_repeatable_read_pins_snapshot () =
       updating = true;
       fragments = false;
       query_id = None;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls = [ [ [ Xdm.str "Dr. No" ]; [ Xdm.str "Sean Connery" ] ] ];
     }
   in
@@ -224,7 +229,7 @@ let test_snapshot_isolation_pins_query_timestamp () =
          updating = true;
          fragments = false;
          query_id = None;
-         idem_key = None;
+         idem_key = None; cache_ok = true;
          calls = [ [ [ Xdm.str "Later" ]; [ Xdm.str "Sean Connery" ] ] ];
        });
   (* ... and at t=3.0 the queries' first requests arrive *)
@@ -251,7 +256,7 @@ let add_film_request ~query_id name =
     updating = true;
     fragments = false;
     query_id;
-    idem_key = None;
+    idem_key = None; cache_ok = true;
     calls = [ [ [ Xdm.str name ]; [ Xdm.str "Sean Connery" ] ] ];
   }
 
@@ -340,7 +345,7 @@ let test_bulk_hash_join_used_and_correct () =
       updating = false;
       fragments = false;
       query_id = None;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls =
         List.map
           (fun i ->
@@ -372,7 +377,7 @@ let test_get_document_internal () =
       updating = false;
       fragments = false;
       query_id = None;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls = [ [ [ Xdm.str "filmDB.xml" ] ] ];
     }
   in

@@ -543,7 +543,7 @@ let ping_request =
       updating = false;
       fragments = false;
       query_id = None;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls = [ [ [ Xdm.int 1 ] ] ];
     }
 
@@ -555,6 +555,8 @@ let test_server_profile_roundtrip () =
         Message.resp_module = "test";
         resp_method = "ping";
         results = [ [ Xdm.int 1 ] ];
+        cached = false;
+        db_version = None;
         peers = [];
       }
   in

@@ -184,7 +184,7 @@ let test_fragments_wire_roundtrip () =
     {
       Message.module_uri = "m"; location = ""; method_ = "f"; arity = 2;
       updating = false; fragments = true; query_id = None;
-      idem_key = None;
+      idem_key = None; cache_ok = true;
       calls = [ [ [ Xdm.Node a ]; [ Xdm.Node b ] ] ];
     }
   in
@@ -207,7 +207,7 @@ let sample_request ?(query_id = None) ?(calls = 1) () =
     updating = false;
     fragments = false;
     query_id;
-    idem_key = None;
+    idem_key = None; cache_ok = true;
     calls =
       List.init calls (fun i -> [ [ Xdm.str (Printf.sprintf "Actor %d" i) ] ]);
   }
@@ -262,6 +262,8 @@ let test_response_roundtrip_with_peers () =
       results =
         [ [ Xdm.Node (List.hd (Store.children (Store.root store))) ];
           [ Xdm.int 7 ] ];
+      cached = false;
+      db_version = None;
       peers = [ "xrpc://y.example.org"; "xrpc://z.example.org" ];
     }
   in
@@ -361,7 +363,7 @@ let prop_wire_roundtrip =
           updating = false;
           fragments = false;
           query_id = None;
-          idem_key = None;
+          idem_key = None; cache_ok = true;
           calls =
             List.init ncalls (fun _ -> [ List.map (fun a -> Xdm.Atomic a) params ]);
         }
