@@ -116,6 +116,15 @@ let serve verbose port data demo trace slow_ms =
           s.Peer.func_hits s.Peer.func_misses s.Peer.func_evictions
           s.Peer.func_size s.Peer.idem_hits s.Peer.idem_misses
           s.Peer.idem_evictions s.Peer.idem_size
+    | "/optimizerz" ->
+        (* cost-model calibration state (measured/estimated EMA per §5
+           strategy) plus any active force override *)
+        Xrpc_core.Cost.calibration_text ()
+        ^ (match Xrpc_core.Cost.force_of_env () with
+          | Some s ->
+              "forced by XRPC_FORCE_STRATEGY: " ^ Xrpc_core.Strategies.name s
+              ^ "\n"
+          | None -> "")
     | "/tracez" -> (
         (* span trees are captured per request when --trace is on *)
         match Option.map int_of_string_opt (query_param query "id") with
@@ -143,7 +152,8 @@ let serve verbose port data demo trace slow_ms =
     server.Http.port;
   Printf.printf
     "flight recorder at /requestz (.json), slow queries at /slowz, cache \
-     stats at /cachez (.json), traces at /tracez?id=N%s\n%!"
+     stats at /cachez (.json), optimizer calibration at /optimizerz, traces \
+     at /tracez?id=N%s\n%!"
     (if trace then "" else " (span trees need --trace)");
   (* keep the main thread alive *)
   while true do

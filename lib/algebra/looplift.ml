@@ -450,6 +450,15 @@ let run env e =
 (* EXPLAIN: static plan rendering                                      *)
 (* ------------------------------------------------------------------ *)
 
+(** Extra annotation lines for [execute at] plan nodes in {!explain}
+    output.  The cost optimizer installs one that renders its Table 2–4
+    estimates (chosen strategy, rejected alternatives); [None] keeps the
+    plain algebraic rendering.  Receives the destination when it is a
+    string literal, the called function, and its arity. *)
+let execute_note_hook :
+    (dest:string option -> fn:Qname.t -> nargs:int -> string list) option ref =
+  ref None
+
 (** Render the loop-lifted plan of [e] without evaluating it: one line
     per plan node, numbered in the same deterministic pre-order the
     profiler uses, annotated with the Table-1 algebra each construct
@@ -498,7 +507,16 @@ let explain (e : Xast.expr) : string =
              "%s — Bulk RPC: δ(π_{item}(dst)); per peer σ_{item=p} ⋈ params \
               → one request; reassemble ⋈ + π; merge ⊎_{iter,pos}"
              (label e));
-        ignore f;
+        (match !execute_note_hook with
+        | Some hook ->
+            let dest =
+              match dst with
+              | Xast.Literal (Xs.String s) -> Some s
+              | _ -> None
+            in
+            List.iter (note deeper)
+              (hook ~dest ~fn:f ~nargs:(List.length args))
+        | None -> ignore f);
         note deeper "destination:";
         pr deeper dst;
         List.iteri

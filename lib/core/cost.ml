@@ -1,0 +1,439 @@
+(** Cost-based choice between the §5 distributed execution strategies.
+
+    The paper evaluates four hand-written plans for query Q7 (Section 6,
+    Tables 2–4) and shows which one wins as selectivity, document sizes and
+    network latency vary; picking between them automatically is left as
+    future work.  This module is that picker.  The cost of a plan is the
+    paper's three-term sum:
+
+    {v  cost = #messages × latency  +  bytes / bandwidth  +  per-peer CPU  v}
+
+    - Table 2's term: message count.  Bulk RPC sends [2] messages for a
+      whole loop where one-at-a-time RPC sends [2N]; the per-strategy
+      message counts below are the paper's (data shipping and predicate
+      pushdown are one round trip, execution relocation triggers a nested
+      [getDocument] round trip back to the coordinator, the distributed
+      semi-join is one Bulk RPC round trip).
+    - Table 3's term: bytes on the wire, divided by bandwidth.  Seeded from
+      live statistics ([Profile.note_send]/[note_recv] per-destination
+      bytes, document sizes, observed selectivities).
+    - Table 4's term: per-peer CPU (compile / tree-build / execute phases,
+      as reported by [serverProfile] and the wrapper phase counters).
+
+    Estimates are adaptively corrected by an EMA feedback loop over
+    measured runs; the flight recorder persists [optimizer:*] entries so a
+    restarted shell can replay history ([replay_flight]). *)
+
+module Simnet = Xrpc_net.Simnet
+module Profile = Xrpc_obs.Profile
+module Flight_recorder = Xrpc_obs.Flight_recorder
+module Eval = Xrpc_xquery.Eval
+
+(* ------------------------------------------------------------------ *)
+(* Model inputs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Network parameters — the latency/bandwidth columns of Tables 2–3. *)
+type net = {
+  latency_ms : float;  (** one-way latency per message *)
+  bandwidth_bytes_per_ms : float;
+}
+
+let net_of_simnet (c : Simnet.config) =
+  {
+    latency_ms = c.Simnet.latency_ms;
+    bandwidth_bytes_per_ms = c.Simnet.bandwidth_bytes_per_ms;
+  }
+
+let default_net = net_of_simnet Simnet.default_config
+
+(** Per-peer CPU parameters — Table 4's phase costs, normalized to unit
+    work so they scale with the site statistics.  [zero_cpu] matches the
+    [charge_cpu = false] simulator configuration used by the deterministic
+    benches, where measured time is network time only. *)
+type cpu = {
+  compile_ms : float;  (** per remote compilation *)
+  xml_ms_per_byte : float;  (** shredding/tree-build cost *)
+  exec_ms_per_row : float;  (** join/selection cost per processed row *)
+}
+
+let zero_cpu = { compile_ms = 0.; xml_ms_per_byte = 0.; exec_ms_per_row = 0. }
+
+(** Statistics describing one [execute at] site (Q7-shaped: an outer loop
+    at the coordinator joined against a remote document).  These are what
+    the live profiler and the probing client measure. *)
+type site = {
+  outer_rows : int;  (** N — loop iterations at the coordinator (persons) *)
+  key_bytes : int;  (** serialized bytes per semi-join key parameter *)
+  local_doc_bytes : int;  (** coordinator document (shipped by relocation) *)
+  remote_doc_bytes : int;  (** remote document (shipped by data shipping) *)
+  remote_rows : int;  (** candidate rows at the remote peer *)
+  match_rows : int;  (** join result cardinality *)
+  result_bytes : int;  (** serialized bytes of the final result *)
+  pushdown_rows : int;  (** rows returned by the pushdown function *)
+  pushdown_bytes : int;  (** bytes shipped by the pushdown function *)
+  msg_overhead_bytes : int;  (** SOAP envelope overhead per message *)
+}
+
+(** Envelope overhead of an XRPC request/response as serialized by
+    [Marshal] — measured once on an empty call, rounded. *)
+let default_msg_overhead = 512
+
+let default_site =
+  {
+    outer_rows = 0;
+    key_bytes = 24;
+    local_doc_bytes = 0;
+    remote_doc_bytes = 0;
+    remote_rows = 0;
+    match_rows = 0;
+    result_bytes = 0;
+    pushdown_rows = 0;
+    pushdown_bytes = 0;
+    msg_overhead_bytes = default_msg_overhead;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The estimator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cost = {
+  strategy : Strategies.strategy;
+  messages : int;
+  bytes_out : int;  (** coordinator -> remote *)
+  bytes_in : int;  (** remote -> coordinator *)
+  network_ms : float;
+  cpu_ms : float;
+}
+
+let total c = c.network_ms +. c.cpu_ms
+
+let network_ms_of net ~messages ~bytes =
+  (float_of_int messages *. net.latency_ms)
+  +. (float_of_int bytes /. net.bandwidth_bytes_per_ms)
+
+(** Estimate one strategy's cost for [site] under [net]/[cpu].
+
+    Message counts and payloads per strategy (Q7 shapes, §5/§6):
+    - {e data shipping}: 2 messages; the whole remote document comes in.
+    - {e predicate pushdown}: 2 messages; only the selected nodes come in.
+    - {e execution relocation}: 4 messages — the relocated call plus the
+      remote peer's nested [getDocument] back to the coordinator; the
+      local document goes out, the final result comes in.
+    - {e distributed semi-join}: 2 messages (Bulk RPC lifts the
+      loop-dependent call into one message); all N keys go out, the
+      matching rows come in (estimated from the pushdown payload scaled
+      by observed selectivity). *)
+let estimate net cpu site strategy =
+  let ovh = site.msg_overhead_bytes in
+  let messages, bytes_out, bytes_in, cpu_ms =
+    match strategy with
+    | Strategies.Data_shipping ->
+        let parse = cpu.xml_ms_per_byte *. float_of_int site.remote_doc_bytes in
+        let exec =
+          cpu.exec_ms_per_row
+          *. float_of_int (site.outer_rows + site.remote_rows)
+        in
+        (2, ovh, site.remote_doc_bytes + ovh, parse +. exec)
+    | Strategies.Predicate_pushdown ->
+        let remote_exec = cpu.exec_ms_per_row *. float_of_int site.remote_rows in
+        let parse = cpu.xml_ms_per_byte *. float_of_int site.pushdown_bytes in
+        let local_exec =
+          cpu.exec_ms_per_row
+          *. float_of_int (site.outer_rows + site.pushdown_rows)
+        in
+        ( 2,
+          ovh,
+          site.pushdown_bytes + ovh,
+          cpu.compile_ms +. remote_exec +. parse +. local_exec )
+    | Strategies.Execution_relocation ->
+        let parse = cpu.xml_ms_per_byte *. float_of_int site.local_doc_bytes in
+        let exec =
+          cpu.exec_ms_per_row
+          *. float_of_int (site.outer_rows + site.remote_rows)
+        in
+        ( 4,
+          site.local_doc_bytes + (2 * ovh),
+          site.result_bytes + (2 * ovh),
+          cpu.compile_ms +. parse +. exec )
+    | Strategies.Distributed_semijoin ->
+        let keys_out = site.outer_rows * site.key_bytes in
+        (* matching rows shipped back: [match_rows] rows at the average row
+           size observed in the pushdown payload.  (The [pushdown_rows]
+           denominator is a selectivity ratio, so cost is monotone in every
+           additive statistic — rows, bytes, latency — as Tables 2–4
+           require, while staying responsive to row width.) *)
+        let match_bytes =
+          if site.pushdown_rows <= 0 then site.pushdown_bytes
+          else site.pushdown_bytes * site.match_rows / site.pushdown_rows
+        in
+        let remote_exec =
+          cpu.exec_ms_per_row
+          *. float_of_int (site.outer_rows + site.match_rows)
+        in
+        ( 2,
+          keys_out + ovh,
+          match_bytes + ovh,
+          cpu.compile_ms +. remote_exec
+          +. (cpu.xml_ms_per_byte *. float_of_int match_bytes) )
+  in
+  let bytes = bytes_out + bytes_in in
+  {
+    strategy;
+    messages;
+    bytes_out;
+    bytes_in;
+    network_ms = network_ms_of net ~messages ~bytes;
+    cpu_ms;
+  }
+
+(** Table 2 — Bulk RPC vs one-at-a-time RPC for the same loop: returns
+    [(bulk_ms, singles_ms)] for [ncalls] iterations shipping
+    [bytes_per_call] each.  Bulk is one round trip carrying all calls;
+    one-at-a-time pays the round trip (and envelope) per call. *)
+let estimate_rpc net ?(overhead = default_msg_overhead) ~ncalls
+    ~bytes_per_call () =
+  let ncalls = max 1 ncalls in
+  let bulk =
+    network_ms_of net ~messages:2
+      ~bytes:((ncalls * bytes_per_call) + (2 * overhead))
+  in
+  let singles =
+    network_ms_of net ~messages:(2 * ncalls)
+      ~bytes:(ncalls * (bytes_per_call + (2 * overhead)))
+  in
+  (bulk, singles)
+
+(* ------------------------------------------------------------------ *)
+(* Feedback loop: estimated vs measured                                *)
+(* ------------------------------------------------------------------ *)
+
+type calib = { mutable runs : int; mutable factor : float }
+
+let calib_tbl : (string, calib) Hashtbl.t = Hashtbl.create 8
+let calib_mutex = Mutex.create ()
+
+let calib_locked f =
+  Mutex.lock calib_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock calib_mutex) f
+
+(** EMA weight for new observations. *)
+let ema_alpha = 0.3
+
+(** Correction factor (measured / estimated, EMA) for a strategy;
+    [1.0] until something has been observed. *)
+let calibration strategy =
+  calib_locked (fun () ->
+      match Hashtbl.find_opt calib_tbl (Strategies.short_name strategy) with
+      | Some c when c.runs > 0 -> c.factor
+      | _ -> 1.0)
+
+let runs strategy =
+  calib_locked (fun () ->
+      match Hashtbl.find_opt calib_tbl (Strategies.short_name strategy) with
+      | Some c -> c.runs
+      | None -> 0)
+
+let observe strategy ~estimated_ms ~measured_ms =
+  if estimated_ms > 0. && measured_ms >= 0. then
+    let ratio = measured_ms /. estimated_ms in
+    calib_locked (fun () ->
+        let key = Strategies.short_name strategy in
+        let c =
+          match Hashtbl.find_opt calib_tbl key with
+          | Some c -> c
+          | None ->
+              let c = { runs = 0; factor = 1.0 } in
+              Hashtbl.add calib_tbl key c;
+              c
+        in
+        c.factor <-
+          (if c.runs = 0 then ratio
+           else ((1. -. ema_alpha) *. c.factor) +. (ema_alpha *. ratio));
+        c.runs <- c.runs + 1)
+
+let reset_calibration () = calib_locked (fun () -> Hashtbl.reset calib_tbl)
+
+let flight_label strategy ~estimated_ms ~measured_ms =
+  Printf.sprintf "optimizer:%s est=%.6f meas=%.6f"
+    (Strategies.short_name strategy)
+    estimated_ms measured_ms
+
+(** Feed one measured run into the EMA and persist it in the flight
+    recorder so later sessions can [replay_flight].  Returns the flight
+    entry id. *)
+let record_run strategy ~estimated_ms ~measured_ms =
+  observe strategy ~estimated_ms ~measured_ms;
+  Flight_recorder.record
+    ~label:(flight_label strategy ~estimated_ms ~measured_ms)
+    ~duration_ms:measured_ms ~spans:[] ()
+
+let parse_flight_label label =
+  match String.index_opt label ':' with
+  | Some i when String.sub label 0 i = "optimizer" -> (
+      let rest = String.sub label (i + 1) (String.length label - i - 1) in
+      match String.split_on_char ' ' rest with
+      | [ sname; est; meas ] -> (
+          let num prefix s =
+            let pl = String.length prefix in
+            if String.length s > pl && String.sub s 0 pl = prefix then
+              float_of_string_opt (String.sub s pl (String.length s - pl))
+            else None
+          in
+          match
+            (Strategies.of_string sname, num "est=" est, num "meas=" meas)
+          with
+          | Some strategy, Some estimated_ms, Some measured_ms ->
+              Some (strategy, estimated_ms, measured_ms)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(** Rebuild the calibration EMA from [optimizer:*] flight-recorder
+    entries (oldest first, so the EMA ends in the same state it was left
+    in).  Returns the number of entries replayed. *)
+let replay_flight () =
+  let entries = List.rev (Flight_recorder.recent ()) in
+  List.fold_left
+    (fun n (e : Flight_recorder.entry) ->
+      match parse_flight_label e.Flight_recorder.label with
+      | Some (strategy, estimated_ms, measured_ms) ->
+          observe strategy ~estimated_ms ~measured_ms;
+          n + 1
+      | None -> n)
+    0 entries
+
+let calibration_text () =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "optimizer calibration (measured/estimated EMA):\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-22s factor=%.3f runs=%d\n" (Strategies.name s)
+           (calibration s) (runs s)))
+    Strategies.all;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Choosing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type decision = {
+  chosen : cost;
+  forced : bool;  (** true when [?force] overrode the ranking *)
+  ranked : cost list;  (** all strategies, cheapest (calibrated) first *)
+}
+
+(** Calibrated total: the model estimate corrected by the feedback EMA. *)
+let calibrated_total c = total c *. calibration c.strategy
+
+(** Rank all four strategies for [site] and pick the cheapest, unless
+    [force] (e.g. from [XRPC_FORCE_STRATEGY]) overrides. *)
+let choose ?force net cpu site =
+  let costs = List.map (estimate net cpu site) Strategies.all in
+  let ranked =
+    List.stable_sort
+      (fun a b -> compare (calibrated_total a) (calibrated_total b))
+      costs
+  in
+  match force with
+  | Some s ->
+      let chosen = List.find (fun c -> c.strategy = s) costs in
+      { chosen; forced = true; ranked }
+  | None -> { chosen = List.hd ranked; forced = false; ranked }
+
+(** The [XRPC_FORCE_STRATEGY] debug override, when it names one of the §5
+    strategies.  (The same variable also accepts the RPC-level modes
+    [bulk]/[singles]/[auto], handled by [Peer.make_context].) *)
+let force_of_env () =
+  match Sys.getenv_opt "XRPC_FORCE_STRATEGY" with
+  | Some s -> Strategies.of_string s
+  | None -> None
+
+let cost_line c =
+  Printf.sprintf
+    "%-22s est=%8.3fms (cal %8.3fms)  msgs=%d out=%dB in=%dB net=%.3fms \
+     cpu=%.3fms"
+    (Strategies.name c.strategy)
+    (total c) (calibrated_total c) c.messages c.bytes_out c.bytes_in
+    c.network_ms c.cpu_ms
+
+(** Human rendering for [:explain]: the winner plus every rejected
+    alternative with its estimated cost. *)
+let explain_decision d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "chosen: %s%s\n"
+       (Strategies.name d.chosen.strategy)
+       (if d.forced then " (forced by XRPC_FORCE_STRATEGY)" else ""));
+  List.iter
+    (fun c ->
+      let tag = if c.strategy = d.chosen.strategy then "->" else "  " in
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" tag (cost_line c)))
+    d.ranked;
+  Buffer.contents buf
+
+let decision_json d =
+  let jstr s = "\"" ^ Xrpc_obs.Metrics.json_escape s ^ "\"" in
+  let cost_json c =
+    Printf.sprintf
+      "{\"strategy\":%s,\"messages\":%d,\"bytes_out\":%d,\"bytes_in\":%d,\"network_ms\":%.6f,\"cpu_ms\":%.6f,\"total_ms\":%.6f,\"calibrated_ms\":%.6f}"
+      (jstr (Strategies.short_name c.strategy))
+      c.messages c.bytes_out c.bytes_in c.network_ms c.cpu_ms (total c)
+      (calibrated_total c)
+  in
+  Printf.sprintf "{\"chosen\":%s,\"forced\":%b,\"ranked\":[%s]}"
+    (jstr (Strategies.short_name d.chosen.strategy))
+    d.forced
+    (String.concat "," (List.map cost_json d.ranked))
+
+(* ------------------------------------------------------------------ *)
+(* Live-statistics seeding                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Network time a profiled run would cost under [net], from the
+    per-destination message/byte counters ([Profile.note_send]/[note_recv]
+    feed these) — measurement side of the feedback loop when the transport
+    itself has no virtual clock. *)
+let profile_network_ms net (p : Profile.t) =
+  List.fold_left
+    (fun acc (_, d) ->
+      acc
+      +. network_ms_of net
+           ~messages:(2 * d.Profile.d_msgs)
+           ~bytes:(d.Profile.d_bytes_out + d.Profile.d_bytes_in))
+    0. (Profile.dests p)
+
+(** Total remote CPU ([serverProfile] phases) reported in a profile —
+    Table 4's measured counterpart. *)
+let profile_remote_cpu_ms (p : Profile.t) =
+  List.fold_left
+    (fun acc (_, d) ->
+      List.fold_left (fun a (_, ms) -> a +. ms) acc d.Profile.d_remote)
+    0. (Profile.dests p)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler annotation hook (Table 2 on live Bulk RPC nodes)           *)
+(* ------------------------------------------------------------------ *)
+
+(** Install a Table-2 estimator into the evaluator: every profiled Bulk
+    RPC node gets an [optimizer:] annotation comparing the bulk message it
+    just sent against the one-at-a-time alternative. *)
+let install_estimator ?(net = default_net)
+    ?(bytes_per_call = default_msg_overhead / 4) () =
+  Eval.rpc_estimate_hook :=
+    Some
+      (fun ~fn ~ncalls ~ndests ->
+        let bulk, singles = estimate_rpc net ~ncalls ~bytes_per_call () in
+        Some
+          (Printf.sprintf
+             "table2 %s: %d call%s to %d dest%s bulk=%.3fms singles=%.3fms \
+              (%.1fx)"
+             fn ncalls
+             (if ncalls = 1 then "" else "s")
+             ndests
+             (if ndests = 1 then "" else "s")
+             bulk singles
+             (if bulk > 0. then singles /. bulk else 1.)))
+
+let uninstall_estimator () = Eval.rpc_estimate_hook := None

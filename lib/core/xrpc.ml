@@ -17,6 +17,7 @@
 module Cluster = Cluster
 module Client = Xrpc_client
 module Strategies = Strategies
+module Cost = Cost
 module Executor = Xrpc_net.Executor
 module Error = Xrpc_net.Xrpc_error
 module Transport = Xrpc_net.Transport

@@ -47,12 +47,25 @@ type config = {
       (** allow serving peers to answer this client's read-only calls from
           their semantic result caches (default); [false] stamps every
           request [cache="off"] *)
+  strategy : Strategies.strategy option;
+      (** pin {!choose_strategy} to one §5 strategy instead of letting the
+          cost model rank them (the [~strategy] config counterpart of the
+          [XRPC_FORCE_STRATEGY] env override) *)
 }
 
 let config ?policy ?(executor = Executor.sequential) ?(seed = 0)
     ?(tracing = false) ?(keep_alive = false) ?(default_port = 8080)
-    ?(result_cache = true) () =
-  { policy; executor; seed; tracing; keep_alive; default_port; result_cache }
+    ?(result_cache = true) ?strategy () =
+  {
+    policy;
+    executor;
+    seed;
+    tracing;
+    keep_alive;
+    default_port;
+    result_cache;
+    strategy;
+  }
 
 let default_config = config ()
 
@@ -67,6 +80,8 @@ type t = {
   seq_lock : Mutex.t;
   mutable cache_ok : bool;
       (** default for requests without an explicit [?cache] argument *)
+  mutable forced_strategy : Strategies.strategy option;
+      (** from [config.strategy]; pins {!choose_strategy} *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -83,6 +98,7 @@ let make ?(origin = "xrpc://client") ~config:cfg ~executor transport policied =
     idem_seq = 0;
     seq_lock = Mutex.create ();
     cache_ok = cfg.result_cache;
+    forced_strategy = cfg.strategy;
   }
 
 (** Front an arbitrary transport.  With [config.policy], the recovery
@@ -329,3 +345,52 @@ let call_async t ~dest ?query_id ?updating ?fragments ?cache ~module_uri
 
 let await = Executor.await
 let await_result = Executor.await_result
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based strategy choice                                          *)
+(* ------------------------------------------------------------------ *)
+
+let set_strategy t s = t.forced_strategy <- s
+let strategy t = t.forced_strategy
+
+(** Rank the §5 strategies for [site] and return the full decision
+    (chosen plan + rejected alternatives with their estimated costs).
+    Force precedence: explicit [?force], then the client's configured
+    [~strategy], then [XRPC_FORCE_STRATEGY]. *)
+let choose_strategy t ?force ?(net = Cost.default_net) ?(cpu = Cost.zero_cpu)
+    site =
+  let force =
+    match force with
+    | Some _ -> force
+    | None -> (
+        match t.forced_strategy with
+        | Some _ as s -> s
+        | None -> Cost.force_of_env ())
+  in
+  Cost.choose ?force net cpu site
+
+(** Probe one remote function and seed the optimizer's site statistics
+    from what actually came back: the returned row count and payload
+    bytes become the pushdown terms of [site], measured (not guessed) the
+    way the feedback loop expects.  Returns the updated site and the
+    probe's profile (which also carries [serverProfile] phase costs for
+    the CPU term). *)
+let measure_site t ~dest ?(site = Cost.default_site) ~module_uri ?location ~fn
+    params =
+  let results, profile =
+    call_profiled t ~dest ~module_uri ?location ~fn params
+  in
+  let bytes_in =
+    match List.assoc_opt dest (Profile.dests profile) with
+    | Some d -> d.Profile.d_bytes_in
+    | None -> 0
+  in
+  let rows = List.length results in
+  let site =
+    {
+      site with
+      Cost.pushdown_rows = rows;
+      pushdown_bytes = max 0 (bytes_in - site.Cost.msg_overhead_bytes);
+    }
+  in
+  (site, profile)

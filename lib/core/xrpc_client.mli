@@ -37,6 +37,10 @@ type config = {
       (** allow serving peers to answer this client's read-only calls from
           their semantic result caches (default); [false] stamps every
           request [cache="off"] *)
+  strategy : Strategies.strategy option;
+      (** pin {!choose_strategy} to one §5 strategy instead of letting the
+          cost model rank them (the [~strategy] config counterpart of the
+          [XRPC_FORCE_STRATEGY] env override) *)
 }
 
 val config :
@@ -47,6 +51,7 @@ val config :
   ?keep_alive:bool ->
   ?default_port:int ->
   ?result_cache:bool ->
+  ?strategy:Strategies.strategy ->
   unit ->
   config
 (** Builder with the defaults: no policy, sequential executor, seed 0,
@@ -190,3 +195,40 @@ val call_async :
 
 val await : 'a future -> 'a
 val await_result : 'a future -> ('a, exn) result
+
+(** {2 Cost-based strategy choice}
+
+    The client is the query-originating site, so it is where the §5
+    strategy decision surfaces: {!choose_strategy} ranks the four plans
+    with the {!Cost} model (Tables 2–4 terms), {!measure_site} seeds the
+    model's site statistics from a live probe. *)
+
+val set_strategy : t -> Strategies.strategy option -> unit
+(** Pin (or unpin) the strategy {!choose_strategy} returns. *)
+
+val strategy : t -> Strategies.strategy option
+
+val choose_strategy :
+  t ->
+  ?force:Strategies.strategy ->
+  ?net:Cost.net ->
+  ?cpu:Cost.cpu ->
+  Cost.site ->
+  Cost.decision
+(** Rank the §5 strategies for a site and return the full decision —
+    chosen plan plus every rejected alternative with its estimated cost.
+    Force precedence: [?force], then the client's configured [~strategy],
+    then the [XRPC_FORCE_STRATEGY] environment variable. *)
+
+val measure_site :
+  t ->
+  dest:string ->
+  ?site:Cost.site ->
+  module_uri:string ->
+  ?location:string ->
+  fn:string ->
+  Xrpc_xml.Xdm.sequence list ->
+  Cost.site * Xrpc_obs.Profile.t
+(** Probe one remote function and fold what came back (row count, payload
+    bytes, [serverProfile] phases) into the optimizer's site statistics:
+    the measurement side of the adaptive feedback loop. *)

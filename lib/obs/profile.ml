@@ -55,6 +55,10 @@ type t = {
   mutable dropped : int;
   mutable root_ops : (string * op_stat) list; (* ops outside any node *)
   dests : (string, dest_stat) Hashtbl.t;
+  mutable annotations : string list;
+      (* free-form analysis notes, newest first — the optimizer attaches
+         its cost estimates here so a rendered profile shows the predicted
+         cost next to the measured one *)
   started_ms : float;
   mutable total_ms : float; (* nan until the profiled run finishes *)
 }
@@ -78,7 +82,8 @@ let locked f =
 
 let make label =
   { label; nodes = []; n_nodes = 0; dropped = 0; root_ops = [];
-    dests = Hashtbl.create 8; started_ms = Trace.now_ms (); total_ms = nan }
+    dests = Hashtbl.create 8; annotations = [];
+    started_ms = Trace.now_ms (); total_ms = nan }
 
 let current : t option ref = ref None
 
@@ -201,6 +206,14 @@ let note_recv ~dest ~bytes =
 
 let note_calls ~dest n = with_dest dest (fun d -> d.d_calls <- d.d_calls + n)
 
+(* Attach a free-form note to the current profile (no-op when profiling
+   is off) — e.g. the optimizer's estimated cost of a dispatch. *)
+let note_annotation s =
+  if !enabled_flag then
+    match !current with
+    | None -> ()
+    | Some p -> locked (fun () -> p.annotations <- s :: p.annotations)
+
 (* Remote phase costs parsed from the response's serverProfile attribute;
    summed per phase name across all messages to this destination. *)
 let note_remote ~dest phases =
@@ -245,6 +258,8 @@ let dropped_count p = p.dropped
 let dests p =
   Hashtbl.fold (fun dest d acc -> (dest, d) :: acc) p.dests []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let annotations p = List.rev p.annotations
 
 let nodes p = List.rev p.nodes (* creation order: stable plan-node ids *)
 
@@ -320,6 +335,13 @@ let render p =
                      d.d_remote))))
       ds
   end;
+  (match annotations p with
+  | [] -> ()
+  | notes ->
+      Buffer.add_string buf "optimizer:\n";
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "  %s\n" s))
+        notes);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

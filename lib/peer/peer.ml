@@ -35,6 +35,11 @@ let err fmt = Printf.ksprintf (fun s -> raise (Peer_error s)) fmt
 
 type config = {
   bulk_rpc : bool;  (** loop-lift [execute at] into Bulk RPC (default) *)
+  rpc_mode : Xctx.rpc_mode;
+      (** per-site override of [bulk_rpc]: [Rpc_bulk]/[Rpc_singles] force
+          the Table-2 comparison modes, [Rpc_auto] (default) defers to
+          [bulk_rpc].  The [XRPC_FORCE_STRATEGY] environment variable (read
+          per query) wins over both. *)
   default_timeout : int;  (** seconds, for queryID isolation entries *)
   idem_capacity : int;
       (** idempotency-cache capacity; an evicted key falls back to
@@ -46,6 +51,7 @@ type config = {
 let default_config =
   {
     bulk_rpc = true;
+    rpc_mode = Xctx.Rpc_auto;
     default_timeout = 30;
     idem_capacity = 256;
     plan_capacity = 128;
@@ -355,12 +361,23 @@ let make_context ?deps ?remote_dep peer ~version ~query_id ~peers_acc : Xctx.t =
                   d.Xctx.call_parallel reqs);
             }
   in
+  (* Read the env override per query (not at startup) so tests and live
+     debugging can flip it with [putenv] between runs. *)
+  let rpc_mode =
+    match Sys.getenv_opt "XRPC_FORCE_STRATEGY" with
+    | Some s -> (
+        match Xctx.rpc_mode_of_string s with
+        | Some m -> m
+        | None -> peer.config.rpc_mode)
+    | None -> peer.config.rpc_mode
+  in
   {
     base with
     Xctx.doc_resolver = resolver;
     dispatcher;
     query_id;
     bulk_rpc = peer.config.bulk_rpc;
+    rpc_mode;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -842,6 +859,16 @@ let compile_static peer (source : string) : Plan_cache.compiled =
     options = !(cctx.Xctx.options);
     imports = !(cctx.Xctx.imports);
   }
+
+(** The compiled plan for [source], through the plan cache: an
+    explain-then-run pair compiles once.  This is what introspection
+    surfaces ([:explain]) must use instead of re-parsing. *)
+let compiled_plan peer (source : string) : Plan_cache.compiled =
+  let compiled, _hit =
+    Plan_cache.find_or_compile peer.plan_cache source ~compile:(fun () ->
+        compile_static peer source)
+  in
+  compiled
 
 let query peer (source : string) : query_result =
   Metrics.incr m_queries;

@@ -20,6 +20,11 @@ exception Peer_error of string
 
 type config = {
   bulk_rpc : bool;  (** loop-lift [execute at] into Bulk RPC (default) *)
+  rpc_mode : Xrpc_xquery.Context.rpc_mode;
+      (** per-site override of [bulk_rpc]: [Rpc_bulk]/[Rpc_singles] force
+          the Table-2 comparison modes, [Rpc_auto] (default) defers to
+          [bulk_rpc].  The [XRPC_FORCE_STRATEGY] environment variable (read
+          per query) wins over both. *)
   default_timeout : int;  (** seconds, for queryID isolation entries *)
   idem_capacity : int;
       (** idempotency-cache capacity; an evicted key falls back to
@@ -94,6 +99,12 @@ type query_result = {
       (** full 2PC outcome (votes + decision acks) when a distributed
           transaction ran *)
 }
+
+val compiled_plan : t -> string -> Plan_cache.compiled
+(** The compiled plan for a query source, through the plan cache (same
+    entry {!query} uses): an explain-then-run pair compiles once.
+    Introspection surfaces ([:explain]) must use this instead of
+    re-parsing. *)
 
 val query : t -> string -> query_result
 (** [query peer source] parses and runs a main-module query at this peer.

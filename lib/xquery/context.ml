@@ -24,6 +24,25 @@ type func = {
 
 type func_key = string * string * int (* uri, local, arity *)
 
+(** How loop-dependent [execute at] applications reach the wire.
+    [Rpc_auto] defers to [bulk_rpc] (and, through it, whatever chooser the
+    optimizer installed); [Rpc_bulk] forces the paper's loop-lifted Bulk
+    RPC; [Rpc_singles] forces the one-message-per-call comparison mode of
+    Table 2 — the debug override behind [XRPC_FORCE_STRATEGY]. *)
+type rpc_mode = Rpc_auto | Rpc_bulk | Rpc_singles
+
+let rpc_mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "bulk" -> Some Rpc_bulk
+  | "singles" | "single" | "one-at-a-time" -> Some Rpc_singles
+  | "auto" -> Some Rpc_auto
+  | _ -> None
+
+let rpc_mode_name = function
+  | Rpc_auto -> "auto"
+  | Rpc_bulk -> "bulk"
+  | Rpc_singles -> "singles"
+
 (** How [execute at] reaches the network.  [call] performs one
     (possibly bulk) request; [call_parallel] dispatches several requests to
     distinct peers "at the same time" — a simulated transport charges the
@@ -50,6 +69,9 @@ type t = {
   options : (string * string) list ref;  (** expanded name -> value *)
   query_id : Message.query_id option;
   bulk_rpc : bool;
+  rpc_mode : rpc_mode;
+      (** per-query override of [bulk_rpc]; [Rpc_auto] (the default)
+          leaves the decision to [bulk_rpc] *)
   fragments : bool;
       (** footnote-4 extension: ship descendant node parameters as
           [xrpc:nodeid] references (preserves ancestor relationships) *)
@@ -72,6 +94,7 @@ let empty () =
     options = ref [];
     query_id = None;
     bulk_rpc = true;
+    rpc_mode = Rpc_auto;
     fragments = false;
     call_depth = 0;
   }

@@ -23,6 +23,15 @@ let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 let m_applications = Metrics.counter "eval.applications"
 let m_apply_ms = Metrics.histogram "eval.apply_ms"
 
+(* Installed by the cost-model layer (Xrpc_core.Cost): renders a Table-2
+   estimate of the Bulk RPC dispatch about to happen, so a profile carries
+   the optimizer's predicted cost right next to the measured one.  The
+   evaluator cannot depend on the cost model (it lives above this
+   library), hence the injection point. *)
+let rpc_estimate_hook :
+    (fn:string -> ncalls:int -> ndests:int -> string option) option ref =
+  ref None
+
 (* ------------------------------------------------------------------ *)
 (* Node tests and axes                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -523,7 +532,14 @@ and apply_predicates ctx preds seq =
 (* ---- FLWOR with loop-lifted Bulk RPC ---------------------------- *)
 
 and eval_flwor ctx clauses order_by ret =
-  let bulk = ctx.Context.bulk_rpc && ctx.Context.dispatcher <> None in
+  let bulk =
+    ctx.Context.dispatcher <> None
+    &&
+    match ctx.Context.rpc_mode with
+    | Context.Rpc_bulk -> true
+    | Context.Rpc_singles -> false
+    | Context.Rpc_auto -> ctx.Context.bulk_rpc
+  in
   let tuples = ref [ ctx ] in
   (* loop-invariant clause hoisting: a clause expression that references no
      variable bound earlier in this FLWOR evaluates identically for every
@@ -880,6 +896,15 @@ and bulk_execute base_ctx tuples dest_e fname args =
         (fun (dest, req) ->
           Profile.note_calls ~dest (List.length req.Message.calls))
         requests;
+      (match !rpc_estimate_hook with
+      | Some est -> (
+          match
+            est ~fn:fname.Qname.local ~ncalls:(List.length calls)
+              ~ndests:(List.length requests)
+          with
+          | Some s -> Profile.note_annotation s
+          | None -> ())
+      | None -> ());
       Profile.with_node
         ~detail:(Printf.sprintf "%s -> %d dest(s)" fname.Qname.local
                    (List.length requests))

@@ -199,6 +199,143 @@ let prog_is_updating (ctx : Context.t) (prog : Ast.prog) =
   in
   match prog.Ast.body with Some e -> expr_updating e | None -> false
 
+(* ------------------------------------------------------------------ *)
+(* Static [execute at] site analysis                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** One [execute at] application found in a query body — the unit the
+    distributed-strategy optimizer costs.  [site_dest] is the destination
+    URI when it is a string literal (the common case in §5's plans);
+    [site_in_loop] marks Bulk-RPC candidates (the site sits under at least
+    one enclosing [for] binding); [site_loop_dependent] says whether the
+    call's destination or arguments reference variables bound by the
+    enclosing FLWOR — a loop-dependent site is the semi-join shape, a
+    loop-invariant one hoists to a single call (the Q7_1 pattern). *)
+type execute_site = {
+  site_dest : string option;
+  site_fn : Qname.t;
+  site_arity : int;
+  site_in_loop : bool;
+  site_loop_dependent : bool;
+}
+
+(** [execute_sites prog] — every [execute at] site in [prog]'s body, in
+    syntactic order.  Purely static: nothing is evaluated. *)
+let execute_sites (prog : Ast.prog) : execute_site list =
+  let acc = ref [] in
+  let module VS = Ast.Var_set in
+  let rec go ~fors ~bound (e : Ast.expr) =
+    match e with
+    | Ast.Execute_at (d, f, args) ->
+        let dest =
+          match d with
+          | Ast.Literal (Xs.String s) -> Some s
+          | _ -> None
+        in
+        let refs =
+          List.fold_left
+            (fun a arg -> VS.union a (Ast.free_vars arg))
+            (Ast.free_vars d) args
+        in
+        acc :=
+          {
+            site_dest = dest;
+            site_fn = f;
+            site_arity = List.length args;
+            site_in_loop = fors > 0;
+            site_loop_dependent = not (VS.disjoint refs bound);
+          }
+          :: !acc;
+        go ~fors ~bound d;
+        List.iter (go ~fors ~bound) args
+    | Ast.Flwor (clauses, order_by, ret) ->
+        let fors', bound' =
+          List.fold_left
+            (fun (fors, bound) clause ->
+              match clause with
+              | Ast.For (v, posv, src) ->
+                  go ~fors ~bound src;
+                  let bound = VS.add (Ast.var_set_key v) bound in
+                  let bound =
+                    match posv with
+                    | Some p -> VS.add (Ast.var_set_key p) bound
+                    | None -> bound
+                  in
+                  (fors + 1, bound)
+              | Ast.Let (v, src) ->
+                  go ~fors ~bound src;
+                  (fors, VS.add (Ast.var_set_key v) bound)
+              | Ast.Where c ->
+                  go ~fors ~bound c;
+                  (fors, bound))
+            (fors, bound) clauses
+        in
+        List.iter (fun (e, _) -> go ~fors:fors' ~bound:bound' e) order_by;
+        go ~fors:fors' ~bound:bound' ret
+    | Ast.Quantified (_, binds, sat) ->
+        let bound' =
+          List.fold_left
+            (fun bound (v, src) ->
+              go ~fors ~bound src;
+              VS.add (Ast.var_set_key v) bound)
+            bound binds
+        in
+        go ~fors ~bound:bound' sat
+    | Ast.Sequence es -> List.iter (go ~fors ~bound) es
+    | Ast.Range (a, b)
+    | Ast.Arith (_, a, b)
+    | Ast.Compare (_, a, b)
+    | Ast.And (a, b)
+    | Ast.Or (a, b)
+    | Ast.Union (a, b)
+    | Ast.Intersect (a, b)
+    | Ast.Except (a, b)
+    | Ast.Path (a, b)
+    | Ast.Comp_elem (a, b)
+    | Ast.Comp_attr (a, b)
+    | Ast.Insert (_, a, b)
+    | Ast.Replace_node (a, b)
+    | Ast.Replace_value (a, b)
+    | Ast.Rename_node (a, b) ->
+        go ~fors ~bound a;
+        go ~fors ~bound b
+    | Ast.If (c, t, el) ->
+        go ~fors ~bound c;
+        go ~fors ~bound t;
+        go ~fors ~bound el
+    | Ast.Call (_, args) -> List.iter (go ~fors ~bound) args
+    | Ast.Step (_, _, preds) -> List.iter (go ~fors ~bound) preds
+    | Ast.Filter (e, preds) ->
+        go ~fors ~bound e;
+        List.iter (go ~fors ~bound) preds
+    | Ast.Elem_ctor (_, attrs, content) ->
+        List.iter
+          (fun (_, parts) ->
+            List.iter
+              (function
+                | Ast.A_expr e -> go ~fors ~bound e
+                | Ast.A_text _ -> ())
+              parts)
+          attrs;
+        List.iter (go ~fors ~bound) content
+    | Ast.Typeswitch (op, cases, (_, de)) ->
+        go ~fors ~bound op;
+        List.iter (fun (_, _, e) -> go ~fors ~bound e) cases;
+        go ~fors ~bound de
+    | Ast.Text_ctor e | Ast.Comment_ctor e | Ast.Doc_ctor e | Ast.Neg e
+    | Ast.Instance_of (e, _)
+    | Ast.Cast_as (e, _, _)
+    | Ast.Castable_as (e, _, _)
+    | Ast.Treat_as (e, _)
+    | Ast.Delete e ->
+        go ~fors ~bound e
+    | Ast.Literal _ | Ast.Var _ | Ast.Context_item | Ast.Root -> ()
+  in
+  (match prog.Ast.body with
+  | Some e -> go ~fors:0 ~bound:VS.empty e
+  | None -> ());
+  List.rev !acc
+
 (** Parse-and-run a main-module query.  Returns the result sequence and the
     pending update list the query produced (empty for read-only queries —
     it is the {e caller's} job to [Update.apply] the PUL, per XQUF). *)

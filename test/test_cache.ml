@@ -70,6 +70,64 @@ let test_canonical_raw_fallback () =
   check bool_ "raw keys keep the exact spelling" true
     (a <> Normalize.canonical "<a> 1 </a>")
 
+(* Property battery: the cache key is invariant under reformatting
+   (whitespace and comments are free), and kind-tagged literals never
+   collide — [3], [3.0], [3e0], ["3"] and the name [x3] each get their
+   own plan. *)
+
+let gen_token =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, oneofl [ "x"; "y"; "foo"; "item" ]);
+        (3, map string_of_int (int_bound 999));
+        (2, map (fun n -> string_of_int n ^ ".5") (int_bound 99));
+        (2, map (fun n -> string_of_int n ^ "e2") (int_bound 99));
+        ( 2,
+          map
+            (fun s -> "\"" ^ s ^ "\"")
+            (string_size ~gen:(oneofl [ 'a'; 'b'; 'q'; 'z' ]) (int_range 0 6))
+        );
+        (3, oneofl [ "+"; "*"; "("; ")"; ","; "-" ]);
+        (1, oneofl [ "$v"; "$w" ]);
+      ])
+
+let gen_sep = QCheck.Gen.oneofl [ " "; "  "; "\n"; "\t "; " (: c :) " ]
+
+(* one token stream, two random spellings of it *)
+let arbitrary_reformat_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> a ^ "\n---\n" ^ b)
+    QCheck.Gen.(
+      map
+        (fun triples ->
+          let render pick =
+            String.concat ""
+              (List.concat_map (fun (t, s1, s2) -> [ t; pick s1 s2 ]) triples)
+          in
+          (render (fun a _ -> a), render (fun _ b -> b)))
+        (list_size (int_range 1 8) (triple gen_token gen_sep gen_sep)))
+
+let prop_canonical_reformat_invariant =
+  QCheck.Test.make ~name:"reformatting never changes the key" ~count:300
+    arbitrary_reformat_pair (fun (a, b) ->
+      let ka = Normalize.canonical a and kb = Normalize.canonical b in
+      ka = kb && (not (Normalize.is_raw ka)) && ka = Normalize.canonical a)
+
+let prop_literal_kinds_never_collide =
+  QCheck.Test.make ~name:"literal kinds never collide" ~count:300
+    QCheck.(pair small_nat small_nat)
+    (fun (n, m) ->
+      let spellings v =
+        let s = string_of_int v in
+        [ s; s ^ ".0"; s ^ "e0"; "\"" ^ s ^ "\""; "x" ^ s ]
+      in
+      let keys = List.map Normalize.canonical (spellings n) in
+      List.length (List.sort_uniq compare keys) = 5
+      && (n = m
+         || Normalize.canonical (string_of_int n)
+            <> Normalize.canonical (string_of_int m)))
+
 (* ------------------------------------------------------------------ *)
 (* The LRU primitive                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -96,6 +154,68 @@ let test_lru_disabled () =
   check (Alcotest.option int_) "disabled stores nothing" None
     (Lru.find lru "a");
   check int_ "empty" 0 (Lru.size lru)
+
+let test_lru_remove_if_vs_evictions () =
+  (* remove_if is the invalidation primitive: its removals are not
+     capacity evictions, so neither the counter nor the on_evict hook
+     (which feeds eviction metrics) may fire *)
+  let lru = Lru.create ~capacity:4 () in
+  let hook_fired = ref [] in
+  Lru.set_on_evict lru (fun k -> hook_fired := k :: !hook_fired);
+  List.iter (fun k -> Lru.add lru k 0) [ "a"; "b"; "c" ];
+  let dropped = Lru.remove_if lru (fun k _ -> k <> "b") in
+  check int_ "remove_if reports its victims" 2 dropped;
+  check int_ "invalidations are not evictions" 0 (Lru.evictions lru);
+  check (Alcotest.list string_) "on_evict never fired" [] !hook_fired;
+  check int_ "survivor stays" 1 (Lru.size lru);
+  check (Alcotest.option int_) "survivor readable" (Some 0) (Lru.find lru "b");
+  (* a later capacity eviction still fires the hook exactly once *)
+  List.iter (fun k -> Lru.add lru k 0) [ "d"; "e"; "f"; "g" ];
+  check int_ "capacity eviction counted" 1 (Lru.evictions lru);
+  check int_ "hook saw exactly the capacity victim" 1 (List.length !hook_fired)
+
+let test_lru_evict_hook_order () =
+  let lru = Lru.create ~capacity:2 () in
+  let seen = ref [] in
+  (* the hook runs inside the lock, after the victim is removed and the
+     counter bumped — it may read the plain counters but must not reenter
+     the cache *)
+  Lru.set_on_evict lru (fun k -> seen := (k, Lru.evictions lru) :: !seen);
+  Lru.add lru "a" 1;
+  Lru.add lru "b" 2;
+  Lru.add lru "c" 3;
+  (match !seen with
+  | [ (k, evictions_at_hook) ] ->
+      check string_ "victim is the LRU entry" "a" k;
+      check int_ "counted before the hook observes it" 1 evictions_at_hook
+  | l -> Alcotest.failf "expected one eviction, saw %d" (List.length l));
+  (* replacing the hook only affects later evictions *)
+  Lru.set_on_evict lru (fun _ -> ());
+  Lru.add lru "d" 4;
+  check int_ "second eviction counted" 2 (Lru.evictions lru);
+  check int_ "old hook not called again" 1 (List.length !seen)
+
+let test_lru_remove_if_multi () =
+  (* remove_if collects its victims during the scan and removes them
+     after: a predicate matching interleaved entries drops each exactly
+     once and never disturbs the survivors *)
+  let lru = Lru.create ~capacity:8 () in
+  for i = 1 to 6 do
+    Lru.add lru (string_of_int i) i
+  done;
+  let dropped = Lru.remove_if lru (fun _ v -> v mod 2 = 0) in
+  check int_ "three removed in one pass" 3 dropped;
+  check int_ "three survivors" 3 (Lru.size lru);
+  List.iter
+    (fun i ->
+      check
+        (Alcotest.option int_)
+        (Printf.sprintf "entry %d" i)
+        (if i mod 2 = 0 then None else Some i)
+        (Lru.find lru (string_of_int i)))
+    [ 1; 2; 3; 4; 5; 6 ];
+  check int_ "second pass finds nothing" 0
+    (Lru.remove_if lru (fun _ v -> v mod 2 = 0))
 
 (* ------------------------------------------------------------------ *)
 (* Plan cache at a peer                                                *)
@@ -146,6 +266,22 @@ declare function m:one() as xs:integer { %d };|}
   Peer.register_module peer ~uri:"m" ~location:"m.xq" (version 2);
   check string_ "re-registration drops the stale plan" "2"
     (Xdm.to_display (Peer.query_seq peer q))
+
+let test_explain_compiles_once () =
+  (* the :explain fix: the shell renders plans via Peer.compiled_plan (the
+     plan cache) instead of re-parsing, so explain-then-run compiles the
+     query exactly once *)
+  let peer = Peer.create "xrpc://plan.local" in
+  let q = "for $v in (1 to 3) return $v + 1" in
+  ignore (Peer.compiled_plan peer q);
+  check int_ "explain compiled it" 1 (plan_stats peer).Plan_cache.misses;
+  ignore (Peer.query_seq peer q);
+  let s = plan_stats peer in
+  check int_ "the run did not recompile" 1 s.Plan_cache.misses;
+  check int_ "it hit the explained plan" 1 s.Plan_cache.hits;
+  (* a reformatted spelling of the same query reuses the plan too *)
+  ignore (Peer.compiled_plan peer "for  $v in (1 to 3) (: same :)\nreturn $v + 1");
+  check int_ "reformatted explain is a hit" 2 (plan_stats peer).Plan_cache.hits
 
 (* ------------------------------------------------------------------ *)
 (* Result cache across a cluster                                       *)
@@ -503,12 +639,20 @@ let () =
             test_canonical_literal_kinds;
           Alcotest.test_case "constructor raw fallback" `Quick
             test_canonical_raw_fallback;
+          QCheck_alcotest.to_alcotest prop_canonical_reformat_invariant;
+          QCheck_alcotest.to_alcotest prop_literal_kinds_never_collide;
         ] );
       ( "lru",
         [
           Alcotest.test_case "bounds and recency" `Quick
             test_lru_bounds_and_recency;
           Alcotest.test_case "disabled" `Quick test_lru_disabled;
+          Alcotest.test_case "remove_if is not an eviction" `Quick
+            test_lru_remove_if_vs_evictions;
+          Alcotest.test_case "eviction hook firing order" `Quick
+            test_lru_evict_hook_order;
+          Alcotest.test_case "remove_if mid-scan" `Quick
+            test_lru_remove_if_multi;
         ] );
       ( "plan-cache",
         [
@@ -518,6 +662,8 @@ let () =
             test_plan_cache_rebinds_globals;
           Alcotest.test_case "module re-registration invalidates" `Quick
             test_plan_cache_module_invalidation;
+          Alcotest.test_case "explain compiles once" `Quick
+            test_explain_compiles_once;
         ] );
       ( "result-cache",
         [

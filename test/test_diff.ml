@@ -249,9 +249,17 @@ let test_differential_corners () =
    cache hit) against a fresh interpreter run as the reference — cached
    plans and their per-execution global rebinding may never change an
    answer.  Cases 500..699 keep the seeds disjoint from the Looplift
-   battery above. *)
-let test_cached_peer_battery () =
+   battery above.
+
+   The battery runs once per XRPC_FORCE_STRATEGY rpc-mode override
+   (auto/bulk/singles): these queries have no [execute at], so forcing the
+   dispatch mode must be a strict no-op on answers — a mis-costed
+   optimizer pick can change performance, never results. *)
+let cached_peer_battery mode () =
   let base = base_seed () in
+  Unix.putenv "XRPC_FORCE_STRATEGY" mode;
+  Fun.protect ~finally:(fun () -> Unix.putenv "XRPC_FORCE_STRATEGY" "")
+  @@ fun () ->
   let peer = Xrpc_peer.Peer.create "xrpc://diff.local" in
   for case = 500 to 699 do
     let q = gen_query ~base ~case in
@@ -269,18 +277,18 @@ let test_cached_peer_battery () =
     if not (agrees first && agrees second) then
       let show = function Ok s -> Printf.sprintf "%S" s | Error m -> m in
       Alcotest.failf
-        "cached peer diverges on case %d of base seed %d\n\
+        "cached peer (forced rpc mode %S) diverges on case %d of base seed %d\n\
          query:       %s\n\
          interpreter: %s\n\
          first run:   %s\n\
          cached run:  %s\n\
          replay the battery with: DIFF_SEED=%d dune runtest"
-        case base q (show reference) (show first) (show second) base
+        mode case base q (show reference) (show first) (show second) base
   done;
   let stats = (Xrpc_peer.Peer.cache_stats peer).Xrpc_peer.Peer.plan in
   if stats.Xrpc_peer.Plan_cache.hits < 200 then
-    Alcotest.failf "expected >= 200 plan-cache hits, saw %d"
-      stats.Xrpc_peer.Plan_cache.hits
+    Alcotest.failf "forced rpc mode %S: expected >= 200 plan-cache hits, saw %d"
+      mode stats.Xrpc_peer.Plan_cache.hits
 
 (* the battery is itself deterministic: same base seed, same 500 queries *)
 let test_generator_deterministic () =
@@ -298,8 +306,13 @@ let () =
           Alcotest.test_case "corner cases" `Quick test_differential_corners;
           Alcotest.test_case "500 seeded queries" `Quick
             test_differential_battery;
-          Alcotest.test_case "200 queries, Eval vs cached peer" `Quick
-            test_cached_peer_battery;
+          Alcotest.test_case "200 queries, Eval vs cached peer (auto)" `Quick
+            (cached_peer_battery "auto");
+          Alcotest.test_case "200 queries, Eval vs cached peer (bulk)" `Quick
+            (cached_peer_battery "bulk");
+          Alcotest.test_case "200 queries, Eval vs cached peer (singles)"
+            `Quick
+            (cached_peer_battery "singles");
           Alcotest.test_case "generator determinism" `Quick
             test_generator_deterministic;
         ] );
