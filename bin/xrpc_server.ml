@@ -116,6 +116,22 @@ let serve verbose port data demo trace slow_ms =
           s.Peer.func_hits s.Peer.func_misses s.Peer.func_evictions
           s.Peer.func_size s.Peer.idem_hits s.Peer.idem_misses
           s.Peer.idem_evictions s.Peer.idem_size
+    | "/shardz" ->
+        (* shard map: members, replication factor, vnodes; ?keys=a,b,c
+           additionally shows those keys' primary placement + load ratio *)
+        let keys =
+          match query_param query "keys" with
+          | Some ks -> String.split_on_char ',' ks
+          | None -> []
+        in
+        Peer.shard_text ~keys peer
+    | "/shardz.json" ->
+        let keys =
+          match query_param query "keys" with
+          | Some ks -> String.split_on_char ',' ks
+          | None -> []
+        in
+        Peer.shard_json ~keys peer
     | "/optimizerz" ->
         (* cost-model calibration state (measured/estimated EMA per §5
            strategy) plus any active force override *)
@@ -152,8 +168,8 @@ let serve verbose port data demo trace slow_ms =
     server.Http.port;
   Printf.printf
     "flight recorder at /requestz (.json), slow queries at /slowz, cache \
-     stats at /cachez (.json), optimizer calibration at /optimizerz, traces \
-     at /tracez?id=N%s\n%!"
+     stats at /cachez (.json), optimizer calibration at /optimizerz, shard \
+     map at /shardz (.json, ?keys=a,b), traces at /tracez?id=N%s\n%!"
     (if trace then "" else " (span trees need --trace)");
   (* keep the main thread alive *)
   while true do

@@ -217,6 +217,14 @@ let command peer line =
   | ":optimizer", _ ->
       print_endline "usage: :optimizer [replay|reset]";
       true
+  | ":shards", "" ->
+      print_string (Peer.shard_text peer);
+      true
+  | ":shards", keys ->
+      (* :shards k1 k2 … — placement + load ratio for those keys *)
+      print_string
+        (Peer.shard_text ~keys:(String.split_on_char ' ' keys) peer);
+      true
   | ":profile", "" ->
       print_endline "usage: :profile <one-line query>";
       true
@@ -263,6 +271,8 @@ let command peer line =
         ":flight        — recent requests from the flight recorder";
       print_endline ":flight slow   — pinned slow queries";
       print_endline
+        ":shards [keys] — shard map: members, replication, key placement";
+      print_endline
         ":cache [stats] — plan/result/module/idem cache counters";
       print_endline ":cache clear   — drop the performance caches";
       print_endline
@@ -277,7 +287,8 @@ let repl peer =
   print_endline
     "XRPC shell — terminate a query with a single '.' line; ctrl-d exits.\n\
      Meta-commands: :explain <q>, :profile <q>, :trace on|off, :metrics \
-     [reset], :flight [slow], :cache [stats|clear|on|off], :help.";
+     [reset], :flight [slow], :shards [keys], :cache [stats|clear|on|off], \
+     :help.";
   let buf = Buffer.create 256 in
   let rec loop () =
     (match Buffer.length buf with 0 -> print_string "xquery> " | _ -> print_string "      > ");

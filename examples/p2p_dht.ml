@@ -1,34 +1,37 @@
 (* P2P data management with XRPC (§7 future work: "integrating XRPC with
    advanced P2P data structures such as Distributed Hash Tables").
 
-   Eight peers form a hash ring; each stores the film records whose key
-   hashes onto it, plus the same tiny lookup module.  A query routes with
-   plain XRPC: the coordinator hashes each title, groups lookups by
-   responsible peer, and — thanks to Bulk RPC — sends exactly one message
-   per contacted peer no matter how many keys land there.  Writes use
-   remote XQUF updating functions with repeatable-read isolation and 2PC,
-   so a multi-peer insert is atomic. *)
+   Eight peers form a consistent-hash ring ({!Xrpc_peer.Shard}): every
+   member is hashed onto the ring at 64 virtual points, each record's key
+   picks the first member clockwise, and the next distinct member holds a
+   replica.  Placement, routing and querying all ride the stock XRPC
+   machinery:
+
+   - [Cluster.place_sharded] cuts the collection into per-member slices;
+   - a per-key lookup is ordinary XQuery against a {e virtual}
+     destination — [execute at {"xrpc://shard/<key>"}] — which the peer's
+     shard router resolves to the first live holder at plan time;
+   - a whole-ring query scatters one call per member and gathers the
+     partial answers with the columnar merge kernels
+     ([Cluster.scatter_gather]), deduping replica re-deliveries;
+   - writes route the same way and stay atomic across shards via 2PC;
+   - a peer joining the ring moves only ~K/N keys ([Shard.moved_keys]).
+
+   Because a key's replica set has two distinct members, killing any
+   single peer changes no answer — the gather merge just takes the
+   surviving copy. *)
 
 module Cluster = Xrpc_core.Cluster
+module Xrpc_client = Xrpc_core.Xrpc_client
 module Peer = Xrpc_peer.Peer
-module Database = Xrpc_peer.Database
+module Shard = Xrpc_peer.Shard
+module Shardmod = Xrpc_workloads.Shardmod
+module Simnet = Xrpc_net.Simnet
 open Xrpc_xml
 
 let n_peers = 8
 let peer_name i = Printf.sprintf "p%d.ring" i
-let hash key = Hashtbl.hash key mod n_peers
-
-(* every ring member serves this module *)
-let ring_module =
-  {|module namespace ring = "ring";
-declare function ring:lookup($title as xs:string) as node()*
-{ doc("shard.xml")//film[name = $title] };
-declare function ring:count() as xs:integer
-{ count(doc("shard.xml")//film) };
-declare updating function ring:store($title as xs:string, $actor as xs:string)
-{ insert node <film><name>{$title}</name><actor>{$actor}</actor></film>
-  into exactly-one(doc("shard.xml")/films) };
-|}
+let peer_uri i = "xrpc://" ^ peer_name i
 
 let films =
   [
@@ -38,91 +41,99 @@ let films =
     ("Cyrano", "Gerard Depardieu"); ("The Untouchables", "Sean Connery");
   ]
 
+let records =
+  List.map
+    (fun (t, a) ->
+      (t, Printf.sprintf "<film><name>%s</name><actor>%s</actor></film>" t a))
+    films
+
+let ring_count cluster =
+  List.length
+    (Cluster.scatter_gather cluster ~module_uri:Shardmod.module_ns
+       ~location:Shardmod.module_at ~fn:"partsByOwner" ())
+
 let () =
-  (* build the ring *)
+  (* build the ring: 8 peers, 2 replicas per key *)
   let names = List.init n_peers peer_name in
   let cluster = Cluster.create ~names () in
-  List.iteri
-    (fun i name ->
-      let p = Cluster.peer cluster name in
-      let shard =
-        List.filter (fun (t, _) -> hash t = i) films
-        |> List.map (fun (t, a) ->
-               Printf.sprintf "<film><name>%s</name><actor>%s</actor></film>" t a)
-        |> String.concat ""
-      in
-      Database.add_doc_xml p.Peer.db "shard.xml"
-        (Printf.sprintf "<films>%s</films>" shard);
-      Peer.register_module p ~uri:"ring" ~location:"ring.xq" ring_module)
-    names;
+  Cluster.register_module_everywhere cluster ~uri:Shardmod.module_ns
+    ~location:Shardmod.module_at Shardmod.shard_module;
+  let map = Shard.create ~replicas:2 (List.init n_peers peer_uri) in
+  Cluster.set_shard_map cluster (Some map);
+  Cluster.place_sharded cluster records;
   let coordinator = Cluster.peer cluster (peer_name 0) in
 
-  Printf.printf "ring of %d peers; placement:\n" n_peers;
+  (* the :shards view of the placement *)
+  print_string
+    (Peer.shard_text ~keys:(List.map fst records) coordinator);
   List.iter
-    (fun (t, _) -> Printf.printf "  %-18s -> %s\n" t (peer_name (hash t)))
+    (fun (t, _) ->
+      Printf.printf "  %-18s -> %s\n" t
+        (String.concat ", " (Shard.holders map t)))
     films;
 
-  (* distributed lookup: one query, keys routed by hash; Bulk RPC batches
-     all keys that land on the same peer *)
-  let wanted = [ "The Rock"; "Dr. No"; "Mary Poppins"; "Cyrano"; "Goldfinger" ] in
-  let routed =
-    String.concat ", "
-      (List.map
-         (fun t -> Printf.sprintf "(\"%s\", \"xrpc://%s\")" t (peer_name (hash t)))
-         wanted)
-  in
-  let lookup_query =
-    Printf.sprintf
-      {|import module namespace ring = "ring" at "ring.xq";
-for $i in (1 to %d)
-let $title := (%s)[2 * $i - 1]
-let $dest  := (%s)[2 * $i]
-return execute at {$dest} {ring:lookup(string($title))}|}
-      (List.length wanted) routed routed
-  in
-  Cluster.reset_stats cluster;
-  let result = Peer.query_seq coordinator lookup_query in
-  Printf.printf "\nlookup of %d keys:\n%s\n" (List.length wanted)
-    (Xdm.to_display result);
-  Printf.printf "messages used: %d (peers contacted: %d)\n"
-    (Cluster.stats cluster).Xrpc_net.Simnet.messages
-    ((Cluster.stats cluster).Xrpc_net.Simnet.messages / 2);
+  (* per-key lookups against virtual destinations: the router picks the
+     first live holder, so the query text never names a peer *)
+  let wanted = [ "The Rock"; "Dr. No"; "Mary Poppins"; "Cyrano" ] in
+  Printf.printf "\nrouted lookups (execute at \"xrpc://shard/<key>\"):\n";
+  List.iter
+    (fun key ->
+      let got =
+        Xdm.to_display
+          (Peer.query_seq coordinator (Shardmod.lookup_query ~key))
+      in
+      Printf.printf "  %-18s -> %s\n" key got)
+    wanted;
 
-  (* atomic multi-peer write: two inserts land on different peers; 2PC
-     commits both or neither *)
-  let new_films = [ ("Highlander", "Sean Connery"); ("Victor Victoria", "Julie Andrews") ] in
-  let writes =
-    String.concat "\n"
-      (List.map
-         (fun (t, a) ->
-           Printf.sprintf
-             {|, execute at {"xrpc://%s"} {ring:store("%s", "%s")}|}
-             (peer_name (hash t)) t a)
-         new_films)
-  in
+  (* whole-ring scatter-gather through the columnar merge kernels *)
+  Printf.printf "\nscatter-gather over %d peers: %d films\n" n_peers
+    (ring_count cluster);
+
+  (* kill any one peer: the replica masks it *)
+  Cluster.crash cluster (peer_name 3);
+  Printf.printf "after killing %s:        %d films (replica masks the loss)\n"
+    (peer_name 3) (ring_count cluster);
+  Cluster.restart cluster (peer_name 3);
+
+  (* atomic cross-shard write: both inserts route through the ring and
+     commit (or abort) together under 2PC *)
+  let k1, k2 = ("Highlander", "Victor Victoria") in
   let write_query =
     Printf.sprintf
-      {|import module namespace ring = "ring" at "ring.xq";
+      {|import module namespace sh="shard" at %S;
 declare option xrpc:isolation "repeatable";
-(() %s)|}
-      writes
+for $k in (%S, %S)
+return execute at {concat("xrpc://shard/", $k)} {sh:put($k, "new film")}|}
+      Shardmod.module_at k1 k2
   in
   let r = Peer.query coordinator write_query in
-  Printf.printf "\natomic 2-peer insert committed: %b (participants: %s)\n"
+  Printf.printf "\natomic cross-shard insert committed: %b (participants: %s)\n"
     r.Peer.committed
     (String.concat ", " r.Peer.participants);
 
-  (* verify via a ring-wide count fan-out *)
-  let dests =
-    String.concat ", "
-      (List.map (fun n -> Printf.sprintf "\"xrpc://%s\"" n) names)
+  (* a ninth peer joins: only ~K/N keys move, and every lookup still
+     answers during the new topology *)
+  let keys = List.map fst records in
+  let before = Shard.assignment map keys in
+  Cluster.shard_join cluster "p8.ring";
+  let moved =
+    Shard.moved_keys
+      ~before:(fun k ->
+        fst (List.find (fun (_, ks) -> List.mem k ks) before))
+      ~after:(fun k -> Shard.primary map k)
+      keys
   in
-  let count_query =
-    Printf.sprintf
-      {|import module namespace ring = "ring" at "ring.xq";
-sum(for $d in (%s) return execute at {$d} {ring:count()})|}
-      dests
-  in
-  Printf.printf "total films on the ring: %s (was %d)\n"
-    (Xdm.to_display (Peer.query_seq coordinator count_query))
-    (List.length films)
+  Printf.printf "\np8.ring joined: %d of %d keys moved (%s)\n"
+    (List.length moved) (List.length keys)
+    (String.concat ", " moved);
+  Printf.printf "scatter-gather over %d peers: %d films\n"
+    (List.length (Shard.members map))
+    (ring_count cluster);
+  List.iter
+    (fun key ->
+      let got =
+        Xdm.to_display
+          (Peer.query_seq coordinator (Shardmod.lookup_query ~key))
+      in
+      Printf.printf "  %-18s -> %s\n" key got)
+    wanted

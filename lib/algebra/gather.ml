@@ -1,0 +1,91 @@
+(** Scatter-gather result assembly.
+
+    A sharded query fans out over the members of a {!Xrpc_peer.Shard} ring
+    and gets back one partial sequence per leg.  Each partial row is a
+    [<part owner=".." seq="N">] element: [seq] is the record's global
+    sequence number assigned at placement time, [owner] the primary that
+    was asked for it.  Replication and failover mean the same part can
+    come back from several legs (broadcast fallback, over-query during a
+    rebalance), so the gather merge must be idempotent: dedup by [seq],
+    order by [seq].
+
+    Rather than hand-rolling that, [merge] drives the existing columnar
+    kernels: encode each leg as an [iter|pos|item] table with [iter] = the
+    part's [seq] and [pos] = the leg index, ⊎-merge with
+    {!Ops.merge_union_on_iter} (sorts by (seq, leg)), number duplicates
+    with {!Ops.rank} partitioned by [iter], and keep rank 1 — the copy
+    from the earliest leg.  The result is deterministic for any leg
+    multiset: adding a redundant replica's answer cannot change it. *)
+
+open Xrpc_xml
+
+(** The [@seq] tag of a part element, if it carries one. *)
+let seq_of (item : Xdm.item) : int option =
+  match item with
+  | Xdm.Atomic _ -> None
+  | Xdm.Node n ->
+      List.find_map
+          (fun a ->
+            match Store.name a with
+            | Some q when q.Qname.local = "seq" ->
+                int_of_string_opt (String.trim (Store.string_value a))
+            | _ -> None)
+          (Store.attributes n)
+
+(** Merge partial leg results into one deduped, seq-ordered sequence.
+
+    Untagged items (no [@seq]) are interned by first appearance, so a
+    merge of plain values still dedups exact re-deliveries and keeps a
+    deterministic order; tagged and untagged keys never collide because
+    interned keys grow downward from -1. *)
+let merge (partials : Xdm.sequence list) : Xdm.sequence =
+  let interned = Hashtbl.create 16 in
+  let next_synth = ref 0 in
+  let key_of item =
+    match seq_of item with
+    | Some s -> s
+    | None -> (
+        let repr =
+          match item with
+          | Xdm.Atomic a -> "a\x00" ^ Xs.to_string a
+          | Xdm.Node _ -> "n\x00" ^ Xdm.to_display [ item ]
+        in
+        match Hashtbl.find_opt interned repr with
+        | Some k -> k
+        | None ->
+            decr next_synth;
+            Hashtbl.add interned repr !next_synth;
+            !next_synth)
+  in
+  let tables =
+    List.mapi
+      (fun leg seq ->
+        let n = List.length seq in
+        let iters = Array.make n Table.dummy_cell
+        and poss = Array.make n Table.dummy_cell
+        and items = Array.make n Table.dummy_cell in
+        List.iteri
+          (fun i item ->
+            iters.(i) <- Table.Int (key_of item);
+            poss.(i) <- Table.Int leg;
+            items.(i) <- Table.Item item)
+          seq;
+        Table.of_cols [ "iter"; "pos"; "item" ] [| iters; poss; items |])
+      partials
+  in
+  let merged = Ops.merge_union_on_iter tables in
+  let ranked =
+    Ops.rank merged ~new_col:"rk" ~order_by:[ "pos" ] ~partition:"iter" ()
+  in
+  let first = Ops.select_eq ranked "rk" (Table.Int 1) in
+  (* merge_union left rows sorted by (seq, leg); untagged (negative) keys
+     sort before tagged ones, in reverse interning order — re-sort those
+     by appearance instead *)
+  let icol = Table.col first "iter" and xcol = Table.col first "item" in
+  let n = Table.cardinality first in
+  let rows = List.init n (fun r -> (Table.int_cell icol.(r), r)) in
+  let tagged, untagged = List.partition (fun (k, _) -> k >= 0) rows in
+  let untagged =
+    List.sort (fun (a, _) (b, _) -> Int.compare b a) untagged
+  in
+  List.map (fun (_, r) -> Table.item_cell xcol.(r)) (tagged @ untagged)

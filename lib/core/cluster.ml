@@ -9,18 +9,44 @@
 
 module Peer = Xrpc_peer.Peer
 module Wrapper = Xrpc_peer.Wrapper
+module Shard = Xrpc_peer.Shard
+module Database = Xrpc_peer.Database
 module Simnet = Xrpc_net.Simnet
 module Transport = Xrpc_net.Transport
 module Http = Xrpc_net.Http
+module Serialize = Xrpc_xml.Serialize
+
+(** One sharded collection: a named document that every ring member holds
+    a slice of.  Records are [(key, inner-xml)] in placement order; the
+    placement index is the record's global [seq] tag. *)
+type sharded_collection = {
+  sc_doc : string;
+  sc_root : string;
+  mutable sc_records : (string * string) list;
+}
+
+type shard_state = {
+  smap : Shard.t;
+  mutable collections : sharded_collection list;  (** newest first *)
+}
 
 type t = {
   net : Simnet.t;
   policied : Transport.policied option;
       (** present when the cluster was built with a retry/breaker policy;
           exposes the policy layer's stats *)
+  transport : Transport.t;
+      (** what every peer's outgoing calls go through (the policy layer
+          when configured); kept so late-joining peers wire up the same *)
+  peer_config : Peer.config;
+  executor : Xrpc_net.Executor.t;
   mutable peers : (string * Peer.t) list;
   mutable wrappers : (string * Wrapper.t) list;
   mutable client_facade : Xrpc_client.t option;  (** built lazily *)
+  mutable shard : shard_state option;
+  mutable modules : (string * string option * string) list;
+      (** every [register_module_everywhere] call, replayed onto peers
+          that join later *)
 }
 
 let net t = t.net
@@ -59,11 +85,24 @@ let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config
           ~sleep:(Simnet.sleep net) (Simnet.transport net))
       policy
   in
-  let cluster = { net; policied; peers = []; wrappers = []; client_facade = None } in
   let transport =
     match policied with
     | Some p -> Transport.transport p
     | None -> Simnet.transport net
+  in
+  let cluster =
+    {
+      net;
+      policied;
+      transport;
+      peer_config;
+      executor;
+      peers = [];
+      wrappers = [];
+      client_facade = None;
+      shard = None;
+      modules = [];
+    }
   in
   List.iter
     (fun name ->
@@ -75,6 +114,25 @@ let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config
       cluster.peers <- (name, peer) :: cluster.peers)
     names;
   cluster
+
+(** Add one more peer to a live cluster (same config, transport, executor
+    and simulated network as the founding members).  No-op if the name is
+    taken. *)
+let add_peer t name =
+  match List.assoc_opt name t.peers with
+  | Some p -> p
+  | None ->
+      let uri = uri_of_name name in
+      let peer = Peer.create ~config:t.peer_config ~clock:(clock_of t.net) uri in
+      Peer.set_transport peer t.transport;
+      Peer.set_executor peer t.executor;
+      Simnet.register t.net uri (Peer.handle_raw peer);
+      t.peers <- (name, peer) :: t.peers;
+      List.iter
+        (fun (muri, location, source) ->
+          Peer.register_module peer ~uri:muri ?location source)
+        (List.rev t.modules);
+      peer
 
 let peer t name =
   match List.assoc_opt name t.peers with
@@ -97,6 +155,7 @@ let wrapper t name =
 (** Register the same module on every peer (the paper's examples assume the
     module at its at-hint URL is reachable from everywhere). *)
 let register_module_everywhere t ~uri ?location source =
+  t.modules <- (uri, location, source) :: t.modules;
   List.iter (fun (_, p) -> Peer.register_module p ~uri ?location source) t.peers;
   List.iter (fun (_, w) -> Wrapper.register_module w ~uri ?location source) t.wrappers
 
@@ -168,6 +227,178 @@ let resolve_in_doubt t =
       let c', a', d' = Peer.resolve_in_doubt p in
       (c + c', a + a', d + d'))
     (0, 0, 0) t.peers
+
+(* ------------------------------------------------------------------ *)
+(* Sharded collections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_shard_doc = "shard.xml"
+
+let name_of_uri uri =
+  if String.length uri >= 7 && String.sub uri 0 7 = "xrpc://" then
+    String.sub uri 7 (String.length uri - 7)
+  else uri
+
+let peer_by_uri t uri =
+  match List.find_opt (fun (n, _) -> uri_of_name n = uri) t.peers with
+  | Some (_, p) -> p
+  | None -> invalid_arg ("no peer at " ^ uri)
+
+(** The canonical record wrapper: [owner] is the key's primary at
+    placement time (what a scatter leg selects on), [seq] its global
+    placement index (what the gather merge dedups and orders by). *)
+let part_xml ~key ~owner ~seq inner =
+  Printf.sprintf "<part key=\"%s\" owner=\"%s\" seq=\"%d\">%s</part>"
+    (Serialize.escape_attr key)
+    (Serialize.escape_attr owner)
+    seq inner
+
+(* the slice of a collection one member stores: every part whose replica
+   set includes it, in seq order *)
+let member_slice st member c =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "<%s>" c.sc_root);
+  List.iteri
+    (fun i (key, inner) ->
+      match Shard.replica_set st.smap key with
+      | primary :: _ as holders when List.mem member holders ->
+          Buffer.add_string buf
+            (part_xml ~key ~owner:primary ~seq:(i + 1) inner)
+      | _ -> ())
+    c.sc_records;
+  Buffer.add_string buf (Printf.sprintf "</%s>" c.sc_root);
+  Buffer.contents buf
+
+(* (re-)write every member's slice of every collection *)
+let rebalance_state t st =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun m ->
+          Database.add_doc_xml (peer_by_uri t m).Peer.db c.sc_doc
+            (member_slice st m c))
+        (Shard.members st.smap))
+    st.collections
+
+(* keys route to the first live holder; with every replica down, to the
+   primary — whose typed transport error then surfaces the outage *)
+let shard_router t map key =
+  let holders = Shard.replica_set map key in
+  match List.find_opt (Simnet.is_up t.net) holders with
+  | Some m -> m
+  | None -> Shard.primary map key
+
+let install_shard_on_peers t st =
+  List.iter
+    (fun (_, p) ->
+      Peer.set_shard_map p (Some st.smap);
+      Peer.set_shard_router p (shard_router t st.smap))
+    t.peers
+
+(** Attach a shard map: every ring member without a peer is created
+    ({!add_peer}), and every peer — member or not — gets the map plus a
+    replica-aware, liveness-filtered router for its
+    [execute at {"xrpc://shard/<key>"}] destinations.  [None] detaches.
+    Re-attaching with a different map re-places any sharded
+    collections. *)
+let set_shard_map t map =
+  match map with
+  | None ->
+      t.shard <- None;
+      List.iter (fun (_, p) -> Peer.set_shard_map p None) t.peers
+  | Some map ->
+      List.iter
+        (fun m -> ignore (add_peer t (name_of_uri m)))
+        (Shard.members map);
+      let st =
+        match t.shard with
+        | Some old -> { smap = map; collections = old.collections }
+        | None -> { smap = map; collections = [] }
+      in
+      t.shard <- Some st;
+      install_shard_on_peers t st;
+      rebalance_state t st
+
+let shard_map t = Option.map (fun st -> st.smap) t.shard
+let alive t name = Simnet.is_up t.net (uri_of_name name)
+
+let shard_state_exn ~what t =
+  match t.shard with
+  | Some st -> st
+  | None -> invalid_arg (what ^ ": attach a shard map first (set_shard_map)")
+
+(** Place (or replace) a sharded collection: [records] are
+    [(key, inner-xml)] pairs; record [i] becomes
+    [<part key owner seq="i+1">inner</part>] in the [doc] slice of every
+    member of its replica set. *)
+let place_sharded t ?(doc = default_shard_doc) ?(root = "shard") records =
+  let st = shard_state_exn ~what:"place_sharded" t in
+  st.collections <-
+    { sc_doc = doc; sc_root = root; sc_records = records }
+    :: List.filter (fun c -> c.sc_doc <> doc) st.collections;
+  rebalance_state t st
+
+let find_collection ~what st doc =
+  match List.find_opt (fun c -> c.sc_doc = doc) st.collections with
+  | Some c -> c
+  | None -> invalid_arg (what ^ ": no sharded collection " ^ doc)
+
+let sharded_records t ?(doc = default_shard_doc) () =
+  (find_collection ~what:"sharded_records"
+     (shard_state_exn ~what:"sharded_records" t)
+     doc)
+    .sc_records
+
+(** The unsharded oracle: the whole collection in one document, parts
+    tagged exactly as the placed slices tag them.  Load this on a
+    single reference peer and any sharded query must match it. *)
+let oracle_xml t ?(doc = default_shard_doc) () =
+  let st = shard_state_exn ~what:"oracle_xml" t in
+  let c = find_collection ~what:"oracle_xml" st doc in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "<%s>" c.sc_root);
+  List.iteri
+    (fun i (key, inner) ->
+      Buffer.add_string buf
+        (part_xml ~key ~owner:(Shard.primary st.smap key) ~seq:(i + 1) inner))
+    c.sc_records;
+  Buffer.add_string buf (Printf.sprintf "</%s>" c.sc_root);
+  Buffer.contents buf
+
+(** Peer join: create the peer if needed, hash it onto the ring, and
+    re-place every collection (only ~K/N parts move). *)
+let shard_join t name =
+  let st = shard_state_exn ~what:"shard_join" t in
+  ignore (add_peer t name);
+  Shard.add st.smap (uri_of_name name);
+  install_shard_on_peers t st;
+  rebalance_state t st
+
+(** Peer leave: drop the member from the ring, re-place, and empty the
+    departed peer's slices (it no longer serves them). *)
+let shard_leave t name =
+  let st = shard_state_exn ~what:"shard_leave" t in
+  let uri = uri_of_name name in
+  Shard.remove st.smap uri;
+  install_shard_on_peers t st;
+  rebalance_state t st;
+  match List.find_opt (fun (n, _) -> uri_of_name n = uri) t.peers with
+  | Some (_, p) ->
+      List.iter
+        (fun c ->
+          Database.add_doc_xml p.Peer.db c.sc_doc
+            (Printf.sprintf "<%s></%s>" c.sc_root c.sc_root))
+        st.collections
+  | None -> ()
+
+(** One scatter-gather query over the attached ring: plan legs from the
+    map filtered by Simnet liveness, fan out through the cluster client,
+    merge with the seq-dedup gather (see {!Xrpc_client.call_gather}). *)
+let scatter_gather t ?mode ~module_uri ?location ~fn ?params () =
+  let st = shard_state_exn ~what:"scatter_gather" t in
+  Xrpc_client.call_gather (client t) ?mode
+    ~alive:(Simnet.is_up t.net)
+    ~shard:st.smap ~module_uri ?location ~fn ?params ()
 
 (* ------------------------------------------------------------------ *)
 (* Cache control                                                       *)

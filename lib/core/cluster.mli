@@ -36,6 +36,13 @@ val net : t -> Xrpc_net.Simnet.t
     the virtual clock, ...). *)
 
 val peer : t -> string -> Xrpc_peer.Peer.t
+
+val add_peer : t -> string -> Xrpc_peer.Peer.t
+(** Add one more peer to a live cluster: same config, transport, executor
+    and simulated network as the founding members, with every
+    {!register_module_everywhere} module replayed onto it.  Returns the
+    existing peer if the name is taken. *)
+
 val add_wrapper : t -> ?join_detect:bool -> string -> Xrpc_peer.Wrapper.t
 val wrapper : t -> string -> Xrpc_peer.Wrapper.t
 
@@ -88,6 +95,68 @@ val resolve_in_doubt : t -> int * int * int
 (** Run {!Xrpc_peer.Peer.resolve_in_doubt} on every peer (models
     "everyone reconnects after the network recovers"); returns summed
     [(committed, aborted, still_in_doubt)]. *)
+
+(** {2 Sharded collections}
+
+    A cluster carries at most one {!Xrpc_peer.Shard} ring.  Records
+    placed with {!place_sharded} are wrapped as
+    [<part key owner seq>…</part>] elements; each ring member's [doc]
+    holds every part whose replica set includes it, so any single member
+    can die without losing data (with [replicas >= 2]).  Queries reach
+    the slices two ways: per-key routing — [execute at
+    {"xrpc://shard/<key>"}] on any peer resolves to the first {e live}
+    holder of the key — and {!scatter_gather}, which fans a per-owner
+    collection function out over the live members and merges the partial
+    answers deduped and ordered by [seq]. *)
+
+val set_shard_map : t -> Xrpc_peer.Shard.t option -> unit
+(** Attach a ring (creating peers for members that lack one, installing
+    the replica-aware liveness-filtered router on every peer) or detach
+    with [None].  Re-attaching re-places any sharded collections. *)
+
+val shard_map : t -> Xrpc_peer.Shard.t option
+
+val alive : t -> string -> bool
+(** Whether a peer is currently up on the simulated network (not crashed,
+    not partitioned away). *)
+
+val place_sharded :
+  t -> ?doc:string -> ?root:string -> (string * string) list -> unit
+(** Place (or replace) a sharded collection. [records] are
+    [(key, inner-xml)] pairs; record [i] is tagged [seq="i+1"] and
+    [owner="<its primary>"], and lands in [doc] (default ["shard.xml"],
+    root element [root], default ["shard"]) on every member of its
+    replica set. *)
+
+val sharded_records : t -> ?doc:string -> unit -> (string * string) list
+(** The records of a placed collection, in placement (seq) order. *)
+
+val oracle_xml : t -> ?doc:string -> unit -> string
+(** The unsharded oracle: the whole collection as one document, parts
+    tagged exactly as the placed slices tag them.  Load it on a single
+    reference peer; every sharded query must match that peer's answer. *)
+
+val shard_join : t -> string -> unit
+(** Peer join: create the peer if needed, hash it onto the ring,
+    re-place every collection (only ~K/N parts move). *)
+
+val shard_leave : t -> string -> unit
+(** Peer leave: drop the member from the ring, re-place, and empty the
+    departed peer's slices. *)
+
+val scatter_gather :
+  t ->
+  ?mode:Xrpc_client.scatter_mode ->
+  module_uri:string ->
+  ?location:string ->
+  fn:string ->
+  ?params:Xrpc_xml.Xdm.sequence list ->
+  unit ->
+  Xrpc_xml.Xdm.sequence
+(** One scatter-gather query over the ring: legs planned from the map
+    filtered by Simnet liveness ({!Xrpc_client.plan_scatter}), dispatched
+    through the cluster client, merged with the seq-dedup gather.  [fn]
+    receives the owner URIs a leg answers for as its first parameter. *)
 
 (** {2 Cache control} *)
 

@@ -220,52 +220,84 @@ let calib_locked f =
 (** EMA weight for new observations. *)
 let ema_alpha = 0.3
 
-(** Correction factor (measured / estimated, EMA) for a strategy;
-    [1.0] until something has been observed. *)
-let calibration strategy =
-  calib_locked (fun () ->
-      match Hashtbl.find_opt calib_tbl (Strategies.short_name strategy) with
-      | Some c when c.runs > 0 -> c.factor
-      | _ -> 1.0)
+(* entries are keyed [<short_name>] (global) or [<short_name>@<dest>]
+   (per-destination — meaningful once a sharded ring gives destinations
+   distinct cost profiles); destination URIs never contain spaces or
+   '@', so both keys and flight labels stay unambiguous *)
+let calib_key ?dest strategy =
+  let base = Strategies.short_name strategy in
+  match dest with None -> base | Some d -> base ^ "@" ^ d
 
-let runs strategy =
+(** Correction factor (measured / estimated, EMA) for a strategy;
+    [1.0] until something has been observed.  With [?dest], the
+    per-destination factor when that destination has observations, the
+    global per-strategy factor otherwise. *)
+let calibration ?dest strategy =
   calib_locked (fun () ->
-      match Hashtbl.find_opt calib_tbl (Strategies.short_name strategy) with
+      let factor_of key =
+        match Hashtbl.find_opt calib_tbl key with
+        | Some c when c.runs > 0 -> Some c.factor
+        | _ -> None
+      in
+      let per_dest =
+        match dest with
+        | Some _ -> factor_of (calib_key ?dest strategy)
+        | None -> None
+      in
+      match per_dest with
+      | Some f -> f
+      | None -> (
+          match factor_of (calib_key strategy) with
+          | Some f -> f
+          | None -> 1.0))
+
+let runs ?dest strategy =
+  calib_locked (fun () ->
+      match Hashtbl.find_opt calib_tbl (calib_key ?dest strategy) with
       | Some c -> c.runs
       | None -> 0)
 
-let observe strategy ~estimated_ms ~measured_ms =
+(** Fold one (estimated, measured) pair into the EMA.  With [?dest] both
+    the per-destination entry and the global per-strategy entry advance,
+    so destinations without their own history still fall back to a
+    current global factor. *)
+let observe ?dest strategy ~estimated_ms ~measured_ms =
   if estimated_ms > 0. && measured_ms >= 0. then
     let ratio = measured_ms /. estimated_ms in
     calib_locked (fun () ->
-        let key = Strategies.short_name strategy in
-        let c =
-          match Hashtbl.find_opt calib_tbl key with
-          | Some c -> c
-          | None ->
-              let c = { runs = 0; factor = 1.0 } in
-              Hashtbl.add calib_tbl key c;
-              c
+        let fold key =
+          let c =
+            match Hashtbl.find_opt calib_tbl key with
+            | Some c -> c
+            | None ->
+                let c = { runs = 0; factor = 1.0 } in
+                Hashtbl.add calib_tbl key c;
+                c
+          in
+          c.factor <-
+            (if c.runs = 0 then ratio
+             else ((1. -. ema_alpha) *. c.factor) +. (ema_alpha *. ratio));
+          c.runs <- c.runs + 1
         in
-        c.factor <-
-          (if c.runs = 0 then ratio
-           else ((1. -. ema_alpha) *. c.factor) +. (ema_alpha *. ratio));
-        c.runs <- c.runs + 1)
+        fold (calib_key strategy);
+        match dest with
+        | Some _ -> fold (calib_key ?dest strategy)
+        | None -> ())
 
 let reset_calibration () = calib_locked (fun () -> Hashtbl.reset calib_tbl)
 
-let flight_label strategy ~estimated_ms ~measured_ms =
+let flight_label ?dest strategy ~estimated_ms ~measured_ms =
   Printf.sprintf "optimizer:%s est=%.6f meas=%.6f"
-    (Strategies.short_name strategy)
+    (calib_key ?dest strategy)
     estimated_ms measured_ms
 
 (** Feed one measured run into the EMA and persist it in the flight
     recorder so later sessions can [replay_flight].  Returns the flight
     entry id. *)
-let record_run strategy ~estimated_ms ~measured_ms =
-  observe strategy ~estimated_ms ~measured_ms;
+let record_run ?dest strategy ~estimated_ms ~measured_ms =
+  observe ?dest strategy ~estimated_ms ~measured_ms;
   Flight_recorder.record
-    ~label:(flight_label strategy ~estimated_ms ~measured_ms)
+    ~label:(flight_label ?dest strategy ~estimated_ms ~measured_ms)
     ~duration_ms:measured_ms ~spans:[] ()
 
 let parse_flight_label label =
@@ -273,7 +305,15 @@ let parse_flight_label label =
   | Some i when String.sub label 0 i = "optimizer" -> (
       let rest = String.sub label (i + 1) (String.length label - i - 1) in
       match String.split_on_char ' ' rest with
-      | [ sname; est; meas ] -> (
+      | [ skey; est; meas ] -> (
+          let sname, dest =
+            match String.index_opt skey '@' with
+            | Some j ->
+                ( String.sub skey 0 j,
+                  Some (String.sub skey (j + 1) (String.length skey - j - 1))
+                )
+            | None -> (skey, None)
+          in
           let num prefix s =
             let pl = String.length prefix in
             if String.length s > pl && String.sub s 0 pl = prefix then
@@ -284,7 +324,7 @@ let parse_flight_label label =
             (Strategies.of_string sname, num "est=" est, num "meas=" meas)
           with
           | Some strategy, Some estimated_ms, Some measured_ms ->
-              Some (strategy, estimated_ms, measured_ms)
+              Some (strategy, dest, estimated_ms, measured_ms)
           | _ -> None)
       | _ -> None)
   | _ -> None
@@ -297,8 +337,8 @@ let replay_flight () =
   List.fold_left
     (fun n (e : Flight_recorder.entry) ->
       match parse_flight_label e.Flight_recorder.label with
-      | Some (strategy, estimated_ms, measured_ms) ->
-          observe strategy ~estimated_ms ~measured_ms;
+      | Some (strategy, dest, estimated_ms, measured_ms) ->
+          observe ?dest strategy ~estimated_ms ~measured_ms;
           n + 1
       | None -> n)
     0 entries
@@ -312,6 +352,30 @@ let calibration_text () =
         (Printf.sprintf "  %-22s factor=%.3f runs=%d\n" (Strategies.name s)
            (calibration s) (runs s)))
     Strategies.all;
+  let per_dest =
+    calib_locked (fun () ->
+        Hashtbl.fold
+          (fun k (c : calib) acc ->
+            match String.index_opt k '@' with
+            | Some i ->
+                ( String.sub k 0 i,
+                  String.sub k (i + 1) (String.length k - i - 1),
+                  c.factor,
+                  c.runs )
+                :: acc
+            | None -> acc)
+          calib_tbl [])
+    |> List.sort compare
+  in
+  if per_dest <> [] then begin
+    Buffer.add_string buf "  per destination:\n";
+    List.iter
+      (fun (sname, dest, factor, n) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %-4s @ %-24s factor=%.3f runs=%d\n" sname dest
+             factor n))
+      per_dest
+  end;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -324,16 +388,18 @@ type decision = {
   ranked : cost list;  (** all strategies, cheapest (calibrated) first *)
 }
 
-(** Calibrated total: the model estimate corrected by the feedback EMA. *)
-let calibrated_total c = total c *. calibration c.strategy
+(** Calibrated total: the model estimate corrected by the feedback EMA
+    (the destination-specific factor when [?dest] has history). *)
+let calibrated_total ?dest c = total c *. calibration ?dest c.strategy
 
 (** Rank all four strategies for [site] and pick the cheapest, unless
-    [force] (e.g. from [XRPC_FORCE_STRATEGY]) overrides. *)
-let choose ?force net cpu site =
+    [force] (e.g. from [XRPC_FORCE_STRATEGY]) overrides.  [?dest] ranks
+    with that destination's calibration factors. *)
+let choose ?force ?dest net cpu site =
   let costs = List.map (estimate net cpu site) Strategies.all in
   let ranked =
     List.stable_sort
-      (fun a b -> compare (calibrated_total a) (calibrated_total b))
+      (fun a b -> compare (calibrated_total ?dest a) (calibrated_total ?dest b))
       costs
   in
   match force with

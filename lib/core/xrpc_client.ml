@@ -332,6 +332,59 @@ let call_scatter t ?query_id ?updating ?fragments ?cache ~module_uri ?location
     (send_raw_bulk t pairs)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded scatter-gather                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Shard = Xrpc_peer.Shard
+module Gather = Xrpc_algebra.Gather
+
+(** How a shard map turns into scatter legs.  [By_owner] sends every live
+    member one call asking for the parts it primarily owns (plus, as
+    failover, the parts of every dead owner — its replicas hold copies);
+    [Broadcast] asks every live member for everything it stores.
+    Broadcast legs over-answer — only replication-factor of the ring is
+    returned more than once — and rely on the gather merge's seq-dedup,
+    which makes them robust to a rebalance racing the query. *)
+type scatter_mode = By_owner | Broadcast
+
+(** The legs of a sharded fan-out: [(dest, owners)] — call [dest], asking
+    for the parts tagged with each owner in [owners].  [alive] filters the
+    ring's members (default: all live); raises {!Xrpc_error.Error}
+    ([Unreachable]) when no member is live. *)
+let plan_scatter ?(mode = By_owner) ?alive shard =
+  let members = Shard.members shard in
+  let is_alive = match alive with Some f -> f | None -> fun _ -> true in
+  let live = List.filter is_alive members in
+  if live = [] then
+    Xrpc_error.error
+      ~kind:Xrpc_error.Unreachable
+      ~dest:"xrpc://shard" "scatter: every shard member is down";
+  match mode with
+  | Broadcast -> List.map (fun m -> (m, members)) live
+  | By_owner ->
+      let dead = List.filter (fun m -> not (is_alive m)) members in
+      List.map (fun m -> (m, m :: dead)) live
+
+(** Scatter a per-owner collection function over a shard ring and merge
+    the partial answers (dedup by [@seq], order by [@seq] — see
+    {!Xrpc_algebra.Gather}).  [fn] at each member receives the owner URIs
+    it should answer for as its first parameter (an [xs:string*]), then
+    [params].  One leg failing raises that leg's typed
+    {!Xrpc_error.Error}; no partial result is ever returned. *)
+let call_gather t ?(mode = By_owner) ?alive ~shard ?query_id ?cache
+    ~module_uri ?location ~fn ?(params = []) () =
+  let legs = plan_scatter ~mode ?alive shard in
+  let dest_params =
+    List.map
+      (fun (dest, owners) -> (dest, List.map Xdm.str owners :: params))
+      legs
+  in
+  let partials =
+    call_scatter t ?query_id ?cache ~module_uri ?location ~fn dest_params
+  in
+  Gather.merge partials
+
+(* ------------------------------------------------------------------ *)
 (* Asynchronous calls                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -357,8 +410,8 @@ let strategy t = t.forced_strategy
     (chosen plan + rejected alternatives with their estimated costs).
     Force precedence: explicit [?force], then the client's configured
     [~strategy], then [XRPC_FORCE_STRATEGY]. *)
-let choose_strategy t ?force ?(net = Cost.default_net) ?(cpu = Cost.zero_cpu)
-    site =
+let choose_strategy t ?force ?dest ?(net = Cost.default_net)
+    ?(cpu = Cost.zero_cpu) site =
   let force =
     match force with
     | Some _ -> force
@@ -367,7 +420,7 @@ let choose_strategy t ?force ?(net = Cost.default_net) ?(cpu = Cost.zero_cpu)
         | Some _ as s -> s
         | None -> Cost.force_of_env ())
   in
-  Cost.choose ?force net cpu site
+  Cost.choose ?force ?dest net cpu site
 
 (** Probe one remote function and seed the optimizer's site statistics
     from what actually came back: the returned row count and payload

@@ -174,6 +174,45 @@ val call_raw : t -> dest:string -> string -> string
 val call_raw_bulk : t -> (string * string) list -> string list
 (** Raw multi-destination fan-out through the executor. *)
 
+(** {2 Sharded scatter-gather}
+
+    A {!Xrpc_peer.Shard} ring plans into legs; the gather merge
+    ({!Xrpc_algebra.Gather.merge}) dedups replica/broadcast re-deliveries
+    by [@seq] and orders by [@seq], so every mode returns the same
+    answer. *)
+
+type scatter_mode = By_owner | Broadcast
+
+val plan_scatter :
+  ?mode:scatter_mode ->
+  ?alive:(string -> bool) ->
+  Xrpc_peer.Shard.t ->
+  (string * string list) list
+(** The legs of a sharded fan-out: [(dest, owners)] pairs.  [By_owner]
+    (default) asks each live member for its own parts plus those of every
+    dead owner (replica failover); [Broadcast] asks each live member for
+    every owner's parts.  Raises {!Xrpc_net.Xrpc_error.Error} when no
+    member passes [alive]. *)
+
+val call_gather :
+  t ->
+  ?mode:scatter_mode ->
+  ?alive:(string -> bool) ->
+  shard:Xrpc_peer.Shard.t ->
+  ?query_id:Xrpc_soap.Message.query_id ->
+  ?cache:bool ->
+  module_uri:string ->
+  ?location:string ->
+  fn:string ->
+  ?params:Xrpc_xml.Xdm.sequence list ->
+  unit ->
+  Xrpc_xml.Xdm.sequence
+(** Scatter [fn] over the ring ({!plan_scatter} → {!call_scatter}) and
+    merge the partial answers.  [fn] receives the owner URIs a leg should
+    answer for as its first parameter ([xs:string*]), then [params].  A
+    failing leg raises that leg's typed error with the failing [dest];
+    partial results are never returned. *)
+
 (** {2 Asynchronous calls} *)
 
 type 'a future = 'a Xrpc_net.Executor.future
@@ -211,14 +250,17 @@ val strategy : t -> Strategies.strategy option
 val choose_strategy :
   t ->
   ?force:Strategies.strategy ->
+  ?dest:string ->
   ?net:Cost.net ->
   ?cpu:Cost.cpu ->
   Cost.site ->
   Cost.decision
 (** Rank the §5 strategies for a site and return the full decision —
     chosen plan plus every rejected alternative with its estimated cost.
-    Force precedence: [?force], then the client's configured [~strategy],
-    then the [XRPC_FORCE_STRATEGY] environment variable. *)
+    [?dest] applies that destination's calibration factors (falling back
+    to the global per-strategy EMA).  Force precedence: [?force], then
+    the client's configured [~strategy], then the [XRPC_FORCE_STRATEGY]
+    environment variable. *)
 
 val measure_site :
   t ->

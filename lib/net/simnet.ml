@@ -193,6 +193,21 @@ let partition net uris =
 
 let heal net = with_faults net (fun f -> Hashtbl.reset f.partitioned)
 
+(** [is_up net uri] — would a send to [uri] currently be rejected as
+    unreachable (crashed and not yet restarted, or partitioned away)?
+    Replica-aware shard routers consult this to steer a key's lookup to a
+    live holder.  True when no fault layer is installed. *)
+let is_up net uri =
+  let key = Xrpc_uri.peer_key_of_string uri in
+  match net.faults with
+  | None -> true
+  | Some f ->
+      (not (Hashtbl.mem f.partitioned key))
+      &&
+      (match Hashtbl.find_opt f.down key with
+      | Some until -> net.clock_ms >= until
+      | None -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Delivery                                                            *)
 (* ------------------------------------------------------------------ *)

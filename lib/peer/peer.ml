@@ -85,6 +85,12 @@ type internals = {
   mutable locked_by : int option;
       (** holder thread id, for reentrant self-calls (a served function may
           [execute at] its own peer) *)
+  mutable shard_map : Shard.t option;
+      (** the consistent-hash ring this peer routes virtual
+          [xrpc://shard/<key>] destinations with (introspection surface) *)
+  mutable shard_route : (string -> string) option;
+      (** key -> concrete peer URI; defaults to the map's primary, but a
+          cluster installs a replica-aware, liveness-filtered router *)
 }
 
 type t = {
@@ -139,6 +145,8 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
         clock;
         lock = Mutex.create ();
         locked_by = None;
+        shard_map = None;
+        shard_route = None;
       };
   }
   in
@@ -152,6 +160,31 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
 
 let set_transport peer transport = peer.transport <- Some transport
 let set_executor peer executor = peer.executor <- executor
+
+(** Attach (or detach) a shard map: [execute at {"xrpc://shard/<key>"}]
+    destinations route to the key's primary member.  Use
+    {!set_shard_router} afterwards for a smarter route (replica-aware,
+    liveness-filtered — what {!Xrpc_core.Cluster} installs). *)
+let set_shard_map peer map =
+  peer.internals.shard_map <- map;
+  peer.internals.shard_route <-
+    Option.map (fun m -> fun key -> Shard.primary m key) map
+
+(** Override the key router while keeping the map for introspection. *)
+let set_shard_router peer route = peer.internals.shard_route <- Some route
+
+let shard_map peer = peer.internals.shard_map
+
+(** [:shards] / [/shardz]: the attached map, or a note that none is. *)
+let shard_text ?keys peer =
+  match peer.internals.shard_map with
+  | Some m -> Shard.describe ?keys m
+  | None -> "no shard map attached (execute at \"xrpc://shard/<key>\" would fail)\n"
+
+let shard_json ?keys peer =
+  match peer.internals.shard_map with
+  | Some m -> Shard.to_json ?keys m
+  | None -> "{\"shard_map\":null}"
 
 (** Register an XQuery module source under its namespace URI and
     (optionally) an at-hint location, so that both [import module ... at]
@@ -371,10 +404,16 @@ let make_context ?deps ?remote_dep peer ~version ~query_id ~peers_acc : Xctx.t =
         | None -> peer.config.rpc_mode)
     | None -> peer.config.rpc_mode
   in
+  let dest_resolver =
+    Option.map
+      (fun route -> Runner.shard_resolver ~route)
+      peer.internals.shard_route
+  in
   {
     base with
     Xctx.doc_resolver = resolver;
     dispatcher;
+    dest_resolver;
     query_id;
     bulk_rpc = peer.config.bulk_rpc;
     rpc_mode;

@@ -76,6 +76,30 @@ val set_executor : t -> Xrpc_net.Executor.t -> unit
 (** Fan this peer's 2PC broadcasts out through [executor].  Keep the
     default {!Xrpc_net.Executor.sequential} on Simnet-backed peers. *)
 
+(** {2 Shard routing} *)
+
+val set_shard_map : t -> Shard.t option -> unit
+(** Attach (or, with [None], detach) a consistent-hash {!Shard} map.
+    While attached, [execute at {"xrpc://shard/<key>"}] destinations are
+    rewritten — before Bulk-RPC dedup, so co-located keys still share one
+    message — to the key's primary member.  {!set_shard_router} swaps in a
+    smarter route (replica-aware, liveness-filtered; what
+    [Xrpc_core.Cluster.set_shard_map] installs on every peer). *)
+
+val set_shard_router : t -> (string -> string) -> unit
+(** Override how shard keys become concrete peer URIs, keeping the
+    attached map for introspection. *)
+
+val shard_map : t -> Shard.t option
+
+val shard_text : ?keys:string list -> t -> string
+(** Human-readable ring description — the shell's [:shards] and the
+    monitoring server's [/shardz]. *)
+
+val shard_json : ?keys:string list -> t -> string
+(** JSON ring description ([/shardz.json]); [{"shard_map":null}] when no
+    map is attached. *)
+
 val register_module : t -> uri:string -> ?location:string -> string -> unit
 (** Register an XQuery module source under its namespace URI and
     (optionally) an at-hint location, so that both [import module ... at]

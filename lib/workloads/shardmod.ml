@@ -1,0 +1,64 @@
+(** The sharded-collection workload: the XQuery module every ring member
+    serves, plus a deterministic record generator.
+
+    A sharded collection (see [Xrpc_core.Cluster.place_sharded]) is a
+    document of [<part key owner seq>…</part>] elements; each member's
+    copy holds the parts whose replica set includes it.  The functions
+    here are what scatter legs call ([partsByOwner] — a leg asks for the
+    owners it covers) and what routed per-key queries call ([byKey],
+    [valueOf]).  The same module also serves the unsharded oracle peer:
+    called there with every owner (or with [allParts]), it answers over
+    the whole collection, which is exactly what the differential battery
+    compares against. *)
+
+let module_ns = "shard"
+let module_at = "http://x.example.org/shard.xq"
+
+(** Serves a ["shard.xml"] slice (any root element name works). *)
+let shard_module =
+  {|module namespace sh = "shard";
+declare function sh:partsByOwner($owners as xs:string*) {
+  doc("shard.xml")/*/part[@owner = $owners]
+};
+declare function sh:allParts() { doc("shard.xml")/*/part };
+declare function sh:byKey($key as xs:string) {
+  doc("shard.xml")/*/part[@key = $key]
+};
+declare function sh:valueOf($key as xs:string) as xs:string {
+  string(doc("shard.xml")/*/part[@key = $key])
+};
+declare function sh:countParts($owners as xs:string*) as xs:integer {
+  count(doc("shard.xml")/*/part[@owner = $owners])
+};
+declare function sh:sumField($owners as xs:string*, $field as xs:string)
+as xs:integer {
+  sum(for $p in doc("shard.xml")/*/part[@owner = $owners]
+      return xs:integer($p/rec/*[local-name(.) = $field]))
+};
+declare function sh:semiJoin($owners as xs:string*, $keys as xs:string*) {
+  doc("shard.xml")/*/part[@owner = $owners][@key = $keys]
+};
+declare updating function sh:put($key as xs:string, $value as xs:string) {
+  insert node <pending key="{$key}">{$value}</pending>
+  into doc("shard.xml")/*
+};
+|}
+
+(** A routed per-key lookup: [execute at {"xrpc://shard/<key>"}] — the
+    peer's shard router turns the virtual destination into the first live
+    holder of [key]. *)
+let lookup_query ~key =
+  Printf.sprintf
+    {|import module namespace sh="shard" at "%s";
+execute at {"xrpc://shard/%s"} {sh:valueOf(%S)}|}
+    module_at key key
+
+(** [n] deterministic records, [("k<i>", "<rec><id>i</id><v>…</v></rec>")]:
+    ready for [Cluster.place_sharded].  The [v] field is a small LCG value
+    so aggregate queries have something non-trivial to chew on. *)
+let records n =
+  List.init n (fun i ->
+      let v = (i * 1103515245 + 12345) / 65536 mod 1000 in
+      let v = if v < 0 then v + 1000 else v in
+      ( Printf.sprintf "k%d" i,
+        Printf.sprintf "<rec><id>%d</id><v>%d</v></rec>" i (abs v) ))

@@ -65,6 +65,10 @@ type t = {
   imports : (string * string) list ref;  (** module uri -> at-hint *)
   doc_resolver : string -> Store.t;
   dispatcher : dispatcher option;
+  dest_resolver : (string -> string) option;
+      (** rewrite [execute at] destinations before dispatch — the hook a
+          shard router installs to turn a virtual [xrpc://shard/<key>]
+          destination into the URI of a live peer holding that key *)
   pul : Update.pul ref;
   options : (string * string) list ref;  (** expanded name -> value *)
   query_id : Message.query_id option;
@@ -90,6 +94,7 @@ let empty () =
     imports = ref [];
     doc_resolver = (fun uri -> raise (No_such_document uri));
     dispatcher = None;
+    dest_resolver = None;
     pul = ref [];
     options = ref [];
     query_id = None;

@@ -805,12 +805,19 @@ and bulk_execute base_ctx tuples dest_e fname args =
   let updating =
     match finfo with Some f -> f.Context.decl.Ast.fn_updating | None -> false
   in
-  (* per-tuple destination and parameters *)
+  (* per-tuple destination and parameters; virtual destinations (e.g. the
+     shard scheme) are rewritten here, before δ and Bulk RPC batching, so
+     two keys hashing to one peer share a single message *)
+  let resolve_dest =
+    match base_ctx.Context.dest_resolver with Some f -> f | None -> Fun.id
+  in
   let calls =
     List.map
       (fun tctx ->
         let dest =
-          Xs.to_string (Xdm.one_atom ~what:"destination" (eval tctx dest_e))
+          resolve_dest
+            (Xs.to_string
+               (Xdm.one_atom ~what:"destination" (eval tctx dest_e)))
         in
         let params = List.map (eval tctx) args in
         (dest, params))

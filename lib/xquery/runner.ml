@@ -200,6 +200,38 @@ let prog_is_updating (ctx : Context.t) (prog : Ast.prog) =
   match prog.Ast.body with Some e -> expr_updating e | None -> false
 
 (* ------------------------------------------------------------------ *)
+(* Shard-aware [execute at] destinations                               *)
+(* ------------------------------------------------------------------ *)
+
+(** The virtual shard scheme: [execute at {"xrpc://shard/<key>"}] names a
+    {e key}, not a peer.  A shard router installed on the evaluation
+    context ({!Context.t.dest_resolver}, built with {!shard_resolver})
+    rewrites it to the URI of a live peer holding that key before Bulk
+    RPC batching — so two keys hashing to the same peer still share one
+    message, and the query text never hard-codes the topology. *)
+let shard_scheme = "xrpc://shard/"
+
+let is_shard_dest d =
+  String.length d > String.length shard_scheme
+  && String.sub d 0 (String.length shard_scheme) = shard_scheme
+
+(** The key a virtual shard destination names ([None] for ordinary
+    destinations). *)
+let shard_key d =
+  if is_shard_dest d then
+    Some
+      (String.sub d
+         (String.length shard_scheme)
+         (String.length d - String.length shard_scheme))
+  else None
+
+(** [shard_resolver ~route] — the {!Context.t.dest_resolver} that sends
+    shard-scheme destinations through [route] (key to concrete peer URI)
+    and leaves every other destination untouched. *)
+let shard_resolver ~(route : string -> string) : string -> string =
+ fun d -> match shard_key d with Some key -> route key | None -> d
+
+(* ------------------------------------------------------------------ *)
 (* Static [execute at] site analysis                                   *)
 (* ------------------------------------------------------------------ *)
 

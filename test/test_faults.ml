@@ -9,7 +9,8 @@
    (pure unit tests on a fake clock), per-fault-kind injection coverage,
    bit-for-bit replay determinism, a ~100-seed atomicity sweep over
    distributed updating queries (2PC + in-doubt recovery must leave every
-   peer all-or-nothing), the exactly-once property under duplicate
+   peer all-or-nothing), the same sweep with the participants resolved
+   through xrpc://shard/<key> routing, the exactly-once property under duplicate
    delivery (with its negative control: idempotency cache off), and the
    retries-off negative control (the same seeds that commit with retries
    demonstrably abort without them). *)
@@ -373,6 +374,102 @@ let test_chaos_atomicity_sweep () =
     Alcotest.failf "only %d/%d seeds committed with retries on" committed
       (List.length seeds)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded 2PC: updates routed through xrpc://shard/<key>              *)
+(* ------------------------------------------------------------------ *)
+
+(* the same all-or-nothing sweep, but the two participants are virtual
+   destinations the origin's shard router resolves mid-plan: a commit
+   must land sh:put's <pending> marker on BOTH routed members, an abort
+   on neither — ownership must never make atomicity leak *)
+
+module Shard = Xrpc_peer.Shard
+module Shardmod = Xrpc_workloads.Shardmod
+
+let sharded_chaos_cluster ~seed () =
+  let members = List.init 4 (fun i -> Printf.sprintf "s%d" i) in
+  let cluster =
+    Cluster.create ~config:sim_config
+      ~faults:(Simnet.chaos ~seed ~loss:0.01 ())
+      ~policy:chaos_policy
+      ~names:("origin" :: members) ()
+  in
+  Cluster.register_module_everywhere cluster ~uri:Shardmod.module_ns
+    ~location:Shardmod.module_at Shardmod.shard_module;
+  let map =
+    Shard.create ~replicas:1 (List.map (fun s -> "xrpc://" ^ s) members)
+  in
+  Cluster.set_shard_map cluster (Some map);
+  Cluster.place_sharded cluster (Shardmod.records 12);
+  (cluster, map, members)
+
+(* two keys guaranteed to live on different members *)
+let cross_shard_keys map =
+  let keys = List.map fst (Shardmod.records 12) in
+  let k1 = List.hd keys in
+  let p1 = Shard.primary map k1 in
+  let k2 = List.find (fun k -> Shard.primary map k <> p1) keys in
+  (k1, k2)
+
+let q_sharded_2pc k1 k2 =
+  Printf.sprintf
+    {|import module namespace sh="shard" at %S;
+declare option xrpc:isolation "repeatable";
+for $k in (%S, %S)
+return execute at {concat("xrpc://shard/", $k)} {sh:put($k, "chaos")}|}
+    Shardmod.module_at k1 k2
+
+let count_pending cluster members key =
+  List.fold_left
+    (fun n m ->
+      match
+        Peer.query_seq (Cluster.peer cluster m)
+          (Printf.sprintf {|count(doc("shard.xml")/*/pending[@key = %S])|} key)
+      with
+      | [ Xdm.Atomic (Xs.Integer n') ] -> n + n'
+      | r -> Alcotest.failf "unexpected pending count %s" (Xdm.to_display r))
+    0 members
+
+let assert_sharded_atomic seed =
+  let cluster, map, members = sharded_chaos_cluster ~seed () in
+  let k1, k2 = cross_shard_keys map in
+  let origin = Cluster.peer cluster "origin" in
+  let committed =
+    match Peer.query origin (q_sharded_2pc k1 k2) with
+    | r -> r.Peer.committed
+    | exception _ -> false
+  in
+  (* network recovers: lift faults, cool breakers, settle in-doubt *)
+  Cluster.clear_faults cluster;
+  Simnet.sleep (Cluster.net cluster)
+    (chaos_policy.Transport.breaker_cooldown_ms +. 1.);
+  ignore (Cluster.resolve_in_doubt cluster);
+  let n1 = count_pending cluster members k1
+  and n2 = count_pending cluster members k2 in
+  if n1 <> n2 then
+    Alcotest.failf
+      "seed %d violates sharded atomicity: %s=%d %s=%d (committed=%b) — \
+       replay with: %s"
+      seed k1 n1 k2 n2 committed (replay_hint seed);
+  let expected = if committed then 1 else 0 in
+  if n1 <> expected then
+    Alcotest.failf
+      "seed %d: coordinator says committed=%b but shards applied %d — replay \
+       with: %s"
+      seed committed n1 (replay_hint seed);
+  committed
+
+let test_sharded_atomicity_sweep () =
+  let seeds = chaos_seeds () in
+  let committed =
+    List.fold_left
+      (fun n seed -> if assert_sharded_atomic seed then n + 1 else n)
+      0 seeds
+  in
+  if List.length seeds > 1 && committed * 10 < List.length seeds * 9 then
+    Alcotest.failf "only %d/%d sharded seeds committed with retries on"
+      committed (List.length seeds)
+
 let test_chaos_strategies () =
   (* the §5 distributed strategies under fault schedules: a run must
      either fail outright or return the exact fault-free answer — retried
@@ -707,6 +804,8 @@ let () =
         [
           Alcotest.test_case "atomicity sweep (100 seeds)" `Quick
             test_chaos_atomicity_sweep;
+          Alcotest.test_case "sharded atomicity sweep (100 seeds)" `Quick
+            test_sharded_atomicity_sweep;
           Alcotest.test_case "strategies return exact results" `Quick
             test_chaos_strategies;
           Alcotest.test_case "negative control: retries off" `Quick

@@ -453,6 +453,87 @@ let test_feedback_flight_replay () =
   check floatish "pushdown EMA reconstructed" f_pd (Cost.calibration pd);
   check int_ "runs reconstructed" 2 (Cost.runs sj)
 
+(* one slow destination must not poison the ranking everywhere: observe
+   folds the measurement into BOTH the per-destination and the global
+   EMA, calibration ~dest prefers the destination's own factor and falls
+   back to the global one for destinations never measured *)
+let test_feedback_per_destination () =
+  with_clean_calibration @@ fun () ->
+  let sj = Strategies.Distributed_semijoin in
+  let slow = "xrpc://satellite:8080" and fast = "xrpc://rack-mate" in
+  Cost.observe sj ~dest:slow ~estimated_ms:1.0 ~measured_ms:8.0;
+  check floatish "slow dest gets its own factor" 8.0
+    (Cost.calibration ~dest:slow sj);
+  check int_ "and its own run count" 1 (Cost.runs ~dest:slow sj);
+  check floatish "global EMA absorbed the run too" 8.0 (Cost.calibration sj);
+  (* an unmeasured destination inherits the global factor, not 1.0 *)
+  check floatish "unseen dest falls back to global" 8.0
+    (Cost.calibration ~dest:fast sj);
+  check int_ "unseen dest has no runs" 0 (Cost.runs ~dest:fast sj);
+  (* measuring the fast destination separates the two *)
+  Cost.observe sj ~dest:fast ~estimated_ms:4.0 ~measured_ms:2.0;
+  check floatish "fast dest factor" 0.5 (Cost.calibration ~dest:fast sj);
+  check floatish "slow dest unchanged" 8.0 (Cost.calibration ~dest:slow sj);
+  check bool_ "calibration_text lists the destinations" true
+    (contains (Cost.calibration_text ()) "satellite"
+    && contains (Cost.calibration_text ()) "rack-mate")
+
+let test_feedback_per_destination_flips_choice () =
+  with_clean_calibration @@ fun () ->
+  let sj = Strategies.Distributed_semijoin in
+  let slow = "xrpc://satellite:8080" in
+  let est =
+    Cost.total (Cost.estimate Cost.default_net Cost.zero_cpu selective_site sj)
+  in
+  Cost.observe sj ~dest:slow ~estimated_ms:est ~measured_ms:(est *. 10.);
+  (* the global EMA moved too (it absorbs every observation), but a
+     steady diet of honest runs elsewhere decays it back toward 1.0 while
+     the slow destination's own factor stays put at 10.  Decay until the
+     global factor sits safely inside the pushdown/semi-join cost gap. *)
+  let gap =
+    Cost.total
+      (Cost.estimate Cost.default_net Cost.zero_cpu selective_site
+         Strategies.Predicate_pushdown)
+    /. est
+  in
+  while Cost.calibration sj > 1.0 +. ((gap -. 1.0) /. 2.) do
+    Cost.observe sj ~estimated_ms:est ~measured_ms:est
+  done;
+  let at_slow =
+    Cost.choose ~dest:slow Cost.default_net Cost.zero_cpu selective_site
+  in
+  let elsewhere = Cost.choose Cost.default_net Cost.zero_cpu selective_site in
+  check string_ "slow destination flips to pushdown" "pushdown"
+    (Strategies.short_name at_slow.Cost.chosen.Cost.strategy);
+  check string_ "other destinations keep the semi-join" "semijoin"
+    (Strategies.short_name elsewhere.Cost.chosen.Cost.strategy)
+
+let test_feedback_per_destination_replay () =
+  with_clean_calibration @@ fun () ->
+  Flight_recorder.reset ();
+  Fun.protect ~finally:Flight_recorder.reset @@ fun () ->
+  let sj = Strategies.Distributed_semijoin in
+  let dest = "xrpc://satellite:8080" in
+  (* the label round-trips the destination *)
+  let label = Cost.flight_label ~dest sj ~estimated_ms:1.0 ~measured_ms:3.0 in
+  (match Cost.parse_flight_label label with
+  | Some (s, Some d, est, meas) ->
+      check string_ "label strategy" "semijoin" (Strategies.short_name s);
+      check string_ "label dest" dest d;
+      check floatish "label est" 1.0 est;
+      check floatish "label meas" 3.0 meas
+  | _ -> Alcotest.fail ("unparseable flight label: " ^ label));
+  ignore (Cost.record_run ~dest sj ~estimated_ms:1.0 ~measured_ms:3.0);
+  ignore (Cost.record_run sj ~estimated_ms:1.0 ~measured_ms:1.0);
+  let f_dest = Cost.calibration ~dest sj and f_global = Cost.calibration sj in
+  (* a fresh session replays the recorder and reconstructs both scopes *)
+  Cost.reset_calibration ();
+  check int_ "both entries replay" 2 (Cost.replay_flight ());
+  check floatish "per-dest factor reconstructed" f_dest
+    (Cost.calibration ~dest sj);
+  check floatish "global factor reconstructed" f_global (Cost.calibration sj);
+  check int_ "per-dest runs reconstructed" 1 (Cost.runs ~dest sj)
+
 (* ------------------------------------------------------------------ *)
 (* Explain surfaces                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -883,6 +964,12 @@ let () =
             test_feedback_flips_choice;
           Alcotest.test_case "flight-recorder replay" `Quick
             test_feedback_flight_replay;
+          Alcotest.test_case "per-destination calibration" `Quick
+            test_feedback_per_destination;
+          Alcotest.test_case "per-destination choice flip" `Quick
+            test_feedback_per_destination_flips_choice;
+          Alcotest.test_case "per-destination flight replay" `Quick
+            test_feedback_per_destination_replay;
         ] );
       ( "explain",
         [
