@@ -46,7 +46,7 @@ let with_servers n f =
     (fun () ->
       f
         (List.map
-           (fun s -> Printf.sprintf "xrpc://127.0.0.1:%d" s.Http.port)
+           (fun s -> Printf.sprintf "xrpc://127.0.0.1:%d" (Http.port s))
            servers))
 
 (* median wall-clock ms for one fan-out round over [dests] *)

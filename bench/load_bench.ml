@@ -1,0 +1,626 @@
+(* Load benchmark for the HTTP server cores: event loop vs
+   thread-per-connection at 100 / 1k / 10k concurrent keep-alive
+   connections.
+
+   The generator is open-loop: arrivals follow a Poisson process at a
+   fixed offered rate, scheduled on absolute timestamps, and are NOT
+   gated on responses — if the server falls behind, arrivals queue and
+   the measured latency (scheduled-arrival -> response-complete) absorbs
+   the queueing delay, exactly like real clients that do not politely
+   slow down.  Two workloads per tier:
+
+   - keep_alive: the tier's connections are opened up front and arrivals
+     round-robin across them, so every connection stays live (which is
+     what makes thread-per-connection pay for its thousand parked
+     threads);
+   - per_call: every RPC opens its own connection (non-blocking connect)
+     and closes it after the response — the SOAP-toolkit shape, and the
+     one XRPC's one-POST-per-RPC protocol actually produces.  Here the
+     baseline pays a thread spawn per call.
+
+   For each (core, connections) pair the offered rate ramps geometrically
+   until the run stops being sustainable (achieved < 90% of offered, or
+   p99 past 1s); the last sustainable run's rate and p50/p95/p99 are
+   reported.  The client multiplexes its sockets over the same poll(2)
+   stub the server core uses, so neither side hits the select() fd cap.
+
+   `--quick` trims tiers and durations; `--json` writes BENCH_load.json.
+   Exits nonzero if the event loop does not sustain >= 2x the baseline's
+   qps at the 1k-connection tier. *)
+
+module Http = Xrpc_net.Http
+module Evloop = Xrpc_net.Evloop
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let json_out = Array.exists (( = ) "--json") Sys.argv
+
+let tiers = if quick then [ 100; 1000 ] else [ 100; 1000; 10000 ]
+
+(* over-capacity rates reveal themselves through queue buildup, which
+   needs wall-clock time to cross the SLO — trials that are too short
+   make any rate the drain grace can absorb look sustainable (a 1 s
+   trial flatters thread-per-connection by ~2x), and a coarse ramp
+   quantizes both ceilings enough to make the reported ratio noise.
+   So --quick only trims the 10k tier; trials and ramp stay honest. *)
+let duration_s = 2.0
+let start_rate = if quick then 2000. else 1000.
+let ramp = 1.6
+let max_rate = 400_000.
+let drain_grace_s = 0.5
+let sustain_frac = 0.9
+
+(* the SLO that defines "sustainable": with a sub-millisecond handler,
+   a p99 past 100 ms means the server is living off queue buildup that a
+   short trial simply has not had time to blow past a looser cap *)
+let p99_cap_ms = 100.
+let seed = 42
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+(* ------------------------------------------------------------------ *)
+(* Client-side connection                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cconn = {
+  fd : Unix.file_descr;
+  mutable expected : int;  (** total response bytes; -1 until parsed *)
+  mutable got : int;
+  hdr : Buffer.t;  (** header bytes until [expected] is known *)
+  mutable sched : float;  (** scheduled arrival of the in-flight request *)
+  mutable connecting : bool;  (** per-call: non-blocking connect pending *)
+}
+
+let request = "POST /bench HTTP/1.1\r\nHost: b\r\nContent-Length: 2\r\n\r\nhi"
+
+let request_close =
+  "POST /bench HTTP/1.1\r\nHost: b\r\nConnection: close\r\nContent-Length: \
+   2\r\n\r\nhi"
+
+let send_req ?(close = false) c =
+  let req = if close then request_close else request in
+  let n = String.length req in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring c.fd req !sent (n - !sent)
+  done
+
+(* responses are identical per run, so after the first full parse a
+   completion is just a byte count *)
+let response_complete c =
+  if c.expected >= 0 then c.got >= c.expected
+  else
+    let s = Buffer.contents c.hdr in
+    match
+      let rec find i =
+        if i + 3 >= String.length s then None
+        else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> false
+    | Some body_off ->
+        let clen =
+          List.fold_left
+            (fun acc line ->
+              match String.index_opt line ':' with
+              | Some i
+                when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                     = "content-length" ->
+                  int_of_string
+                    (String.trim
+                       (String.sub line (i + 1) (String.length line - i - 1)))
+              | _ -> acc)
+            0
+            (String.split_on_char '\n' (String.sub s 0 body_off))
+        in
+        c.expected <- body_off + clen;
+        c.got >= c.expected
+
+(* a finished tier's fds (both sides of thousands of connections) close
+   asynchronously — the server reaps its side when the client's close
+   delivers EOF — so wait for the process fd table to actually drain
+   before the next tier counts on the headroom *)
+let await_fd_drain () =
+  let count () =
+    try Array.length (Sys.readdir "/proc/self/fd") with Sys_error _ -> 0
+  in
+  let t0 = Unix.gettimeofday () in
+  while count () > 1000 && Unix.gettimeofday () -. t0 < 5.0 do
+    Unix.sleepf 0.05
+  done
+
+let connect_tier port n =
+  let conns = Queue.create () in
+  (try
+     for _ = 1 to n do
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+       Queue.push
+         {
+           fd;
+           expected = -1;
+           got = 0;
+           hdr = Buffer.create 128;
+           sched = 0.;
+           connecting = false;
+         }
+         conns
+     done
+   with Unix.Unix_error (e, _, _) ->
+     Printf.printf "  (connect stopped at %d/%d: %s)\n%!" (Queue.length conns)
+       n (Unix.error_message e));
+  conns
+
+(* a trial that fails hard abandons (and closes) its in-flight
+   connections — reopen them so the next trial runs at full strength *)
+let top_up port (idle : cconn Queue.t) target =
+  (try
+     while Queue.length idle < target do
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+       Queue.push
+         {
+           fd;
+           expected = -1;
+           got = 0;
+           hdr = Buffer.create 128;
+           sched = 0.;
+           connecting = false;
+         }
+         idle
+     done
+   with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* One open-loop trial                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type trial = {
+  offered : float;
+  achieved : float;
+  arrivals : int;
+  completed : int;
+  dead : int;  (** connections the server dropped during the trial *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* how the generator maps RPC arrivals onto TCP connections *)
+type source =
+  | Pool of cconn Queue.t
+      (** keep-alive: a fixed pool of live connections, round-robin *)
+  | Fresh of int * int
+      (** per-call, SOAP-toolkit style: (port, cap) — every arrival opens
+          its own connection (non-blocking connect) and closes it after
+          the response, with at most [cap] calls in flight *)
+
+let run_trial ~rng ~rate source =
+  let busy : (Unix.file_descr, cconn) Hashtbl.t = Hashtbl.create 256 in
+  let latencies = ref [] in
+  let completed = ref 0 and arrivals = ref 0 and dead = ref 0 in
+  let backlog = Queue.create () in
+  let scratch = Bytes.create 65536 in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. duration_s in
+  let next_arrival = ref (t0 +. (-.log (Random.State.float rng 1.) /. rate)) in
+  let per_call = match source with Fresh _ -> true | Pool _ -> false in
+  let fire sched =
+    match source with
+    | Pool idle -> (
+        match Queue.take_opt idle with
+        | None -> Queue.push sched backlog
+        | Some c -> (
+            c.sched <- sched;
+            c.got <- 0;
+            c.expected <- (if c.expected >= 0 then c.expected else -1);
+            Buffer.clear c.hdr;
+            match send_req c with
+            | () -> Hashtbl.replace busy c.fd c
+            | exception Unix.Unix_error _ ->
+                incr dead;
+                (try Unix.close c.fd with Unix.Unix_error _ -> ())))
+    | Fresh (port, cap) ->
+        if Hashtbl.length busy >= cap then Queue.push sched backlog
+        else begin
+          match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+          | exception Unix.Unix_error _ -> incr dead
+          | fd -> (
+              Unix.set_nonblock fd;
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              let c =
+                { fd; expected = -1; got = 0; hdr = Buffer.create 128; sched;
+                  connecting = true }
+              in
+              match
+                Unix.connect fd
+                  (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+              with
+              | () -> (
+                  (* loopback connect completed synchronously *)
+                  c.connecting <- false;
+                  match send_req ~close:true c with
+                  | () -> Hashtbl.replace busy fd c
+                  | exception Unix.Unix_error _ ->
+                      incr dead;
+                      (try Unix.close fd with Unix.Unix_error _ -> ()))
+              | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) ->
+                  (* poll for writability, then send *)
+                  Hashtbl.replace busy fd c
+              | exception Unix.Unix_error _ ->
+                  incr dead;
+                  (try Unix.close fd with Unix.Unix_error _ -> ()))
+        end
+  in
+  let complete c now =
+    Hashtbl.remove busy c.fd;
+    incr completed;
+    latencies := (now -. c.sched) *. 1000. :: !latencies;
+    (match source with
+    | Pool idle -> Queue.push c idle
+    | Fresh _ -> ( try Unix.close c.fd with Unix.Unix_error _ -> ()));
+    if not (Queue.is_empty backlog) then
+      (* hand the freed slot straight to the oldest queued arrival *)
+      fire (Queue.pop backlog)
+  in
+  let deadline = t_end +. drain_grace_s in
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if now >= deadline || (now >= t_end && Hashtbl.length busy = 0) then ()
+    else begin
+      (* release every arrival that is due *)
+      while !next_arrival <= now && !next_arrival <= t_end do
+        incr arrivals;
+        fire !next_arrival;
+        next_arrival :=
+          !next_arrival +. (-.log (Random.State.float rng 1.) /. rate)
+      done;
+      let nbusy = Hashtbl.length busy in
+      if nbusy = 0 && now < t_end then begin
+        (* idle until the next arrival *)
+        let dt = !next_arrival -. Unix.gettimeofday () in
+        if dt > 0. then Unix.sleepf (min dt 0.01);
+        loop ()
+      end
+      else begin
+        let fds = Array.make nbusy Unix.stdin in
+        let events = Array.make nbusy 1 in
+        let i = ref 0 in
+        Hashtbl.iter
+          (fun fd c ->
+            fds.(!i) <- fd;
+            if c.connecting then events.(!i) <- 2;
+            incr i)
+          busy;
+        let timeout_ms =
+          let until = if now < t_end then min !next_arrival deadline else deadline in
+          max 0 (min 50 (int_of_float (ceil ((until -. now) *. 1000.))))
+        in
+        let revs = Evloop.poll_fds fds events timeout_ms in
+        let now = Unix.gettimeofday () in
+        let die c =
+          incr dead;
+          Hashtbl.remove busy c.fd;
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          (* per-call: the failed call still frees a concurrency slot *)
+          if per_call && not (Queue.is_empty backlog) then
+            fire (Queue.pop backlog)
+        in
+        Array.iteri
+          (fun j re ->
+            if re <> 0 then
+              match Hashtbl.find_opt busy fds.(j) with
+              | None -> ()
+              | Some c when c.connecting -> (
+                  match Unix.getsockopt_error c.fd with
+                  | Some _ -> die c
+                  | None -> (
+                      c.connecting <- false;
+                      match send_req ~close:true c with
+                      | () -> ()
+                      | exception Unix.Unix_error _ -> die c))
+              | Some c -> (
+                  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+                  | 0 -> die c
+                  | n ->
+                      if c.expected < 0 then
+                        Buffer.add_subbytes c.hdr scratch 0 n;
+                      c.got <- c.got + n;
+                      if response_complete c then complete c now
+                  | exception
+                      Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
+                      ()
+                  | exception Unix.Unix_error _ -> die c))
+          revs;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  (* abandon whatever is still in flight past the grace period *)
+  Hashtbl.iter
+    (fun fd c ->
+      ignore c;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    busy;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  {
+    offered = rate;
+    achieved = float_of_int !completed /. duration_s;
+    arrivals = !arrivals;
+    completed = !completed;
+    dead = !dead;
+    p50 = percentile lat 0.50;
+    p95 = percentile lat 0.95;
+    p99 = percentile lat 0.99;
+  }
+
+let sustainable t =
+  t.arrivals = 0
+  || (float_of_int t.completed >= sustain_frac *. float_of_int t.arrivals
+     && t.p99 <= p99_cap_ms)
+
+(* ------------------------------------------------------------------ *)
+(* Rate ramp per (mode, connections)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type workload = Keep_alive | Per_call
+
+let wl_name = function Keep_alive -> "keep_alive" | Per_call -> "per_call"
+
+type result = {
+  mode : string;
+  workload : string;
+  conns_wanted : int;
+  conns_open : int;
+  best : trial option;  (** last sustainable trial *)
+  first_failed : trial option;
+}
+
+let mode_name = function
+  | Http.Event_loop -> "event_loop"
+  | Http.Thread_per_conn -> "thread_per_conn"
+
+let measure mode workload n =
+  (* The event loop runs this near-zero-cost handler inline (sequential
+     executor): the worker pool exists so multi-millisecond XQuery
+     evaluation cannot block the loop, but handing a microsecond handler
+     to another thread only measures runtime-lock churn.  Inline is the
+     configuration that isolates what this bench compares — the cost of
+     the connection machinery itself. *)
+  let executor =
+    match mode with
+    | Http.Event_loop -> Some Xrpc_net.Executor.sequential
+    | Http.Thread_per_conn -> None
+  in
+  let server =
+    Http.serve ~mode ?executor ~backlog:1024 (fun ~path:_ _ -> "ok")
+  in
+  let pool = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      (* close the client side of the tier's pool: the server reaps its
+         side on EOF.  Without this a 10k tier leaks ~20k fds into the
+         next measurement. *)
+      (match !pool with
+      | Some idle ->
+          Queue.iter
+            (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+            idle
+      | None -> ());
+      Http.shutdown server;
+      await_fd_drain ())
+    (fun () ->
+      let idle, opened =
+        match workload with
+        | Keep_alive ->
+            let idle = connect_tier (Http.port server) n in
+            pool := Some idle;
+            (Some idle, Queue.length idle)
+        | Per_call -> (None, n)
+      in
+      let rng = Random.State.make [| seed; n |] in
+      let trial rate =
+        match idle with
+        | Some idle ->
+            top_up (Http.port server) idle opened;
+            run_trial ~rng ~rate (Pool idle)
+        | None -> run_trial ~rng ~rate (Fresh (Http.port server, opened))
+      in
+      (* warm-up: one request over every connection, so each one's fd,
+         server-side state (and, for the baseline, its thread) exist
+         before measurement starts *)
+      ignore (trial (float_of_int (max 200 (opened / 2))));
+      let label =
+        Printf.sprintf "%s/%s" (mode_name mode) (wl_name workload)
+      in
+      let report ?(note = "") t =
+        Printf.printf
+          "    %-28s %6d conns  offered %8.0f  achieved %8.0f  p99 %7.1f \
+           ms%s%s\n\
+           %!"
+          label opened t.offered t.achieved t.p99 note
+          (if sustainable t then "" else "  <- not sustained")
+      in
+      let ok t = sustainable t && t.dead * 10 < max 1 opened in
+      let retried = ref false in
+      let rec ramp_up rate best =
+        if rate > max_rate then (best, None)
+        else begin
+          let t = trial rate in
+          report t;
+          if ok t then ramp_up (rate *. ramp) (Some t)
+          else if best = None && not !retried then begin
+            (* a failure at the very first rung is usually a cold-start
+               artifact, not a real ceiling — the previous measure's
+               server threads are still winding down (fd drain cannot
+               see them) — so settle and re-run the rung once *)
+            retried := true;
+            Unix.sleepf 1.0;
+            ramp_up rate best
+          end
+          else (best, Some t)
+        end
+      in
+      let best, first_failed = ramp_up start_rate None in
+      (* the geometric ramp only brackets the ceiling — the reported
+         maximum would otherwise be quantized to the ramp factor — so
+         bisect the bracket to localize the true ceiling *)
+      let best, first_failed =
+        match (best, first_failed) with
+        | Some b, Some f ->
+            let rec bisect lo hi best first_failed k =
+              if k = 0 then (best, first_failed)
+              else begin
+                let mid = (lo +. hi) /. 2. in
+                let t = trial mid in
+                report ~note:"  (bisect)" t;
+                if ok t then bisect mid hi (Some t) first_failed (k - 1)
+                else bisect lo mid best (Some t) (k - 1)
+              end
+            in
+            bisect b.offered f.offered best first_failed 3
+        | _ -> (best, first_failed)
+      in
+      { mode = mode_name mode; workload = wl_name workload; conns_wanted = n;
+        conns_open = opened; best; first_failed })
+
+(* ------------------------------------------------------------------ *)
+
+let trial_json t =
+  Printf.sprintf
+    {|{ "offered_qps": %.0f, "achieved_qps": %.0f, "arrivals": %d, "completed": %d, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f }|}
+    t.offered t.achieved t.arrivals t.completed t.p50 t.p95 t.p99
+
+let result_json r =
+  Printf.sprintf
+    "      { \"core\": %S, \"workload\": %S, \"connections\": %d, \
+     \"connections_open\": %d,\n\
+    \        \"max_sustainable\": %s,\n\
+    \        \"first_unsustainable\": %s }"
+    r.mode r.workload r.conns_wanted r.conns_open
+    (match r.best with Some t -> trial_json t | None -> "null")
+    (match r.first_failed with Some t -> trial_json t | None -> "null")
+
+let () =
+  (* 10k keep-alive connections need ~2x10k fds in this one process *)
+  let fd_cap = Evloop.ensure_fd_capacity 65536 in
+  let tiers =
+    (* both endpoints of every connection live in this one process, so a
+       tier of n connections costs ~2n fds plus a little overhead *)
+    let cap = (fd_cap - 200) / 2 in
+    List.filter_map
+      (fun n ->
+        if n <= cap then Some n
+        else if cap * 10 >= n * 9 then begin
+          Printf.printf "clamping %d-connection tier to %d (fd limit %d)\n%!" n
+            cap fd_cap;
+          Some cap
+        end
+        else begin
+          Printf.printf
+            "skipping %d-connection tier: fd limit %d is too low\n%!" n fd_cap;
+          None
+        end)
+      tiers
+  in
+  Printf.printf
+    "open-loop Poisson load: %gs per trial, ramp x%g from %.0f qps, seed %d\n%!"
+    duration_s ramp start_rate seed;
+  let results =
+    List.concat_map
+      (fun n ->
+        Printf.printf "  %d connections:\n%!" n;
+        (* baseline first within each workload: its worst case (thread
+           pile-up) must not inherit a machine already warmed by the
+           event loop.  Per-call only runs up to the 1k tier — in-flight
+           calls never approach 10k slots with a sub-millisecond
+           handler, so a bigger cap measures nothing new. *)
+        List.concat_map
+          (fun wl ->
+            if wl = Per_call && n > 1000 then []
+            else begin
+              let thr = measure Http.Thread_per_conn wl n in
+              let ev = measure Http.Event_loop wl n in
+              [ thr; ev ]
+            end)
+          [ Keep_alive; Per_call ])
+      tiers
+  in
+  let find core wl n =
+    List.find_opt
+      (fun r -> r.mode = core && r.workload = wl && r.conns_wanted = n)
+      results
+  in
+  let qps r =
+    match r with
+    | Some { best = Some t; _ } -> t.achieved
+    | _ -> 0.
+  in
+  Printf.printf "\n%12s  %12s  %16s  %14s  %10s  %10s  %10s\n" "connections"
+    "workload" "core" "max qps" "p50 ms" "p95 ms" "p99 ms";
+  List.iter
+    (fun r ->
+      match r.best with
+      | Some t ->
+          Printf.printf "%12d  %12s  %16s  %14.0f  %10.3f  %10.3f  %10.3f\n"
+            r.conns_open r.workload r.mode t.achieved t.p50 t.p95 t.p99
+      | None ->
+          Printf.printf "%12d  %12s  %16s  %14s\n" r.conns_open r.workload
+            r.mode "never sustained")
+    results;
+  List.iter
+    (fun wl ->
+      List.iter
+        (fun n ->
+          let e = qps (find "event_loop" wl n)
+          and t = qps (find "thread_per_conn" wl n) in
+          if t > 0. then
+            Printf.printf
+              "%d connections, %s: event loop sustains %.1fx the baseline\n" n
+              wl (e /. t))
+        tiers)
+    [ "keep_alive"; "per_call" ];
+  if json_out then
+    write_file "BENCH_load.json"
+      (Printf.sprintf
+         "{\n\
+         \  \"generator\": \"open-loop poisson; keep_alive = round-robin over \
+          a live connection pool, per_call = one fresh connection per RPC \
+          (SOAP-toolkit style)\",\n\
+         \  \"trial_seconds\": %g,\n\
+         \  \"sustainable\": \"achieved >= %g x offered and p99 <= %g ms\",\n\
+         \  \"seed\": %d,\n\
+         \  \"results\": [\n%s\n  ]\n}\n"
+         duration_s sustain_frac p99_cap_ms seed
+         (String.concat ",\n" (List.map result_json results)));
+  (* The PR's acceptance bar: >= 2x the baseline at 1k connections, on
+     the per-call workload — XRPC speaks one SOAP POST per RPC, so the
+     connection-per-call shape is the protocol's native load, and it is
+     where thread-per-connection pays a thread spawn per call. *)
+  match find "event_loop" "per_call" 1000 with
+  | Some _ ->
+      let e = qps (find "event_loop" "per_call" 1000)
+      and t = qps (find "thread_per_conn" "per_call" 1000) in
+      if t > 0. && e < 2. *. t then begin
+        Printf.eprintf
+          "FAIL: event loop %.0f qps < 2x baseline %.0f qps at 1k connections \
+           (per-call)\n"
+          e t;
+        exit 1
+      end
+  | None -> ()

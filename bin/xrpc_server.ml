@@ -1,176 +1,47 @@
 (* xrpc-server: serve a directory of XML documents and XQuery modules as an
    XRPC peer over HTTP.
 
-   Every *.xml file in the data directory becomes a queryable document
-   (by file name); every *.xq file is registered as a module under both
-   its declared namespace URI and its file name as at-hint.  The server
-   answers SOAP XRPC requests (including Bulk RPC, queryID isolation and
-   2PC transaction messages) on POST. *)
+   Flag parsing only — everything else (event-loop server core, route
+   table, data loading, outgoing-client wiring) lives behind the
+   Xrpc_core.Xrpc_server façade, so embedders get exactly the server this
+   binary runs. *)
 
 module Peer = Xrpc_peer.Peer
-module Database = Xrpc_peer.Database
-module Http = Xrpc_net.Http
-module Executor = Xrpc_net.Executor
-module Client = Xrpc_core.Xrpc_client
-module Metrics = Xrpc_obs.Metrics
-module Trace = Xrpc_obs.Trace
-module Flight_recorder = Xrpc_obs.Flight_recorder
-module Export = Xrpc_obs.Export
+module Server = Xrpc_core.Xrpc_server
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let load_data peer dir =
-  if Sys.file_exists dir && Sys.is_directory dir then
-    Array.iter
-      (fun entry ->
-        let path = Filename.concat dir entry in
-        if Filename.check_suffix entry ".xml" then begin
-          Database.add_doc_xml peer.Peer.db entry (read_file path);
-          Printf.printf "loaded document %s\n%!" entry
-        end
-        else if Filename.check_suffix entry ".xq" then begin
-          let source = read_file path in
-          let prog = Xrpc_xquery.Parser.parse_prog source in
-          match prog.Xrpc_xquery.Ast.module_decl with
-          | Some (_, uri) ->
-              Peer.register_module peer ~uri ~location:entry source;
-              Printf.printf "loaded module %s (namespace %s)\n%!" entry uri
-          | None ->
-              Printf.eprintf "skipping %s: not a library module\n%!" entry
-        end)
-      (Sys.readdir dir)
-  else Printf.eprintf "warning: data directory %s not found\n%!" dir
-
-(* /tracez?id=N — split the raw path into route and query string *)
-let split_path path =
-  match String.index_opt path '?' with
-  | Some i ->
-      ( String.sub path 0 i,
-        String.sub path (i + 1) (String.length path - i - 1) )
-  | None -> (path, "")
-
-let query_param query key =
-  List.find_map
-    (fun kv ->
-      match String.index_opt kv '=' with
-      | Some i when String.sub kv 0 i = key ->
-          Some (String.sub kv (i + 1) (String.length kv - i - 1))
-      | _ -> None)
-    (String.split_on_char '&' query)
-
-let serve verbose port data demo trace slow_ms =
+let serve verbose port data demo trace slow_ms threads max_connections workers
+    backlog =
   setup_logs verbose;
-  Flight_recorder.configure ~slow:slow_ms ();
-  if trace then begin
-    (* span ids get a per-process tag so traces stitched across several
-       server processes cannot collide *)
-    Trace.set_process_tag (Printf.sprintf "p%d-" port);
-    Trace.set_enabled true
-  end;
   let peer = Peer.create (Printf.sprintf "xrpc://127.0.0.1:%d" port) in
-  (* outgoing calls of hosted functions also travel over HTTP, through the
-     client façade: pooled keep-alive connections, parallel fan-out *)
-  let client =
-    Client.connect_http
-      ~config:(Client.config ~executor:Executor.unbounded ~keep_alive:true ())
-      ~origin:(Printf.sprintf "xrpc://127.0.0.1:%d" port)
-      ()
+  let server =
+    Server.create
+      ~config:
+        (Server.config ~port ~backlog ?max_connections ~workers
+           ~thread_per_conn:threads ~slow_ms ~trace ())
+      peer
   in
-  Peer.set_transport peer (Client.transport client);
-  Peer.set_executor peer (Client.executor client);
   if demo then begin
     Xrpc_workloads.Filmdb.install peer ();
     print_endline "demo film database + films module loaded"
   end;
-  Option.iter (load_data peer) data;
-  let handler ~path body =
-    let route, query = split_path path in
-    match route with
-    | "/metrics" -> Metrics.to_text ()
-    | "/metrics.json" -> Metrics.to_json ()
-    | "/requestz" -> Flight_recorder.to_text ()
-    | "/requestz.json" -> Flight_recorder.to_json ()
-    | "/slowz" -> Flight_recorder.pinned_text ()
-    | "/cachez" -> Peer.cache_stats_text peer
-    | "/cachez.json" ->
-        let s = Peer.cache_stats peer in
-        let p = s.Peer.plan and r = s.Peer.result in
-        Printf.sprintf
-          {|{"plan_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d,"capacity":%d,"enabled":%b},"result_cache":{"hits":%d,"misses":%d,"stale":%d,"invalidations":%d,"evictions":%d,"size":%d,"capacity":%d,"enabled":%b},"func_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d},"idem_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d}}|}
-          p.Xrpc_peer.Plan_cache.hits p.Xrpc_peer.Plan_cache.misses
-          p.Xrpc_peer.Plan_cache.evictions p.Xrpc_peer.Plan_cache.size
-          p.Xrpc_peer.Plan_cache.capacity p.Xrpc_peer.Plan_cache.enabled
-          r.Xrpc_peer.Result_cache.hits r.Xrpc_peer.Result_cache.misses
-          r.Xrpc_peer.Result_cache.stale
-          r.Xrpc_peer.Result_cache.invalidations
-          r.Xrpc_peer.Result_cache.evictions r.Xrpc_peer.Result_cache.size
-          r.Xrpc_peer.Result_cache.capacity r.Xrpc_peer.Result_cache.enabled
-          s.Peer.func_hits s.Peer.func_misses s.Peer.func_evictions
-          s.Peer.func_size s.Peer.idem_hits s.Peer.idem_misses
-          s.Peer.idem_evictions s.Peer.idem_size
-    | "/shardz" ->
-        (* shard map: members, replication factor, vnodes; ?keys=a,b,c
-           additionally shows those keys' primary placement + load ratio *)
-        let keys =
-          match query_param query "keys" with
-          | Some ks -> String.split_on_char ',' ks
-          | None -> []
-        in
-        Peer.shard_text ~keys peer
-    | "/shardz.json" ->
-        let keys =
-          match query_param query "keys" with
-          | Some ks -> String.split_on_char ',' ks
-          | None -> []
-        in
-        Peer.shard_json ~keys peer
-    | "/optimizerz" ->
-        (* cost-model calibration state (measured/estimated EMA per §5
-           strategy) plus any active force override *)
-        Xrpc_core.Cost.calibration_text ()
-        ^ (match Xrpc_core.Cost.force_of_env () with
-          | Some s ->
-              "forced by XRPC_FORCE_STRATEGY: " ^ Xrpc_core.Strategies.name s
-              ^ "\n"
-          | None -> "")
-    | "/tracez" -> (
-        (* span trees are captured per request when --trace is on *)
-        match Option.map int_of_string_opt (query_param query "id") with
-        | Some (Some id) -> (
-            match Flight_recorder.find id with
-            | Some e ->
-                if query_param query "format" = Some "tree" then
-                  Export.span_tree_json e.Flight_recorder.spans
-                else Export.chrome_trace e.Flight_recorder.spans
-            | None -> Printf.sprintf "no request #%d in the flight recorder" id)
-        | _ ->
-            "usage: /tracez?id=N (ids listed at /requestz; &format=tree for \
-             the nested-span JSON instead of Chrome trace events)")
-    | _ ->
-        let out = Peer.handle_raw peer body in
-        if trace then begin
-          Logs.app (fun m -> m "trace:@.%s" (Trace.render ()));
-          Trace.reset ()
-        end;
-        out
-  in
-  let server = Http.serve ~port handler in
-  Printf.printf "XRPC peer listening on xrpc://127.0.0.1:%d\n%!" server.Http.port;
-  Printf.printf "metrics at http://127.0.0.1:%d/metrics (and /metrics.json)\n%!"
-    server.Http.port;
-  Printf.printf
-    "flight recorder at /requestz (.json), slow queries at /slowz, cache \
-     stats at /cachez (.json), optimizer calibration at /optimizerz, shard \
-     map at /shardz (.json, ?keys=a,b), traces at /tracez?id=N%s\n%!"
-    (if trace then "" else " (span trees need --trace)");
+  Option.iter
+    (fun dir ->
+      let docs, mods = Server.load_directory server dir in
+      Printf.printf "loaded %d documents, %d modules from %s\n%!" docs mods dir)
+    data;
+  let port = Server.start server in
+  Printf.printf "XRPC peer listening on xrpc://127.0.0.1:%d (%s core)\n%!" port
+    (if threads then "thread-per-connection" else "event-loop");
+  Printf.printf "routes on http://127.0.0.1:%d :\n%!" port;
+  List.iter
+    (fun (path, doc) -> Printf.printf "  %-16s %s\n%!" path doc)
+    (Server.routes server);
+  if not trace then
+    print_endline "(span trees at /tracez need --trace)";
   (* keep the main thread alive *)
   while true do
     Unix.sleep 3600
@@ -209,10 +80,42 @@ let slow_ms =
           "Requests at least this slow are pinned by the flight recorder \
            (served at /slowz).")
 
+let threads =
+  Arg.(
+    value & flag
+    & info [ "threads" ]
+        ~doc:
+          "Use the thread-per-connection baseline server core instead of \
+           the event loop (for comparison benchmarks).")
+
+let max_connections =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-connections" ] ~docv:"N"
+        ~doc:
+          "Reject connections beyond $(docv) open ones with an immediate \
+           503 (default: unlimited).")
+
+let workers =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Query-execution worker threads behind the event loop (ignored \
+           with $(b,--threads)).")
+
+let backlog =
+  Arg.(
+    value & opt int 128
+    & info [ "backlog" ] ~docv:"N" ~doc:"Listen-socket backlog.")
+
 let cmd =
   let doc = "serve XML documents and XQuery modules as an XRPC peer" in
   Cmd.v
     (Cmd.info "xrpc-server" ~doc)
-    Term.(const serve $ verbose $ port $ data $ demo $ trace $ slow_ms)
+    Term.(
+      const serve $ verbose $ port $ data $ demo $ trace $ slow_ms $ threads
+      $ max_connections $ workers $ backlog)
 
 let () = exit (Cmd.eval cmd)

@@ -13,7 +13,7 @@ let () =
   let y = Peer.create "xrpc://127.0.0.1" in
   Filmdb.install y ();
   let server = Http.serve (fun ~path:_ body -> Peer.handle_raw y body) in
-  let dest = Printf.sprintf "xrpc://127.0.0.1:%d" server.Http.port in
+  let dest = Printf.sprintf "xrpc://127.0.0.1:%d" (Http.port server) in
   Printf.printf "serving XRPC on %s\n%!" dest;
 
   (* client peer: talks to it over HTTP *)

@@ -38,11 +38,11 @@ let () =
   Filmdb.install y ();
   let server = Http.serve (fun ~path:_ body -> Peer.handle_raw y body) in
   Printf.printf "peer on port %d — sending the paper's verbatim SOAP request\n"
-    server.Http.port;
+    (Http.port server);
 
   (* the "foreign SOAP client": raw POST, generic XML parsing *)
   let response =
-    Http.post ~host:"127.0.0.1" ~port:server.Http.port handwritten_request
+    Http.post ~host:"127.0.0.1" ~port:(Http.port server) handwritten_request
   in
   print_endline "-- raw response on the wire --";
   print_endline response;

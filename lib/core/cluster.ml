@@ -164,7 +164,7 @@ let register_module_everywhere t ~uri ?location source =
 let serve_http t name ?(port = 0) () =
   let p = peer t name in
   let server = Http.serve ~port (fun ~path:_ body -> Peer.handle_raw p body) in
-  (server, Printf.sprintf "xrpc://127.0.0.1:%d" server.Http.port)
+  (server, Printf.sprintf "xrpc://127.0.0.1:%d" (Http.port server))
 
 (** Point the global tracer at this cluster's virtual clock and enable it:
     span timings become deterministic simulated milliseconds, so a seeded

@@ -16,6 +16,7 @@
 
 module Cluster = Cluster
 module Client = Xrpc_client
+module Server = Xrpc_server
 module Strategies = Strategies
 module Cost = Cost
 module Executor = Xrpc_net.Executor

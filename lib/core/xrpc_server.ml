@@ -1,0 +1,346 @@
+(** Unified XRPC server façade — the serving-side twin of {!Xrpc_client}.
+
+    One front door for everything a hosting process does: build a config
+    (port, worker executor, connection limits, flight-recorder threshold,
+    tracing), register monitoring routes declaratively, start/stop the
+    HTTP core, and observe it.  [bin/xrpc_server.ml] is flag parsing plus
+    calls into this module; embedders get the same server the CLI runs.
+
+    {[
+      let peer = Xrpc_peer.Peer.create "xrpc://127.0.0.1:8080" in
+      let server =
+        Xrpc_server.(
+          create ~config:(config ~port:8080 ~max_connections:10_000 ()) peer)
+      in
+      let port = Xrpc_server.start server in
+      ...
+      Xrpc_server.stop server
+    ]}
+
+    The default core is the readiness-driven event loop ({!Xrpc_net.Http}
+    [Event_loop]): SOAP requests are parsed out of each connection's
+    input buffer and replies serialized into its reused output buffer
+    ({!Xrpc_peer.Peer.handle_raw_into}), with XQuery execution on a
+    bounded worker pool so slow queries never stall the accept/read/write
+    loop.  [~thread_per_conn:true] selects the original
+    thread-per-connection baseline. *)
+
+module Peer = Xrpc_peer.Peer
+module Http = Xrpc_net.Http
+module Evloop = Xrpc_net.Evloop
+module Executor = Xrpc_net.Executor
+module Metrics = Xrpc_obs.Metrics
+module Trace = Xrpc_obs.Trace
+module Flight_recorder = Xrpc_obs.Flight_recorder
+module Export = Xrpc_obs.Export
+
+let log_src = Logs.Src.create "xrpc.server" ~doc:"XRPC serving façade"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  port : int;  (** listen port (0 picks a free one; see {!port}) *)
+  backlog : int;
+  max_connections : int option;
+      (** beyond this many open connections, new ones get an immediate
+          503 and are closed *)
+  workers : int;  (** size of the query-execution pool (event loop) *)
+  executor : Executor.t option;
+      (** overrides [workers] with a caller-owned executor *)
+  thread_per_conn : bool;  (** baseline core instead of the event loop *)
+  slow_ms : float;  (** flight-recorder pinning threshold *)
+  trace : bool;  (** enable tracing; log a span tree per SOAP request *)
+  outgoing : bool;
+      (** wire the peer's own [execute at] dispatch through an HTTP
+          {!Xrpc_client} (pooled keep-alive, parallel fan-out) *)
+}
+
+let config ?(port = 8080) ?(backlog = 128) ?max_connections ?(workers = 4)
+    ?executor ?(thread_per_conn = false) ?(slow_ms = 250.) ?(trace = false)
+    ?(outgoing = true) () =
+  {
+    port;
+    backlog;
+    max_connections;
+    workers;
+    executor;
+    thread_per_conn;
+    slow_ms;
+    trace;
+    outgoing;
+  }
+
+let default_config = config ()
+
+(* ------------------------------------------------------------------ *)
+(* Routes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type route = { rpath : string; doc : string; handle : query:string -> string }
+
+type t = {
+  peer : Peer.t;
+  cfg : config;
+  mutable routes : route list;
+  mutable server : Http.server option;
+  mutable owned_pool : Executor.t option;
+      (* a pool we created in [start] and must shut down in [stop] *)
+  mutable client : Xrpc_client.t option;
+}
+
+let query_param query key =
+  List.find_map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | Some i when String.sub kv 0 i = key ->
+          Some (String.sub kv (i + 1) (String.length kv - i - 1))
+      | _ -> None)
+    (String.split_on_char '&' query)
+
+let split_path path =
+  match String.index_opt path '?' with
+  | Some i ->
+      (String.sub path 0 i, String.sub path (i + 1) (String.length path - i - 1))
+  | None -> (path, "")
+
+let add_route t ~path ~doc handle =
+  t.routes <- t.routes @ [ { rpath = path; doc; handle } ]
+
+let routes t = List.map (fun r -> (r.rpath, r.doc)) t.routes
+
+let keys_of_query query =
+  match query_param query "keys" with
+  | Some ks -> String.split_on_char ',' ks
+  | None -> []
+
+let cachez_json peer =
+  let s = Peer.cache_stats peer in
+  let p = s.Peer.plan and r = s.Peer.result in
+  Printf.sprintf
+    {|{"plan_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d,"capacity":%d,"enabled":%b},"result_cache":{"hits":%d,"misses":%d,"stale":%d,"invalidations":%d,"evictions":%d,"size":%d,"capacity":%d,"enabled":%b},"func_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d},"idem_cache":{"hits":%d,"misses":%d,"evictions":%d,"size":%d}}|}
+    p.Xrpc_peer.Plan_cache.hits p.Xrpc_peer.Plan_cache.misses
+    p.Xrpc_peer.Plan_cache.evictions p.Xrpc_peer.Plan_cache.size
+    p.Xrpc_peer.Plan_cache.capacity p.Xrpc_peer.Plan_cache.enabled
+    r.Xrpc_peer.Result_cache.hits r.Xrpc_peer.Result_cache.misses
+    r.Xrpc_peer.Result_cache.stale r.Xrpc_peer.Result_cache.invalidations
+    r.Xrpc_peer.Result_cache.evictions r.Xrpc_peer.Result_cache.size
+    r.Xrpc_peer.Result_cache.capacity r.Xrpc_peer.Result_cache.enabled
+    s.Peer.func_hits s.Peer.func_misses s.Peer.func_evictions s.Peer.func_size
+    s.Peer.idem_hits s.Peer.idem_misses s.Peer.idem_evictions s.Peer.idem_size
+
+let tracez ~query =
+  match Option.map int_of_string_opt (query_param query "id") with
+  | Some (Some id) -> (
+      match Flight_recorder.find id with
+      | Some e ->
+          if query_param query "format" = Some "tree" then
+            Export.span_tree_json e.Flight_recorder.spans
+          else Export.chrome_trace e.Flight_recorder.spans
+      | None -> Printf.sprintf "no request #%d in the flight recorder" id)
+  | _ ->
+      "usage: /tracez?id=N (ids listed at /requestz; &format=tree for the \
+       nested-span JSON instead of Chrome trace events)"
+
+let optimizerz ~query:_ =
+  Cost.calibration_text ()
+  ^
+  match Cost.force_of_env () with
+  | Some s -> "forced by XRPC_FORCE_STRATEGY: " ^ Strategies.name s ^ "\n"
+  | None -> ""
+
+let stats_unstarted () =
+  {
+    Evloop.accepted = 0;
+    active = 0;
+    served = 0;
+    rejected = 0;
+    accept_errors = 0;
+    disconnects = 0;
+  }
+
+let stats t =
+  match t.server with Some s -> Http.stats s | None -> stats_unstarted ()
+
+let stats_text t =
+  let s = stats t in
+  Printf.sprintf
+    "server.mode %s\nserver.accepted %d\nserver.active %d\nserver.served \
+     %d\nserver.rejected_503 %d\nserver.accept_errors \
+     %d\nserver.client_disconnects %d\n"
+    (if t.cfg.thread_per_conn then "thread-per-conn" else "event-loop")
+    s.Evloop.accepted s.Evloop.active s.Evloop.served s.Evloop.rejected
+    s.Evloop.accept_errors s.Evloop.disconnects
+
+(* the monitoring surface, registered in one place instead of the ad-hoc
+   match the CLI used to hand-wire *)
+let default_routes t =
+  let r path doc handle = add_route t ~path ~doc handle in
+  r "/metrics" "metrics registry, text" (fun ~query:_ -> Metrics.to_text ());
+  r "/metrics.json" "metrics registry, JSON" (fun ~query:_ ->
+      Metrics.to_json ());
+  r "/requestz" "flight recorder: last requests" (fun ~query:_ ->
+      Flight_recorder.to_text ());
+  r "/requestz.json" "flight recorder, JSON" (fun ~query:_ ->
+      Flight_recorder.to_json ());
+  r "/slowz" "pinned slow queries (>= slow-ms)" (fun ~query:_ ->
+      Flight_recorder.pinned_text ());
+  r "/cachez" "plan/result/func/idem cache stats" (fun ~query:_ ->
+      Peer.cache_stats_text t.peer);
+  r "/cachez.json" "cache stats, JSON" (fun ~query:_ -> cachez_json t.peer);
+  r "/shardz" "consistent-hash ring (?keys=a,b shows placement)"
+    (fun ~query -> Peer.shard_text ~keys:(keys_of_query query) t.peer);
+  r "/shardz.json" "ring description, JSON" (fun ~query ->
+      Peer.shard_json ~keys:(keys_of_query query) t.peer);
+  r "/optimizerz" "strategy-cost calibration state" optimizerz;
+  r "/tracez" "span trees per request (?id=N[&format=tree])" (fun ~query ->
+      tracez ~query);
+  r "/statz" "server core counters" (fun ~query:_ -> stats_text t);
+  r "/routez" "this route table" (fun ~query:_ ->
+      String.concat ""
+        (List.map
+           (fun r -> Printf.sprintf "%-16s %s\n" r.rpath r.doc)
+           t.routes))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) peer =
+  Flight_recorder.configure ~slow:config.slow_ms ();
+  if config.trace then begin
+    (* span ids get a per-process tag so traces stitched across several
+       server processes cannot collide *)
+    Trace.set_process_tag (Printf.sprintf "p%d-" config.port);
+    Trace.set_enabled true
+  end;
+  let t =
+    {
+      peer;
+      cfg = config;
+      routes = [];
+      server = None;
+      owned_pool = None;
+      client = None;
+    }
+  in
+  if config.outgoing then begin
+    (* outgoing calls of hosted functions also travel over HTTP, through
+       the client façade: pooled keep-alive connections, parallel fan-out *)
+    let client =
+      Xrpc_client.connect_http
+        ~config:
+          (Xrpc_client.config ~executor:Executor.unbounded ~keep_alive:true ())
+        ~origin:peer.Peer.uri ()
+    in
+    Peer.set_transport peer (Xrpc_client.transport client);
+    Peer.set_executor peer (Xrpc_client.executor client);
+    t.client <- Some client
+  end;
+  default_routes t;
+  t
+
+let peer t = t.peer
+let client t = t.client
+
+let soap_done t =
+  if t.cfg.trace then begin
+    Log.app (fun m -> m "trace:@.%s" (Trace.render ()));
+    Trace.reset ()
+  end
+
+let find_route t route =
+  List.find_opt (fun r -> r.rpath = route) t.routes
+
+let start t =
+  match t.server with
+  | Some s -> Http.port s
+  | None ->
+      let server =
+        if t.cfg.thread_per_conn then
+          Http.serve ~mode:Http.Thread_per_conn ~port:t.cfg.port
+            ~backlog:t.cfg.backlog ?max_connections:t.cfg.max_connections
+            (fun ~path body ->
+              let route, query = split_path path in
+              match find_route t route with
+              | Some r -> r.handle ~query
+              | None ->
+                  let out = Peer.handle_raw t.peer body in
+                  soap_done t;
+                  out)
+        else
+          (* streaming contract: SOAP bodies are parsed straight out of
+             the connection's input buffer and replies serialized into
+             its reused output buffer — envelopes are materialized once *)
+          let executor =
+            match t.cfg.executor with
+            | Some e -> Some e
+            | None ->
+                let p = Executor.pool t.cfg.workers in
+                t.owned_pool <- Some p;
+                Some p
+          in
+          Http.serve_stream ~port:t.cfg.port ~backlog:t.cfg.backlog
+            ?max_connections:t.cfg.max_connections ?executor
+            (fun ~meth:_ ~path ~src ~pos ~len out ->
+              let route, query = split_path path in
+              match find_route t route with
+              | Some r -> Buffer.add_string out (r.handle ~query)
+              | None ->
+                  Peer.handle_raw_into t.peer ~pos ~len src out;
+                  soap_done t)
+      in
+      t.server <- Some server;
+      Http.port server
+
+let port t = match t.server with Some s -> Http.port s | None -> t.cfg.port
+
+let stop t =
+  match t.server with
+  | None -> ()
+  | Some s ->
+      Http.shutdown s;
+      t.server <- None;
+      Option.iter Executor.shutdown t.owned_pool;
+      t.owned_pool <- None
+
+(* ------------------------------------------------------------------ *)
+(* Data loading                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Load every [*.xml] in [dir] as a queryable document (by file name)
+    and register every [*.xq] library module under its declared namespace
+    URI and its file name as at-hint.  Returns [(documents, modules)]
+    counts; skips (with a log line) files that are not library modules. *)
+let load_directory t dir =
+  let docs = ref 0 and mods = ref 0 in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun entry ->
+        let path = Filename.concat dir entry in
+        if Filename.check_suffix entry ".xml" then begin
+          Xrpc_peer.Database.add_doc_xml t.peer.Peer.db entry (read_file path);
+          incr docs
+        end
+        else if Filename.check_suffix entry ".xq" then begin
+          let source = read_file path in
+          let prog = Xrpc_xquery.Parser.parse_prog source in
+          match prog.Xrpc_xquery.Ast.module_decl with
+          | Some (_, uri) ->
+              Peer.register_module t.peer ~uri ~location:entry source;
+              incr mods
+          | None ->
+              Log.warn (fun m -> m "skipping %s: not a library module" entry)
+        end)
+      (Sys.readdir dir)
+  else Log.warn (fun m -> m "data directory %s not found" dir);
+  (!docs, !mods)

@@ -1,0 +1,305 @@
+(** Per-connection state machine for the event-loop HTTP server.
+
+    A connection owns a growable input buffer that request bytes are read
+    into as they arrive, an incremental HTTP/1.1 request parser that
+    consumes that buffer without ever copying it (the SOAP body is handed
+    to the protocol layer as a [(src, pos, len)] window over the very
+    bytes the socket delivered), and an iovec-style output queue — a list
+    of (source, offset, length) slices pointing at reused buffers — that
+    the event loop drains with non-blocking writes.  Nothing here touches
+    a socket except {!read_step} and {!write_step}; the parser itself is
+    pure buffer manipulation, which is what makes it unit-testable
+    byte-by-byte.
+
+    States: [Reading] (poll for input, feed the parser) → [Executing]
+    (a worker thread runs the handler; the event loop leaves the
+    connection alone, which is also what freezes the input buffer and
+    makes the zero-copy body window safe) → [Writing] (poll for output,
+    drain the slice queue) → back to [Reading] on keep-alive, with
+    leftover pipelined bytes compacted to the front and every buffer
+    reused. *)
+
+(* hard caps: a request line / header block / body larger than these is
+   a protocol error and closes the connection *)
+let max_header_bytes = 1 lsl 20
+let max_body_bytes = 1 lsl 26
+
+type parse_state =
+  | P_line  (** accumulating the request line *)
+  | P_headers  (** accumulating header lines *)
+  | P_body  (** headers done; waiting for [clen] body bytes *)
+  | P_dispatched  (** a full request has been handed out *)
+
+type state = Reading | Executing | Writing | Closed
+
+(* One pending write: [len - off] bytes of [src] starting at [off].
+   Sources are the connection's reused response buffers (or a canned
+   string for 503s), so a response is never flattened into one big
+   intermediate string. *)
+type slice = { src : slice_src; mutable off : int; len : int }
+and slice_src = Sstr of string | Sbuf of Buffer.t
+
+type t = {
+  fd : Unix.file_descr;
+  mutable state : state;
+  mutable inbuf : Bytes.t;
+  mutable in_len : int;  (** valid bytes in [inbuf] *)
+  mutable scan : int;  (** parser cursor (never rescans) *)
+  mutable pstate : parse_state;
+  (* current request, filled in by the parser *)
+  mutable meth : string;
+  mutable path : string;
+  mutable req_close : bool;  (** client asked to close after this request *)
+  mutable clen : int;  (** Content-Length *)
+  mutable body_off : int;  (** body start in [inbuf] *)
+  (* response assembly: both buffers are cleared and reused per request *)
+  resp_head : Buffer.t;
+  resp_body : Buffer.t;
+  mutable out : slice list;
+  mutable close_after : bool;
+  mutable rejected : bool;  (** a 503 turn-away, not a served connection *)
+  mutable watched : int;
+      (** readiness interest last registered with epoll for this fd
+          (1 = read, 2 = write, 0 = parked); -1 = not registered.  Owned
+          by the event loop; unused on the poll fallback path. *)
+}
+
+let create fd =
+  {
+    fd;
+    state = Reading;
+    inbuf = Bytes.create 4096;
+    in_len = 0;
+    scan = 0;
+    pstate = P_line;
+    meth = "";
+    path = "";
+    req_close = false;
+    clen = 0;
+    body_off = 0;
+    resp_head = Buffer.create 256;
+    resp_body = Buffer.create 1024;
+    out = [];
+    close_after = false;
+    rejected = false;
+    watched = -1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental request parsing                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* index of the next '\n' in [b.[from .. upto)], bounded by the valid
+   region (bytes past [upto] are stale garbage from earlier requests) *)
+let find_nl b from upto =
+  let rec go i =
+    if i >= upto then None
+    else if Bytes.unsafe_get b i = '\n' then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* the line [start..nl), with a trailing '\r' stripped *)
+let line_at b start nl =
+  let stop = if nl > start && Bytes.get b (nl - 1) = '\r' then nl - 1 else nl in
+  Bytes.sub_string b start (stop - start)
+
+type fed = Need_more | Request | Bad of string
+
+(** Feed the parser whatever bytes have accumulated.  Returns [Request]
+    exactly once per request (the connection then leaves [Reading]);
+    resumes mid-line, mid-headers or mid-body on the next call. *)
+let rec feed c =
+  match c.pstate with
+  | P_dispatched -> Need_more
+  | P_line -> (
+      match find_nl c.inbuf c.scan c.in_len with
+      | None ->
+          if c.in_len - c.scan > max_header_bytes then Bad "request line too long"
+          else Need_more
+      | Some nl -> (
+          let line = line_at c.inbuf c.scan nl in
+          c.scan <- nl + 1;
+          if line = "" then feed c (* tolerate blank lines between requests *)
+          else
+            match String.split_on_char ' ' line with
+            | meth :: path :: rest ->
+                c.meth <- meth;
+                c.path <- path;
+                (* HTTP/1.0 defaults to close, 1.1 to keep-alive *)
+                c.req_close <- rest = [ "HTTP/1.0" ];
+                c.clen <- 0;
+                c.pstate <- P_headers;
+                feed c
+            | _ -> Bad ("malformed request line " ^ line)))
+  | P_headers -> (
+      match find_nl c.inbuf c.scan c.in_len with
+      | None ->
+          if c.in_len - c.scan > max_header_bytes then Bad "headers too long"
+          else Need_more
+      | Some nl -> (
+          let line = line_at c.inbuf c.scan nl in
+          c.scan <- nl + 1;
+          if line = "" then begin
+            c.body_off <- c.scan;
+            if c.clen > max_body_bytes then Bad "body too large"
+            else begin
+              c.pstate <- P_body;
+              feed c
+            end
+          end
+          else begin
+            (match String.index_opt line ':' with
+            | Some i -> (
+                let k =
+                  String.lowercase_ascii (String.trim (String.sub line 0 i))
+                in
+                let v =
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                match k with
+                | "content-length" ->
+                    c.clen <- (try int_of_string v with _ -> 0)
+                | "connection" -> (
+                    match String.lowercase_ascii v with
+                    | "close" -> c.req_close <- true
+                    | "keep-alive" -> c.req_close <- false
+                    | _ -> ())
+                | _ -> ())
+            | None -> ());
+            feed c
+          end))
+  | P_body ->
+      if c.in_len - c.body_off >= c.clen then begin
+        c.pstate <- P_dispatched;
+        c.scan <- c.body_off + c.clen;
+        Request
+      end
+      else Need_more
+
+(** Drop the request just answered, slide any pipelined bytes after it to
+    the front of the (kept, reused) input buffer, and go back to parsing.
+    Both response buffers are cleared but keep their storage. *)
+let reset_for_next c =
+  let consumed = c.body_off + c.clen in
+  let remaining = c.in_len - consumed in
+  if remaining > 0 then Bytes.blit c.inbuf consumed c.inbuf 0 remaining;
+  c.in_len <- remaining;
+  c.scan <- 0;
+  c.pstate <- P_line;
+  c.clen <- 0;
+  c.body_off <- 0;
+  c.out <- [];
+  Buffer.clear c.resp_head;
+  Buffer.clear c.resp_body;
+  c.state <- Reading
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let grow_inbuf c need =
+  let cap = Bytes.length c.inbuf in
+  if need > cap then begin
+    let cap' = max need (cap * 2) in
+    let b = Bytes.create cap' in
+    Bytes.blit c.inbuf 0 b 0 c.in_len;
+    c.inbuf <- b
+  end
+
+type read_result = Read_some | Read_blocked | Read_eof
+
+(** One non-blocking read into the input buffer.  Pre-sizes the buffer to
+    hold the announced body so a large POST never reallocates mid-read. *)
+let read_step c =
+  (match c.pstate with
+  | P_body -> grow_inbuf c (c.body_off + c.clen)
+  | _ -> if c.in_len = Bytes.length c.inbuf then grow_inbuf c (c.in_len + 1));
+  let room = Bytes.length c.inbuf - c.in_len in
+  match Unix.read c.fd c.inbuf c.in_len room with
+  | 0 -> Read_eof
+  | n ->
+      c.in_len <- c.in_len + n;
+      Read_some
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      Read_blocked
+  | exception Unix.Unix_error (_, _, _) -> Read_eof
+
+(** Queue a response: status line + headers assembled in the reused
+    header buffer, body already sitting in [resp_body] (the handler wrote
+    it there directly).  The two become two slices of the output queue —
+    header and body are never concatenated. *)
+let set_response ?(content_type = "application/soap+xml; charset=utf-8") c
+    ~status ~close =
+  Buffer.clear c.resp_head;
+  Buffer.add_string c.resp_head "HTTP/1.1 ";
+  Buffer.add_string c.resp_head status;
+  Buffer.add_string c.resp_head "\r\nContent-Type: ";
+  Buffer.add_string c.resp_head content_type;
+  Buffer.add_string c.resp_head "\r\nContent-Length: ";
+  Buffer.add_string c.resp_head (string_of_int (Buffer.length c.resp_body));
+  Buffer.add_string c.resp_head "\r\nConnection: ";
+  Buffer.add_string c.resp_head (if close then "close" else "keep-alive");
+  Buffer.add_string c.resp_head "\r\n\r\n";
+  c.out <-
+    [
+      { src = Sbuf c.resp_head; off = 0; len = Buffer.length c.resp_head };
+      { src = Sbuf c.resp_body; off = 0; len = Buffer.length c.resp_body };
+    ];
+  c.close_after <- close;
+  c.state <- Writing
+
+type write_result = Write_done | Write_blocked | Write_closed
+
+(** Drain as much of the output queue as the socket accepts.  The slice
+    list is {e gathered} writev-style through [scratch] (one reused
+    [Bytes.t] shared by the whole event loop): header and body slices are
+    coalesced into a single [write(2)] — so a typical response is one
+    syscall and one TCP segment, not one per slice.  A peer that vanished
+    mid-response surfaces as [Write_closed]. *)
+let write_step ~scratch c =
+  (* consume [n] written bytes off the front of the slice list *)
+  let rec advance n = function
+    | [] -> []
+    | sl :: rest ->
+        let take = min n (sl.len - sl.off) in
+        sl.off <- sl.off + take;
+        if sl.off >= sl.len then advance (n - take) rest else sl :: rest
+  in
+  let rec go () =
+    match c.out with
+    | [] -> Write_done
+    | slices ->
+        let filled = ref 0 in
+        List.iter
+          (fun sl ->
+            let k = min (sl.len - sl.off) (Bytes.length scratch - !filled) in
+            if k > 0 then begin
+              (match sl.src with
+              | Sstr s -> Bytes.blit_string s sl.off scratch !filled k
+              | Sbuf b -> Buffer.blit b sl.off scratch !filled k);
+              filled := !filled + k
+            end)
+          slices;
+        if !filled = 0 then begin
+          c.out <- [];
+          Write_done
+        end
+        else
+          let n = Unix.write c.fd scratch 0 !filled in
+          c.out <- advance n slices;
+          (* a short write means the socket buffer is full: poll again
+             rather than eat a guaranteed EAGAIN *)
+          if n < !filled then Write_blocked else go ()
+  in
+  try go () with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      Write_blocked
+  | Unix.Unix_error (_, _, _) -> Write_closed
+
+let close c =
+  c.state <- Closed;
+  c.out <- [];
+  try Unix.close c.fd with Unix.Unix_error _ -> ()

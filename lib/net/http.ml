@@ -3,11 +3,20 @@
     XRPC messages travel as SOAP over HTTP POST (§2.1).  This is a small
     but real implementation — enough for one XQuery peer to call another
     across processes or machines — modeled on the "ultra-light HTTP
-    daemon" the paper embeds in MonetDB/XQuery (§3).  The server runs its
-    accept loop on a daemon thread and serves each connection on its own
-    thread, keeping the connection open across requests (HTTP/1.1
-    keep-alive) unless the client sends [Connection: close].  The client
-    transport can reuse one pooled connection per destination
+    daemon" the paper embeds in MonetDB/XQuery (§3).
+
+    The server has two cores behind one [serve] entry point:
+    {!Event_loop} (default) multiplexes every connection over a single
+    poll(2) loop with non-blocking sockets and per-connection state
+    machines ({!Evloop} / {!Conn}), executing handlers on a bounded
+    worker pool — the shape that holds thousands of concurrent keep-alive
+    peers; {!Thread_per_conn} is the original baseline (one thread per
+    accepted connection), kept behind the config switch for comparison
+    and as the fallback reference implementation.  Both keep the
+    connection open across requests (HTTP/1.1 keep-alive) unless the
+    client sends [Connection: close].
+
+    The client transport can reuse one pooled connection per destination
     ([~keep_alive:true]) and fans parallel sends out through an
     {!Executor}. *)
 
@@ -75,23 +84,42 @@ let read_body ic headers =
 (* Server                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type server = { sock : Unix.file_descr; port : int; mutable running : bool }
+type mode = Event_loop | Thread_per_conn
 
-(** [serve ~port handler] starts an HTTP server; [handler path body]
-    returns the response body for a POST (GET returns the handler result
-    with an empty body, so module sources can be fetched too).  Binds to
-    127.0.0.1.  [port = 0] picks a free port (see [server.port]). *)
-let serve ?(port = 0) (handler : path:string -> string -> string) : server =
+type threaded = {
+  sock : Unix.file_descr;
+  tport : int;
+  mutable running : bool;
+  tstats : Evloop.stats;  (** same shape as the event loop's, for parity *)
+}
+
+type server = Ev of Evloop.t | Threaded of threaded
+
+(* -- thread-per-connection baseline --------------------------------- *)
+
+let serve_threaded ?(port = 0) ?(backlog = 32) ?max_connections
+    (handler : path:string -> string -> string) : server =
+  Evloop.ignore_sigpipe ();
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen sock 32;
+  Unix.listen sock backlog;
   let actual_port =
     match Unix.getsockname sock with
     | Unix.ADDR_INET (_, p) -> p
     | _ -> assert false
   in
-  let server = { sock; port = actual_port; running = true } in
+  let stats =
+    {
+      Evloop.accepted = 0;
+      active = 0;
+      served = 0;
+      rejected = 0;
+      accept_errors = 0;
+      disconnects = 0;
+    }
+  in
+  let server = { sock; tport = actual_port; running = true; tstats = stats } in
   (* thread-per-connection with keep-alive: loop serving requests on this
      connection until the peer closes it, asks us to, or errors out.
      HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close. *)
@@ -122,26 +150,109 @@ let serve ?(port = 0) (handler : path:string -> string -> string) : server =
                 (if close then "close" else "keep-alive")
                 response;
               flush oc;
+              stats.Evloop.served <- stats.Evloop.served + 1;
               if (not close) && server.running then serve_one ()
           | _ -> ())
     in
     (try serve_one () with End_of_file | Sys_error _ -> ());
+    stats.Evloop.active <- stats.Evloop.active - 1;
     (try Unix.close fd with Unix.Unix_error _ -> ())
   in
+  let reject fd =
+    stats.Evloop.rejected <- stats.Evloop.rejected + 1;
+    let body = "XRPC peer at connection capacity; retry shortly\n" in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       Printf.fprintf oc
+         "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+         (String.length body) body;
+       flush oc
+     with Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   let accept_loop () =
+    (* accept failures must not spin: resource exhaustion (EMFILE &c.,
+       including a failed Thread.create) counts server.accept_errors and
+       backs off briefly before the next accept *)
+    let note_accept_error () =
+      stats.Evloop.accept_errors <- stats.Evloop.accept_errors + 1;
+      Metrics.incr Evloop.m_accept_errors;
+      Unix.sleepf Evloop.accept_backoff_s
+    in
     while server.running do
       match Unix.accept sock with
-      | fd, _ -> ignore (Thread.create handle_conn fd)
+      | fd, _ -> (
+          stats.Evloop.accepted <- stats.Evloop.accepted + 1;
+          match max_connections with
+          | Some m when stats.Evloop.active >= m -> reject fd
+          | _ -> (
+              stats.Evloop.active <- stats.Evloop.active + 1;
+              try ignore (Thread.create handle_conn fd)
+              with Sys_error _ | Out_of_memory ->
+                stats.Evloop.active <- stats.Evloop.active - 1;
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                note_accept_error ()))
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> server.running <- false
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (e, _, _) -> (
+          match Evloop.accept_action e with
+          | `Retry -> ()
+          | `Backoff -> note_accept_error ()
+          | `Stop -> server.running <- false)
     done
   in
   ignore (Thread.create accept_loop ());
-  server
+  Threaded server
 
-let shutdown server =
-  server.running <- false;
-  try Unix.close server.sock with Unix.Unix_error _ -> ()
+(* -- unified entry points ------------------------------------------- *)
+
+(** [serve handler] starts an HTTP server on 127.0.0.1 ([port = 0] picks
+    a free port, see {!port}); [handler ~path body] returns the response
+    body for a POST (GET passes an empty body, so module sources can be
+    fetched too).  [mode] selects the core: the readiness-driven
+    {!Event_loop} (default; [executor] sizes its handler pool,
+    [max_connections] turns extra peers away with a 503) or the
+    {!Thread_per_conn} baseline. *)
+let serve ?(mode = Event_loop) ?port ?backlog ?max_connections ?executor
+    (handler : path:string -> string -> string) : server =
+  match mode with
+  | Thread_per_conn -> serve_threaded ?port ?backlog ?max_connections handler
+  | Event_loop ->
+      let h ~meth ~path ~src ~pos ~len out =
+        let body = if meth = "POST" then String.sub src pos len else "" in
+        Buffer.add_string out (handler ~path body)
+      in
+      Ev (Evloop.create ?port ?backlog ?max_connections ?executor h)
+
+(** [serve_stream handler] — event-loop server with the zero-copy handler
+    contract ({!Evloop.handler}): the request body arrives as a window
+    over the connection's input buffer and the response body is appended
+    to the connection's reused output buffer.  This is what the
+    {!Xrpc_core.Xrpc_server} façade uses to hand SOAP bytes straight to
+    the peer without materializing them twice. *)
+let serve_stream ?port ?backlog ?max_connections ?executor
+    (handler : Evloop.handler) : server =
+  Ev (Evloop.create ?port ?backlog ?max_connections ?executor handler)
+
+let port = function Ev t -> Evloop.port t | Threaded s -> s.tport
+
+let stats = function
+  | Ev t -> Evloop.stats t
+  | Threaded s ->
+      {
+        Evloop.accepted = s.tstats.Evloop.accepted;
+        active = s.tstats.Evloop.active;
+        served = s.tstats.Evloop.served;
+        rejected = s.tstats.Evloop.rejected;
+        accept_errors = s.tstats.Evloop.accept_errors;
+        disconnects = s.tstats.Evloop.disconnects;
+      }
+
+let shutdown = function
+  | Ev t -> Evloop.stop t
+  | Threaded s -> (
+      s.running <- false;
+      try Unix.close s.sock with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Client                                                              *)

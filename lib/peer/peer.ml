@@ -696,13 +696,15 @@ let with_peer_lock peer f =
       f
   end
 
-let handle_raw peer (body : string) : string =
+let handle_raw_into peer ?(pos = 0) ?len (body : string) (out : Buffer.t) :
+    unit =
+  let len = match len with Some l -> l | None -> String.length body - pos in
   let t0 = Unix.gettimeofday () in
   with_peer_lock peer @@ fun () ->
   let fr_mark = Trace.mark () in
   let tparse0 = Trace.now_ms () in
   let parsed =
-    try Ok (Message.of_string_server body) with e -> Error e
+    try Ok (Message.of_string_server ~pos ~len body) with e -> Error e
   in
   let parse_ms = Trace.now_ms () -. tparse0 in
   let msg = Result.map (fun (m, _, _) -> m) parsed in
@@ -771,12 +773,12 @@ let handle_raw peer (body : string) : string =
     | Some k -> Idem_cache.find peer.idem_cache k
     | None -> None
   with
-  | Some out ->
+  | Some cached ->
       Metrics.incr m_idem_hits;
       Trace.event "idem-hit";
       peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
       record_flight ~idem_key ();
-      out
+      Buffer.add_string out cached
   | None ->
   let reply =
     try
@@ -820,15 +822,17 @@ let handle_raw peer (body : string) : string =
   | _ -> ());
   (* the phase breakdown rides back on the response element, so the
      calling site's profile can split remote time into
-     parse/compile/exec/commit without another round trip *)
-  let out =
-    Message.to_string ?server_profile:(Option.map ( ! ) phases) reply
-  in
+     parse/compile/exec/commit without another round trip; the reply is
+     serialized exactly once, directly into the caller's (reused) output
+     buffer — the streaming-serialize half of the event-loop server *)
+  let start = Buffer.length out in
+  Message.to_buffer ?server_profile:(Option.map ( ! ) phases) out reply;
   (* remember successful replies only: a faulted request had no effects,
      so a retry may legitimately re-execute it *)
   (match (idem_key, reply) with
   | Some k, (Message.Response _ | Message.Tx_response _) ->
-      Idem_cache.add peer.idem_cache k out
+      Idem_cache.add peer.idem_cache k
+        (Buffer.sub out start (Buffer.length out - start))
   | _ -> ());
   let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
   peer.handler_ms <- peer.handler_ms +. elapsed;
@@ -838,8 +842,12 @@ let handle_raw peer (body : string) : string =
       (match reply with
       | Message.Fault f -> Some f.Message.reason
       | _ -> None)
-    ~idem_key ();
-  out
+    ~idem_key ()
+
+let handle_raw peer (body : string) : string =
+  let out = Buffer.create 1024 in
+  handle_raw_into peer body out;
+  Buffer.contents out
 
 (* ------------------------------------------------------------------ *)
 (* Client side: running queries                                        *)

@@ -113,6 +113,13 @@ val handle_raw : t -> string -> string
     [to_soap_fault]), which the originating site turns into a run-time
     error (§2.1, "XRPC Error Message"). *)
 
+val handle_raw_into : t -> ?pos:int -> ?len:int -> string -> Buffer.t -> unit
+(** Streaming form of {!handle_raw}: the request envelope is parsed out
+    of the window [body.[pos .. pos+len)] (no substring copy — the
+    event-loop server points this at the SOAP body inside its connection
+    buffer) and the reply is serialized exactly once, appended to the
+    caller's reused output buffer. *)
+
 (** {2 Client side: running queries} *)
 
 type query_result = {

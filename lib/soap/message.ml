@@ -297,6 +297,21 @@ let to_string ?trace ?server_profile m =
   Serialize.document_to_string
     (Tree.Document [ to_tree ?trace ?server_profile ~profile_flag m ])
 
+(** Like {!to_string}, but appending the wire form to [buf] — the
+    streaming-serialize hook: the event-loop server hands each
+    connection's reused output buffer here, so an envelope goes straight
+    from the tree into the socket's write queue without an intermediate
+    per-response string. *)
+let to_buffer ?trace ?server_profile buf m =
+  let trace =
+    match trace with Some _ as t -> t | None -> Xrpc_obs.Trace.propagation ()
+  in
+  let profile_flag =
+    match m with Request _ -> Xrpc_obs.Profile.enabled () | _ -> false
+  in
+  Serialize.document_to_buffer buf
+    (Tree.Document [ to_tree ?trace ?server_profile ~profile_flag m ])
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -549,9 +564,13 @@ let of_string_profiled s =
   (of_tree tree, server_profile_of_tree tree)
 
 (** Server-side parse: the message, its propagated trace context, and
-    whether the caller asked for the phase breakdown (xrpc:profile). *)
-let of_string_server s =
-  let tree = Xml_parse.document s in
+    whether the caller asked for the phase breakdown (xrpc:profile).
+    [?pos]/[?len] parse the envelope out of a window of [s] — the
+    streaming-parse hook: the event-loop server points this directly at
+    the request body inside its connection buffer, copy-free. *)
+let of_string_server ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let tree = Xml_parse.document_sub s ~pos ~len in
   (of_tree tree, trace_of_tree tree, profile_requested_of_tree tree)
 
 (** Parse a message together with its propagated trace context, if any. *)

@@ -135,13 +135,30 @@ let rec write ?(indent = false) ?(depth = 0) ~ns_env buf t =
         Buffer.add_char buf '>'
       end
 
+(** [to_buffer buf t] serializes a tree (no XML declaration) straight
+    into [buf] — the streaming hook for servers that serialize responses
+    into a reused per-connection output buffer instead of materializing
+    an intermediate string. *)
+let to_buffer ?(indent = false) buf t =
+  write ~indent ~ns_env:[ ("xml", Qname.ns_xml) ] buf t
+
 (** [to_string t] serializes a tree without an XML declaration. *)
 let to_string ?(indent = false) t =
   let buf = Buffer.create 256 in
-  write ~indent ~ns_env:[ ("xml", Qname.ns_xml) ] buf t;
+  to_buffer ~indent buf t;
   Buffer.contents buf
+
+let xml_declaration = "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n"
+
+(** [document_to_buffer buf t] — {!to_buffer} with the UTF-8 XML
+    declaration prepended, the on-the-wire form of SOAP XRPC messages. *)
+let document_to_buffer ?(indent = false) buf t =
+  Buffer.add_string buf xml_declaration;
+  to_buffer ~indent buf t
 
 (** [document_to_string t] prepends the UTF-8 XML declaration, as SOAP XRPC
     messages in the paper do. *)
 let document_to_string ?(indent = false) t =
-  "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n" ^ to_string ~indent t
+  let buf = Buffer.create 256 in
+  document_to_buffer ~indent buf t;
+  Buffer.contents buf

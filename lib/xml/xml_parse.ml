@@ -11,6 +11,7 @@ exception Parse_error of string
 type state = {
   src : string;
   mutable pos : int;
+  lim : int;  (** parse window end: the document is [src.[start .. lim)] *)
   mutable ns_stack : (string * string) list list;
       (** prefix -> uri bindings, innermost scope first *)
   preserve_space : bool;
@@ -21,12 +22,12 @@ let error st fmt =
     (fun m -> raise (Parse_error (Printf.sprintf "%s at offset %d" m st.pos)))
     fmt
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek st = if st.pos < st.lim then Some st.src.[st.pos] else None
 let advance st = st.pos <- st.pos + 1
 
 let looking_at st s =
   let n = String.length s in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  st.pos + n <= st.lim && String.sub st.src st.pos n = s
 
 let expect st s =
   if looking_at st s then st.pos <- st.pos + String.length s
@@ -35,7 +36,7 @@ let expect st s =
 let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
 let skip_space st =
-  while st.pos < String.length st.src && is_space st.src.[st.pos] do
+  while st.pos < st.lim && is_space st.src.[st.pos] do
     advance st
   done
 
@@ -52,7 +53,7 @@ let read_ncname st =
   | Some c when is_name_start c -> advance st
   | _ -> error st "expected name");
   while
-    st.pos < String.length st.src && is_name_char st.src.[st.pos]
+    st.pos < st.lim && is_name_char st.src.[st.pos]
   do
     advance st
   done;
@@ -74,7 +75,7 @@ let expand_ref st =
     let hex = looking_at st "x" in
     if hex then advance st;
     let start = st.pos in
-    while st.pos < String.length st.src && st.src.[st.pos] <> ';' do
+    while st.pos < st.lim && st.src.[st.pos] <> ';' do
       advance st
     done;
     let digits = String.sub st.src start (st.pos - start) in
@@ -163,7 +164,7 @@ and skip_comment st =
   expect st "<!--";
   match
     let rec find i =
-      if i + 3 > String.length st.src then None
+      if i + 3 > st.lim then None
       else if String.sub st.src i 3 = "-->" then Some i
       else find (i + 1)
     in
@@ -176,7 +177,7 @@ and read_comment st =
   expect st "<!--";
   let start = st.pos in
   let rec find i =
-    if i + 3 > String.length st.src then error st "unterminated comment"
+    if i + 3 > st.lim then error st "unterminated comment"
     else if String.sub st.src i 3 = "-->" then i
     else find (i + 1)
   in
@@ -190,7 +191,7 @@ and read_pi st =
   skip_space st;
   let start = st.pos in
   let rec find i =
-    if i + 2 > String.length st.src then error st "unterminated PI"
+    if i + 2 > st.lim then error st "unterminated PI"
     else if String.sub st.src i 2 = "?>" then i
     else find (i + 1)
   in
@@ -219,7 +220,7 @@ let read_text st =
     if looking_at st "<![CDATA[" then (
       st.pos <- st.pos + 9;
       let rec find i =
-        if i + 3 > String.length st.src then error st "unterminated CDATA"
+        if i + 3 > st.lim then error st "unterminated CDATA"
         else if String.sub st.src i 3 = "]]>" then i
         else find (i + 1)
       in
@@ -315,7 +316,24 @@ and read_content st =
 (** [document s] parses a complete XML document into a [Tree.Document].
     Ignorable (all-whitespace) text is dropped unless [preserve_space]. *)
 let document ?(preserve_space = false) s =
-  let st = { src = s; pos = 0; ns_stack = []; preserve_space } in
+  let st =
+    { src = s; pos = 0; lim = String.length s; ns_stack = []; preserve_space }
+  in
+  if looking_at st "<?xml" then (
+    ignore (read_pi st));
+  skip_misc st;
+  let root = read_element st in
+  skip_misc st;
+  Tree.Document [ root ]
+
+(** [document_sub s ~pos ~len] parses the document occupying the window
+    [s.[pos .. pos+len)] — the streaming hook for servers whose network
+    buffer holds the envelope embedded in a larger byte stream: no
+    substring is ever materialized. *)
+let document_sub ?(preserve_space = false) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Xml_parse.document_sub";
+  let st = { src = s; pos; lim = pos + len; ns_stack = []; preserve_space } in
   if looking_at st "<?xml" then (
     ignore (read_pi st));
   skip_misc st;
@@ -325,5 +343,7 @@ let document ?(preserve_space = false) s =
 
 (** [fragment s] parses mixed content (zero or more nodes, no declaration). *)
 let fragment ?(preserve_space = true) s =
-  let st = { src = s; pos = 0; ns_stack = []; preserve_space } in
+  let st =
+    { src = s; pos = 0; lim = String.length s; ns_stack = []; preserve_space }
+  in
   read_content st

@@ -293,7 +293,7 @@ let test_concurrent_keep_alive () =
   let peer = make_peer "served" in
   let server = Http.serve (fun ~path:_ body -> Peer.handle_raw peer body) in
   Fun.protect ~finally:(fun () -> Http.shutdown server) @@ fun () ->
-  let dest = Printf.sprintf "xrpc://127.0.0.1:%d" server.Http.port in
+  let dest = Printf.sprintf "xrpc://127.0.0.1:%d" (Http.port server) in
   let pool = Executor.pool 4 in
   let client =
     Client.connect_http

@@ -586,7 +586,7 @@ let test_q2_over_http () =
       Peer.set_transport x (Xrpc_net.Http.transport ());
       Peer.register_module x ~uri:Filmdb.module_ns ~location:Filmdb.module_at
         Filmdb.film_module;
-      let dest = Printf.sprintf "xrpc://127.0.0.1:%d" server.Xrpc_net.Http.port in
+      let dest = Printf.sprintf "xrpc://127.0.0.1:%d" (Xrpc_net.Http.port server) in
       let r = Peer.query_seq x (Filmdb.q2 ~dest) in
       check string_ "Q2 over HTTP"
         "<films><name>The Rock</name><name>Goldfinger</name></films>"

@@ -122,7 +122,7 @@ let test_http_roundtrip () =
     ~finally:(fun () -> Http.shutdown server)
     (fun () ->
       let r =
-        Http.post ~host:"127.0.0.1" ~port:server.Http.port ~path:"/svc" "ping"
+        Http.post ~host:"127.0.0.1" ~port:(Http.port server) ~path:"/svc" "ping"
       in
       check string_ "roundtrip" "path=/svc body=ping" r)
 
@@ -132,7 +132,7 @@ let test_http_large_body () =
     ~finally:(fun () -> Http.shutdown server)
     (fun () ->
       let payload = String.init 200_000 (fun i -> Char.chr (32 + (i mod 90))) in
-      let r = Http.post ~host:"127.0.0.1" ~port:server.Http.port payload in
+      let r = Http.post ~host:"127.0.0.1" ~port:(Http.port server) payload in
       check bool_ "200k echoed" true (String.equal r payload))
 
 let test_http_transport_parallel () =
@@ -141,7 +141,7 @@ let test_http_transport_parallel () =
     ~finally:(fun () -> Http.shutdown server)
     (fun () ->
       let t = Http.transport () in
-      let dest = Printf.sprintf "xrpc://127.0.0.1:%d" server.Http.port in
+      let dest = Printf.sprintf "xrpc://127.0.0.1:%d" (Http.port server) in
       let rs = t.Transport.send_parallel [ (dest, "a"); (dest, "b"); (dest, "c") ] in
       check (Alcotest.list string_) "parallel" [ "<a>"; "<b>"; "<c>" ] rs)
 
@@ -150,7 +150,7 @@ let test_http_error_status () =
   Fun.protect
     ~finally:(fun () -> Http.shutdown server)
     (fun () ->
-      match Http.post ~host:"127.0.0.1" ~port:server.Http.port "x" with
+      match Http.post ~host:"127.0.0.1" ~port:(Http.port server) "x" with
       | exception Http.Http_error _ -> ()
       | r -> Alcotest.fail ("expected 500, got " ^ r))
 
@@ -188,7 +188,7 @@ let test_http_concurrent_peer () =
                 for _ = 1 to 5 do
                   match
                     Xrpc_soap.Message.of_string
-                      (Http.post ~host:"127.0.0.1" ~port:server.Http.port body)
+                      (Http.post ~host:"127.0.0.1" ~port:(Http.port server) body)
                   with
                   | Xrpc_soap.Message.Response { results = [ r ]; _ }
                     when List.length r = 2 ->
