@@ -14,14 +14,20 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let serve verbose port data demo trace slow_ms threads max_connections workers
-    backlog =
+    backlog peers =
   setup_logs verbose;
+  let cluster_peers =
+    match peers with
+    | None -> []
+    | Some s ->
+        List.filter (fun u -> u <> "") (String.split_on_char ',' s)
+  in
   let peer = Peer.create (Printf.sprintf "xrpc://127.0.0.1:%d" port) in
   let server =
     Server.create
       ~config:
         (Server.config ~port ~backlog ?max_connections ~workers
-           ~thread_per_conn:threads ~slow_ms ~trace ())
+           ~thread_per_conn:threads ~slow_ms ~trace ~cluster_peers ())
       peer
   in
   if demo then begin
@@ -110,12 +116,21 @@ let backlog =
     value & opt int 128
     & info [ "backlog" ] ~docv:"N" ~doc:"Listen-socket backlog.")
 
+let peers =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "peers" ] ~docv:"URIS"
+        ~doc:
+          "Comma-separated federation peers (http://host:port) whose \
+           telemetry /clusterz aggregates.")
+
 let cmd =
   let doc = "serve XML documents and XQuery modules as an XRPC peer" in
   Cmd.v
     (Cmd.info "xrpc-server" ~doc)
     Term.(
       const serve $ verbose $ port $ data $ demo $ trace $ slow_ms $ threads
-      $ max_connections $ workers $ backlog)
+      $ max_connections $ workers $ backlog $ peers)
 
 let () = exit (Cmd.eval cmd)

@@ -9,6 +9,9 @@
 module Peer = Xrpc_peer.Peer
 module Database = Xrpc_peer.Database
 module Metrics = Xrpc_obs.Metrics
+module Window = Xrpc_obs.Window
+module Slo = Xrpc_obs.Slo
+module Telemetry = Xrpc_obs.Telemetry
 module Trace = Xrpc_obs.Trace
 module Profile = Xrpc_obs.Profile
 module Flight_recorder = Xrpc_obs.Flight_recorder
@@ -179,11 +182,41 @@ let command peer line =
       print_endline "tracing off";
       true
   | ":metrics", "" ->
-      print_string (Metrics.to_text ());
+      print_string (Window.export_text ());
       true
   | ":metrics", "reset" ->
       Metrics.reset ();
+      Window.reset ();
       print_endline "metrics reset";
+      true
+  | ":health", "" ->
+      print_string (Slo.healthz_text ~scope:peer.Peer.uri ());
+      true
+  | ":cluster", "" ->
+      print_endline "usage: :cluster <http://host:port> [more peers ...]";
+      true
+  | ":cluster", uris ->
+      (* scrape each named peer's built-in telemetry function over HTTP
+         and print the merged federation view *)
+      let peers = String.split_on_char ' ' uris in
+      let now = Trace.now_ms () in
+      let scrape dest =
+        try
+          let body =
+            Xrpc_core.Xrpc_client.call
+              (Xrpc_core.Xrpc_client.connect_http ~origin:peer.Peer.uri ())
+              ~dest ~module_uri:Xrpc_xml.Qname.ns_xrpc ~fn:"telemetry" []
+          in
+          Telemetry.of_wire
+            (Xrpc_xml.Xdm.string_value
+               (Xrpc_xml.Xdm.one_item ~what:"telemetry" body))
+        with e ->
+          Telemetry.unreachable ~peer:dest ~at_ms:now
+            ~reason:(Printexc.to_string e)
+      in
+      print_string
+        (Telemetry.cluster_text
+           (Telemetry.merge ~at_ms:now (List.map scrape peers)));
       true
   | ":flight", "" ->
       print_string (Flight_recorder.to_text ());
@@ -265,8 +298,13 @@ let command peer line =
       print_endline
         "                 per-destination bytes and remote phase costs";
       print_endline ":trace on|off  — print a span tree after each query";
-      print_endline ":metrics       — dump the metrics registry";
+      print_endline
+        ":metrics       — dump the metrics registry + windowed series";
       print_endline ":metrics reset — zero every counter and histogram";
+      print_endline
+        ":health        — this peer's SLO state (budgets, burn, p99s)";
+      print_endline
+        ":cluster <uris> — scrape peers' telemetry, print the merged view";
       print_endline
         ":flight        — recent requests from the flight recorder";
       print_endline ":flight slow   — pinned slow queries";
@@ -287,8 +325,8 @@ let repl peer =
   print_endline
     "XRPC shell — terminate a query with a single '.' line; ctrl-d exits.\n\
      Meta-commands: :explain <q>, :profile <q>, :trace on|off, :metrics \
-     [reset], :flight [slow], :shards [keys], :cache [stats|clear|on|off], \
-     :help.";
+     [reset], :health, :cluster <uris>, :flight [slow], :shards [keys], \
+     :cache [stats|clear|on|off], :help.";
   let buf = Buffer.create 256 in
   let rec loop () =
     (match Buffer.length buf with 0 -> print_string "xquery> " | _ -> print_string "      > ");

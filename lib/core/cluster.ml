@@ -15,6 +15,10 @@ module Simnet = Xrpc_net.Simnet
 module Transport = Xrpc_net.Transport
 module Http = Xrpc_net.Http
 module Serialize = Xrpc_xml.Serialize
+module Executor = Xrpc_net.Executor
+module Telemetry = Xrpc_obs.Telemetry
+module Xdm = Xrpc_xml.Xdm
+module Qname = Xrpc_xml.Qname
 
 (** One sharded collection: a named document that every ring member holds
     a slice of.  Records are [(key, inner-xml)] in placement order; the
@@ -59,6 +63,22 @@ let uri_of_name name =
     simulated time become seconds of peer-local time would be confusing —
     peers read the virtual clock in seconds). *)
 let clock_of (net : Simnet.t) () = net.Simnet.clock_ms /. 1000.
+
+(* The coordinator's breaker state toward [uri] rides in that peer's
+   telemetry snapshot, so /clusterz can show "breaker open to x" next to
+   the peer it protects against. *)
+let register_breaker_source ~policied uri =
+  match policied with
+  | None -> ()
+  | Some p ->
+      Telemetry.register_breakers ~scope:uri (fun () ->
+          let st =
+            match Transport.breaker_state p uri with
+            | Transport.Closed -> "closed"
+            | Transport.Open _ -> "open"
+            | Transport.Half_open -> "half_open"
+          in
+          [ (uri, st) ])
 
 (** [create ?faults ?policy ~names ()] — [faults] installs seeded fault
     injection on the simulated network; [policy] wraps every peer's
@@ -111,6 +131,7 @@ let create ?(config = Simnet.default_config) ?(peer_config = Peer.default_config
       Peer.set_transport peer transport;
       Peer.set_executor peer executor;
       Simnet.register net uri (Peer.handle_raw peer);
+      register_breaker_source ~policied uri;
       cluster.peers <- (name, peer) :: cluster.peers)
     names;
   cluster
@@ -127,6 +148,7 @@ let add_peer t name =
       Peer.set_transport peer t.transport;
       Peer.set_executor peer t.executor;
       Simnet.register t.net uri (Peer.handle_raw peer);
+      register_breaker_source ~policied:t.policied uri;
       t.peers <- (name, peer) :: t.peers;
       List.iter
         (fun (muri, location, source) ->
@@ -227,6 +249,30 @@ let resolve_in_doubt t =
       let c', a', d' = Peer.resolve_in_doubt p in
       (c + c', a + a', d + d'))
     (0, 0, 0) t.peers
+
+(** Federation health: scrape every member's built-in [telemetry]
+    function through the cluster client — so the scrape crosses the same
+    simulated network, policy layer and chaos the queries do — and merge
+    the snapshots into one cluster view.  A crashed or partitioned peer
+    answers with a transport error and appears as ["unreachable"] in the
+    view rather than failing the whole scrape. *)
+let cluster_health t =
+  let c = client t in
+  let now = t.net.Simnet.clock_ms in
+  let scrape (name, (_ : Peer.t)) =
+    let uri = uri_of_name name in
+    try
+      let seq =
+        Xrpc_client.call c ~dest:uri ~module_uri:Qname.ns_xrpc ~fn:"telemetry"
+          []
+      in
+      Telemetry.of_wire (Xdm.string_value (Xdm.one_item ~what:"telemetry" seq))
+    with e ->
+      Telemetry.unreachable ~peer:uri ~at_ms:now
+        ~reason:(Printexc.to_string e)
+  in
+  let snaps = Executor.map_list t.executor scrape (List.rev t.peers) in
+  Telemetry.merge ~at_ms:now snaps
 
 (* ------------------------------------------------------------------ *)
 (* Sharded collections                                                  *)

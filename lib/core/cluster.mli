@@ -96,6 +96,15 @@ val resolve_in_doubt : t -> int * int * int
     "everyone reconnects after the network recovers"); returns summed
     [(committed, aborted, still_in_doubt)]. *)
 
+val cluster_health : t -> Xrpc_obs.Telemetry.cluster_view
+(** Scrape every member's built-in [telemetry] XRPC function through the
+    cluster client (fanned out on the cluster executor) and merge the
+    windowed snapshots into one federation view — per-peer health and
+    p99s, hot endpoints, shard-map version agreement, breaker states.
+    A crashed or partitioned peer appears as ["unreachable"] rather than
+    failing the scrape.  Render with
+    {!Xrpc_obs.Telemetry.cluster_text}/[cluster_json]. *)
+
 (** {2 Sharded collections}
 
     A cluster carries at most one {!Xrpc_peer.Shard} ring.  Records

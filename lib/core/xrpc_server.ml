@@ -30,9 +30,14 @@ module Http = Xrpc_net.Http
 module Evloop = Xrpc_net.Evloop
 module Executor = Xrpc_net.Executor
 module Metrics = Xrpc_obs.Metrics
+module Window = Xrpc_obs.Window
+module Slo = Xrpc_obs.Slo
+module Telemetry = Xrpc_obs.Telemetry
 module Trace = Xrpc_obs.Trace
 module Flight_recorder = Xrpc_obs.Flight_recorder
 module Export = Xrpc_obs.Export
+module Xdm = Xrpc_xml.Xdm
+module Qname = Xrpc_xml.Qname
 
 let log_src = Logs.Src.create "xrpc.server" ~doc:"XRPC serving façade"
 
@@ -57,11 +62,14 @@ type config = {
   outgoing : bool;
       (** wire the peer's own [execute at] dispatch through an HTTP
           {!Xrpc_client} (pooled keep-alive, parallel fan-out) *)
+  cluster_peers : string list;
+      (** other federation members [/clusterz] scrapes (their built-in
+          [telemetry] function, in parallel over the outgoing client) *)
 }
 
 let config ?(port = 8080) ?(backlog = 128) ?max_connections ?(workers = 4)
     ?executor ?(thread_per_conn = false) ?(slow_ms = 250.) ?(trace = false)
-    ?(outgoing = true) () =
+    ?(outgoing = true) ?(cluster_peers = []) () =
   {
     port;
     backlog;
@@ -72,6 +80,7 @@ let config ?(port = 8080) ?(backlog = 128) ?max_connections ?(workers = 4)
     slow_ms;
     trace;
     outgoing;
+    cluster_peers;
   }
 
 let default_config = config ()
@@ -167,21 +176,88 @@ let stats t =
 
 let stats_text t =
   let s = stats t in
+  let wr name = Window.rate (Window.counter name) in
+  let exec =
+    match t.cfg.executor with
+    | Some e -> Some e
+    | None -> t.owned_pool
+  in
   Printf.sprintf
     "server.mode %s\nserver.accepted %d\nserver.active %d\nserver.served \
      %d\nserver.rejected_503 %d\nserver.accept_errors \
-     %d\nserver.client_disconnects %d\n"
+     %d\nserver.client_disconnects %d\nwindow.accepted_1m_rate \
+     %.3f\nwindow.served_1m_rate %.3f\nwindow.rejected_503_1m_rate \
+     %.3f\nwindow.accept_errors_1m_rate %.3f\nwindow.disconnects_1m_rate \
+     %.3f\nwindow.loop_lag_p99_ms %s\nwindow.doneq_depth \
+     %s\nwindow.executor_queue_depth %d\n"
     (if t.cfg.thread_per_conn then "thread-per-conn" else "event-loop")
     s.Evloop.accepted s.Evloop.active s.Evloop.served s.Evloop.rejected
-    s.Evloop.accept_errors s.Evloop.disconnects
+    s.Evloop.accept_errors s.Evloop.disconnects (wr "evloop.accepted")
+    (wr "evloop.served") (wr "evloop.rejected_503")
+    (wr "evloop.accept_errors") (wr "evloop.disconnects")
+    (Metrics.fnum
+       (Window.quantile (Window.histogram "evloop.loop_lag_ms") 0.99))
+    (Metrics.fnum (Window.last (Window.gauge "evloop.doneq_depth")))
+    (match exec with Some e -> Executor.queue_depth e | None -> 0)
+
+(* -- federation scrape --------------------------------------------- *)
+
+(* Pull every configured peer's windowed snapshot via its built-in
+   [telemetry] XRPC function, in parallel on the outgoing client's
+   executor.  A failed leg degrades to an [unreachable] pseudo-snapshot
+   instead of failing the view — a peer you cannot scrape is exactly
+   what the cluster view exists to show. *)
+let cluster_snapshots t =
+  let self = Telemetry.local_snapshot ~peer:t.peer.Peer.uri () in
+  let now = Trace.now_ms () in
+  let others =
+    List.filter (fun u -> u <> t.peer.Peer.uri) t.cfg.cluster_peers
+  in
+  let scrape uri =
+    match t.client with
+    | None ->
+        Telemetry.unreachable ~peer:uri ~at_ms:now
+          ~reason:"no outgoing client configured"
+    | Some c -> (
+        try
+          let seq =
+            Xrpc_client.call c ~dest:uri ~module_uri:Qname.ns_xrpc
+              ~fn:"telemetry" []
+          in
+          Telemetry.of_wire
+            (Xdm.string_value (Xdm.one_item ~what:"telemetry" seq))
+        with e ->
+          Telemetry.unreachable ~peer:uri ~at_ms:now
+            ~reason:(Printexc.to_string e))
+  in
+  let ex =
+    match t.client with
+    | Some c -> Xrpc_client.executor c
+    | None -> Executor.sequential
+  in
+  self :: Executor.map_list ex scrape others
+
+let cluster_view t = Telemetry.merge ~at_ms:(Trace.now_ms ()) (cluster_snapshots t)
 
 (* the monitoring surface, registered in one place instead of the ad-hoc
    match the CLI used to hand-wire *)
 let default_routes t =
   let r path doc handle = add_route t ~path ~doc handle in
-  r "/metrics" "metrics registry, text" (fun ~query:_ -> Metrics.to_text ());
+  (* cumulative registry plus the windowed series: one scrape surface *)
+  r "/metrics" "metrics registry + windowed series, text" (fun ~query:_ ->
+      Window.export_text ());
   r "/metrics.json" "metrics registry, JSON" (fun ~query:_ ->
       Metrics.to_json ());
+  r "/windowz.json" "sliding-window series, JSON" (fun ~query:_ ->
+      Window.to_json ());
+  r "/healthz" "liveness + readiness with reasons" (fun ~query:_ ->
+      Slo.healthz_text ~scope:t.peer.Peer.uri ());
+  r "/healthz.json" "health, JSON" (fun ~query:_ ->
+      Slo.healthz_json ~scope:t.peer.Peer.uri ());
+  r "/clusterz" "federation-wide health (scrapes cluster peers)"
+    (fun ~query:_ -> Telemetry.cluster_text (cluster_view t));
+  r "/clusterz.json" "cluster view, JSON" (fun ~query:_ ->
+      Telemetry.cluster_json (cluster_view t));
   r "/requestz" "flight recorder: last requests" (fun ~query:_ ->
       Flight_recorder.to_text ());
   r "/requestz.json" "flight recorder, JSON" (fun ~query:_ ->
@@ -255,6 +331,87 @@ let soap_done t =
 let find_route t route =
   List.find_opt (fun r -> r.rpath = route) t.routes
 
+(* Monitoring routes get the same per-endpoint rate/error/latency
+   treatment as served functions (SOAP traffic is recorded per-function
+   inside [Peer.handle_raw_into] — recording it here too would double
+   count). *)
+let run_route t r ~query =
+  let t0 = Unix.gettimeofday () in
+  let finish ~error =
+    Slo.record ~scope:t.peer.Peer.uri ~endpoint:r.rpath
+      ~dur_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ~error ()
+  in
+  match r.handle ~query with
+  | body ->
+      finish ~error:false;
+      body
+  | exception e ->
+      finish ~error:true;
+      raise e
+
+(* Readiness probes and snapshot gauges for this serving process: the
+   conditions /healthz must surface that no request counter can see —
+   executor queue saturation and breakers open toward cluster peers —
+   plus the runtime gauges that ride in the telemetry snapshot. *)
+let register_runtime_sources t =
+  let scope = t.peer.Peer.uri in
+  (match
+     match t.cfg.executor with Some e -> Some e | None -> t.owned_pool
+   with
+  | Some e ->
+      let cap = min 1024 (max 1 (Executor.threads e)) in
+      Slo.register_probe ~scope ~name:"executor" (fun () ->
+          let d = Executor.queue_depth e in
+          if d >= cap * 16 then
+            Slo.Probe_unready
+              (Printf.sprintf "queue saturated (%d jobs behind %d workers)" d
+                 cap)
+          else if d >= cap * 4 then
+            Slo.Probe_degraded (Printf.sprintf "queue backlog (%d jobs)" d)
+          else Slo.Probe_ok)
+  | None -> ());
+  (match (t.client, t.cfg.cluster_peers) with
+  | Some c, (_ :: _ as peers) ->
+      let breaker_of d =
+        match Xrpc_client.breaker c d with
+        | Some (Xrpc_net.Transport.Open _) -> Some (d, "open")
+        | Some Xrpc_net.Transport.Half_open -> Some (d, "half_open")
+        | Some Xrpc_net.Transport.Closed -> Some (d, "closed")
+        | None -> None
+      in
+      Slo.register_probe ~scope ~name:"breaker" (fun () ->
+          match
+            List.filter_map
+              (fun d ->
+                match breaker_of d with
+                | Some (d, "open") -> Some d
+                | _ -> None)
+              peers
+          with
+          | [] -> Slo.Probe_ok
+          | opens ->
+              Slo.Probe_degraded
+                ("circuit open to " ^ String.concat ", " opens));
+      Telemetry.register_breakers ~scope (fun () ->
+          List.filter_map breaker_of peers)
+  | _ -> ());
+  Telemetry.register_gauges ~scope (fun () ->
+      let s = stats t in
+      [
+        ("active_connections", float_of_int s.Evloop.active);
+        ("served_1m_rate", Window.rate (Window.counter "evloop.served"));
+        ( "loop_lag_p99_ms",
+          Window.quantile (Window.histogram "evloop.loop_lag_ms") 0.99 );
+        ( "executor_queue_depth",
+          float_of_int
+            (match
+               match t.cfg.executor with Some e -> Some e | None -> t.owned_pool
+             with
+            | Some e -> Executor.queue_depth e
+            | None -> 0) );
+      ])
+
 let start t =
   match t.server with
   | Some s -> Http.port s
@@ -266,7 +423,7 @@ let start t =
             (fun ~path body ->
               let route, query = split_path path in
               match find_route t route with
-              | Some r -> r.handle ~query
+              | Some r -> run_route t r ~query
               | None ->
                   let out = Peer.handle_raw t.peer body in
                   soap_done t;
@@ -288,12 +445,13 @@ let start t =
             (fun ~meth:_ ~path ~src ~pos ~len out ->
               let route, query = split_path path in
               match find_route t route with
-              | Some r -> Buffer.add_string out (r.handle ~query)
+              | Some r -> Buffer.add_string out (run_route t r ~query)
               | None ->
                   Peer.handle_raw_into t.peer ~pos ~len src out;
                   soap_done t)
       in
       t.server <- Some server;
+      register_runtime_sources t;
       Http.port server
 
 let port t = match t.server with Some s -> Http.port s | None -> t.cfg.port

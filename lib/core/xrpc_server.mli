@@ -43,6 +43,9 @@ type config = {
   outgoing : bool;
       (** wire the peer's own [execute at] dispatch through an HTTP
           {!Xrpc_client} (pooled keep-alive, parallel fan-out) *)
+  cluster_peers : string list;
+      (** other federation members [/clusterz] scrapes (their built-in
+          [telemetry] function, in parallel over the outgoing client) *)
 }
 
 val config :
@@ -55,11 +58,12 @@ val config :
   ?slow_ms:float ->
   ?trace:bool ->
   ?outgoing:bool ->
+  ?cluster_peers:string list ->
   unit ->
   config
 (** Builder with the defaults: port 8080, backlog 128, no connection
     cap, 4 workers, event loop, 250 ms slow threshold, tracing off,
-    outgoing HTTP client wired. *)
+    outgoing HTTP client wired, no cluster peers. *)
 
 val default_config : config
 
@@ -103,12 +107,26 @@ val stats : t -> Xrpc_net.Evloop.stats
     {!start}. *)
 
 val stats_text : t -> string
-(** The [/statz] route body: mode plus the {!stats} counters. *)
+(** The [/statz] route body: mode, the {!stats} counters, and the
+    windowed rates / loop-lag p99 / queue depths from the sliding-window
+    series. *)
+
+val cluster_snapshots : t -> Xrpc_obs.Telemetry.snapshot list
+(** This peer's own snapshot plus one per configured [cluster_peers]
+    member, scraped in parallel via each peer's built-in [telemetry]
+    XRPC function.  A peer that cannot be reached yields an
+    ["unreachable"] pseudo-snapshot rather than an exception. *)
+
+val cluster_view : t -> Xrpc_obs.Telemetry.cluster_view
+(** {!cluster_snapshots} merged: the [/clusterz](.json) body. *)
 
 (** {2:routes Routes}
 
     [create] registers the standard monitoring surface in one place
-    (instead of ad-hoc dispatch in the binary): [/metrics](.json),
+    (instead of ad-hoc dispatch in the binary): [/metrics](.json)
+    (cumulative registry + windowed series), [/windowz.json],
+    [/healthz](.json) (liveness + readiness with structured reasons),
+    [/clusterz](.json) (federation-wide scrape),
     [/requestz](.json), [/slowz], [/cachez](.json), [/shardz](.json,
     [?keys=a,b]), [/optimizerz], [/tracez?id=N[&format=tree]], [/statz]
     and [/routez] (the table itself).  GET requests whose path matches a

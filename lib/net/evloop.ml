@@ -28,6 +28,7 @@
     [503 Service Unavailable] and are closed. *)
 
 module Metrics = Xrpc_obs.Metrics
+module Window = Xrpc_obs.Window
 
 external poll_fds : Unix.file_descr array -> int array -> int -> int array
   = "xrpc_poll_stub"
@@ -62,6 +63,25 @@ let m_accept_errors = Metrics.counter "server.accept_errors"
 let m_rejected = Metrics.counter "server.rejected_503"
 let m_disconnects = Metrics.counter "server.client_disconnects"
 let m_served = Metrics.counter "http.requests_served"
+let m_accepted = Metrics.counter "server.accepted"
+let m_active = Metrics.gauge "server.active_connections"
+
+(* Windowed runtime series: the "right now" view of the loop.  Rates
+   answer "is an accept storm happening", [loop_lag_ms] answers "is the
+   loop thread keeping up" (tick drift, node.js-style: the idle wait is
+   bounded to [heartbeat_s] and lag is how late the tick actually
+   fires), [ready_fds] sizes the per-iteration batch, [doneq_depth] the
+   executor→loop completion backlog. *)
+let w_accepted = Window.counter "evloop.accepted"
+let w_rejected = Window.counter "evloop.rejected_503"
+let w_disconnects = Window.counter "evloop.disconnects"
+let w_accept_errors = Window.counter "evloop.accept_errors"
+let w_served = Window.counter "evloop.served"
+let w_lag = Window.histogram "evloop.loop_lag_ms"
+let w_ready = Window.histogram "evloop.ready_fds"
+let w_doneq = Window.gauge "evloop.doneq_depth"
+
+let heartbeat_s = 0.5
 
 (* how long the acceptor stays off the poll set after EMFILE-class
    failures: long enough not to spin, short enough to recover fast *)
@@ -99,6 +119,7 @@ type t = {
   mutable running : bool;
   stats : stats;
   mutable backoff_until : float;
+  mutable next_tick : float;  (** heartbeat deadline for loop-lag drift *)
   epfd : int;  (** epoll instance, or -1 → portable poll(2) path *)
   mutable lsock_watched : int;  (** listener interest registered in epoll *)
   scratch : Bytes.t;  (** shared chunk buffer for writes out of Buffers *)
@@ -123,6 +144,23 @@ let wake t =
   try ignore (Unix.write t.wake_w t.wake_buf 0 1)
   with Unix.Unix_error _ -> ()
 
+(* The idle wait is bounded to the next heartbeat so the loop always
+   wakes at least every [heartbeat_s]; how *late* it wakes relative to
+   that deadline is the loop lag — time the thread spent in handlers,
+   bulk writes, or starved of CPU instead of in the readiness call. *)
+let wait_timeout_ms t now ~backing_off =
+  if t.next_tick <= 0. then t.next_tick <- now +. heartbeat_s;
+  let until = if backing_off then Float.min t.next_tick t.backoff_until
+              else t.next_tick in
+  max 1 (int_of_float (ceil ((until -. now) *. 1000.)))
+
+let observe_tick t =
+  let now = Unix.gettimeofday () in
+  if t.next_tick > 0. && now >= t.next_tick then begin
+    Window.observe w_lag ((now -. t.next_tick) *. 1000.);
+    t.next_tick <- now +. heartbeat_s
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Request dispatch and completion                                     *)
 (* ------------------------------------------------------------------ *)
@@ -143,7 +181,10 @@ let run_handler t (c : Conn.t) =
 let close_conn t (c : Conn.t) =
   if c.Conn.state <> Conn.Closed then begin
     Hashtbl.remove t.conns c.Conn.fd;
-    if not c.Conn.rejected then t.stats.active <- t.stats.active - 1;
+    if not c.Conn.rejected then begin
+      t.stats.active <- t.stats.active - 1;
+      Metrics.set m_active (float_of_int t.stats.active)
+    end;
     (* closing the fd drops it from the epoll interest set for free *)
     Conn.close c
   end
@@ -186,11 +227,13 @@ and resume_parse t (c : Conn.t) =
   | Conn.Bad _ ->
       t.stats.disconnects <- t.stats.disconnects + 1;
       Metrics.incr m_disconnects;
+      Window.incr w_disconnects;
       close_conn t c
 
 and dispatch t (c : Conn.t) =
   c.Conn.state <- Conn.Executing;
   Metrics.incr m_served;
+  Window.incr w_served;
   if Executor.is_sequential t.executor then begin
     (* inline fast path: a sequential executor means the caller accepts
        handler work on the loop thread, so skip the completion-queue /
@@ -216,15 +259,18 @@ and try_write t (c : Conn.t) =
   | Conn.Write_closed ->
       t.stats.disconnects <- t.stats.disconnects + 1;
       Metrics.incr m_disconnects;
+      Window.incr w_disconnects;
       close_conn t c
 
 let drain_done t =
   let pending = ref [] in
   Mutex.lock t.qm;
+  let depth = Queue.length t.done_q in
   while not (Queue.is_empty t.done_q) do
     pending := Queue.pop t.done_q :: !pending
   done;
   Mutex.unlock t.qm;
+  if depth > 0 then Window.set w_doneq (float_of_int depth);
   List.iter
     (fun ((c : Conn.t), status) ->
       if t.running && c.Conn.state = Conn.Executing then begin
@@ -254,6 +300,7 @@ let canned_503 =
 let reject_503 t fd =
   t.stats.rejected <- t.stats.rejected + 1;
   Metrics.incr m_rejected;
+  Window.incr w_rejected;
   let c = Conn.create fd in
   c.Conn.rejected <- true;
   Buffer.add_string c.Conn.resp_body canned_503;
@@ -278,10 +325,13 @@ let accept_burst t =
         (try Unix.setsockopt fd Unix.TCP_NODELAY true
          with Unix.Unix_error _ -> ());
         t.stats.accepted <- t.stats.accepted + 1;
+        Metrics.incr m_accepted;
+        Window.incr w_accepted;
         match t.max_connections with
         | Some m when t.stats.active >= m -> reject_503 t fd
         | _ ->
             t.stats.active <- t.stats.active + 1;
+            Metrics.set m_active (float_of_int t.stats.active);
             let c = Conn.create fd in
             Hashtbl.replace t.conns fd c;
             sync_interest t c)
@@ -293,6 +343,7 @@ let accept_burst t =
         | `Backoff ->
             t.stats.accept_errors <- t.stats.accept_errors + 1;
             Metrics.incr m_accept_errors;
+            Window.incr w_accept_errors;
             t.backoff_until <- Unix.gettimeofday () +. accept_backoff_s;
             continue := false
         | `Stop ->
@@ -313,7 +364,8 @@ let handle_readable t (c : Conn.t) =
          the client ending its keep-alive session *)
       (if c.Conn.pstate <> Conn.P_line || c.Conn.in_len > 0 then begin
          t.stats.disconnects <- t.stats.disconnects + 1;
-         Metrics.incr m_disconnects
+         Metrics.incr m_disconnects;
+         Window.incr w_disconnects
        end);
       close_conn t c
 
@@ -328,6 +380,7 @@ let handle_conn_event t (c : Conn.t) re =
       if re land 4 <> 0 && re land 2 = 0 then begin
         t.stats.disconnects <- t.stats.disconnects + 1;
         Metrics.incr m_disconnects;
+        Window.incr w_disconnects;
         close_conn t c
       end
       else if re land 2 <> 0 then try_write t c
@@ -360,13 +413,13 @@ let run_poll_loop t =
           | Conn.Executing | Conn.Closed -> 0);
         incr i)
       t.conns;
-    let timeout =
-      if backing_off then
-        max 1 (int_of_float (ceil ((t.backoff_until -. now) *. 1000.)))
-      else -1
-    in
+    let timeout = wait_timeout_ms t now ~backing_off in
     let revs = poll_fds fds events timeout in
+    observe_tick t;
     if t.running then begin
+      let ready = ref 0 in
+      Array.iter (fun re -> if re <> 0 then incr ready) revs;
+      if !ready > 0 then Window.observe w_ready (float_of_int !ready);
       if revs.(0) land 1 <> 0 then drain_wake_pipe t drain_wake;
       if revs.(1) land (1 lor 4) <> 0 then accept_burst t;
       for j = 2 to Array.length revs - 1 do
@@ -396,12 +449,11 @@ let run_epoll_loop t =
       ignore (epoll_ctl t.epfd 1 t.lsock want_l);
       t.lsock_watched <- want_l
     end;
-    let timeout =
-      if backing_off then
-        max 1 (int_of_float (ceil ((t.backoff_until -. now) *. 1000.)))
-      else -1
-    in
+    let timeout = wait_timeout_ms t now ~backing_off in
     let evs = epoll_wait t.epfd max_events timeout in
+    observe_tick t;
+    let n_ready = Array.length evs / 2 in
+    if n_ready > 0 then Window.observe w_ready (float_of_int n_ready);
     if t.running then
       for j = 0 to (Array.length evs / 2) - 1 do
         let fd = fd_of_int evs.(2 * j) in
@@ -502,6 +554,7 @@ let create ?(port = 0) ?(backlog = 128) ?max_connections ?executor handler : t =
           disconnects = 0;
         };
       backoff_until = 0.;
+      next_tick = 0.;
       epfd;
       lsock_watched = (if epfd >= 0 then 1 else 0);
       scratch = Bytes.create 65536;

@@ -22,6 +22,17 @@
     distributed query still reconstructs into a single span tree. *)
 
 module Trace = Xrpc_obs.Trace
+module Window = Xrpc_obs.Window
+
+(* Windowed pool telemetry: queue depth (the admission-control signal
+   ROADMAP item 4 sheds on), and per-task wait-vs-run split — wait
+   growing while run stays flat is the signature of an undersized pool,
+   the inverse is a slow handler.  All recording is gated on
+   {!Window.enabled} and the wait timestamp is only captured when it is
+   on, so the off cost is one flag test. *)
+let w_queue_depth = Window.gauge "executor.queue_depth"
+let w_wait = Window.histogram "executor.wait_ms"
+let w_run = Window.histogram "executor.run_ms"
 
 type 'a outcome = Pending | Done of 'a | Failed of exn
 
@@ -77,6 +88,16 @@ let pool n =
 
 let threads = function Sequential -> 1 | Unbounded -> max_int | Pool p -> p.size
 let is_sequential = function Sequential -> true | Unbounded | Pool _ -> false
+
+(** Jobs queued behind the workers right now (0 for non-pool executors):
+    the readiness probe's saturation signal. *)
+let queue_depth = function
+  | Sequential | Unbounded -> 0
+  | Pool p ->
+      Mutex.lock p.m;
+      let d = Queue.length p.jobs in
+      Mutex.unlock p.m;
+      d
 
 let shutdown = function
   | Sequential | Unbounded -> ()
@@ -147,7 +168,16 @@ let submit t f =
   | Pool p ->
       let fut = fulfilled Pending in
       let parent = Trace.current () in
-      let job () = fulfil fut (run_shipped parent f) in
+      let t_sub = if Window.enabled () then Trace.now_ms () else nan in
+      let job () =
+        if not (Float.is_nan t_sub) then begin
+          let t_start = Trace.now_ms () in
+          Window.observe w_wait (Float.max 0. (t_start -. t_sub));
+          fulfil fut (run_shipped parent f);
+          Window.observe w_run (Float.max 0. (Trace.now_ms () -. t_start))
+        end
+        else fulfil fut (run_shipped parent f)
+      in
       Mutex.lock p.m;
       if p.shut then begin
         Mutex.unlock p.m;
@@ -155,8 +185,10 @@ let submit t f =
       end
       else begin
         Queue.push job p.jobs;
+        let depth = Queue.length p.jobs in
         Condition.signal p.nonempty;
-        Mutex.unlock p.m
+        Mutex.unlock p.m;
+        Window.set w_queue_depth (float_of_int depth)
       end;
       fut
 

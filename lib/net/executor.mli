@@ -28,6 +28,11 @@ val threads : t -> int
 
 val is_sequential : t -> bool
 
+val queue_depth : t -> int
+(** Jobs queued behind a pool's workers right now; 0 for {!sequential}
+    and {!unbounded}.  The readiness probe's saturation signal, also
+    exported as the windowed gauge [executor.queue_depth]. *)
+
 val shutdown : t -> unit
 (** Stop a pool's workers once the queue drains.  Later [submit]s fail;
     no-op for {!sequential} and {!unbounded}. *)

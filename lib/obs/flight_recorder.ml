@@ -20,6 +20,9 @@ type entry = {
   idem_key : string option;
   duration_ms : float;
   at_ms : float; (* completion time on the Trace clock *)
+  wall_at : float; (* capture time, Unix epoch seconds — entries stay
+                      datable after the ring wraps or the Trace clock is
+                      swapped for a virtual one *)
   spans : Trace.span list; (* the request's span slice, creation order *)
 }
 
@@ -82,7 +85,8 @@ let record ?error ?idem_key ~label ~duration_ms ~spans () =
           signature = (if spans = [] then "" else Trace.signature_of spans);
           phases =
             (if spans = [] then [] else Trace.phase_summary_of spans);
-          error; idem_key; duration_ms; at_ms = Trace.now_ms (); spans }
+          error; idem_key; duration_ms; at_ms = Trace.now_ms ();
+          wall_at = Unix.gettimeofday (); spans }
       in
       !ring.(!next_slot) <- Some e;
       next_slot := (!next_slot + 1) mod Array.length !ring;
@@ -124,9 +128,18 @@ let find id =
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let entry_text buf e =
+(* "2m ago" / "3h ago": ages read at a glance; absolute epochs do not *)
+let age_text now e =
+  let age = now -. e.wall_at in
+  if age < 0.05 then "now"
+  else if age < 60. then Printf.sprintf "%.0fs ago" age
+  else if age < 3600. then Printf.sprintf "%.0fm ago" (age /. 60.)
+  else Printf.sprintf "%.1fh ago" (age /. 3600.)
+
+let entry_text ?(now = Unix.gettimeofday ()) buf e =
   Buffer.add_string buf
-    (Printf.sprintf "#%d  %.3f ms%s%s  %s\n" e.id e.duration_ms
+    (Printf.sprintf "#%d  [%s]  %.3f ms%s%s  %s\n" e.id (age_text now e)
+       e.duration_ms
        (match e.error with Some err -> "  ERROR " ^ err | None -> "")
        (match e.idem_key with Some k -> "  idem=" ^ k | None -> "")
        e.label);
@@ -162,10 +175,12 @@ let pinned_text () =
 
 let jstr s = "\"" ^ Metrics.json_escape s ^ "\""
 
-let entry_json e =
+let entry_json ?(now = Unix.gettimeofday ()) e =
   Printf.sprintf
-    "{\"id\":%d,\"label\":%s,\"duration_ms\":%.6g,\"at_ms\":%.6g%s%s%s%s}"
-    e.id (jstr e.label) e.duration_ms e.at_ms
+    "{\"id\":%d,\"label\":%s,\"duration_ms\":%.6g,\"at_ms\":%.6g,\
+     \"wall_at\":%.3f,\"age_s\":%.3f%s%s%s%s}"
+    e.id (jstr e.label) e.duration_ms e.at_ms e.wall_at
+    (Float.max 0. (now -. e.wall_at))
     (match e.error with
     | Some err -> ",\"error\":" ^ jstr err
     | None -> "")
@@ -185,10 +200,11 @@ let entry_json e =
        ^ "]")
 
 let to_json () =
+  let now = Unix.gettimeofday () in
   "{\"total\":"
   ^ string_of_int (total_recorded ())
   ^ ",\"recent\":["
-  ^ String.concat "," (List.map entry_json (recent ()))
+  ^ String.concat "," (List.map (entry_json ~now) (recent ()))
   ^ "],\"pinned\":["
-  ^ String.concat "," (List.map entry_json (pinned ()))
+  ^ String.concat "," (List.map (entry_json ~now) (pinned ()))
   ^ "]}"

@@ -1,0 +1,302 @@
+(* Per-endpoint service-level objectives over the sliding windows.
+
+   An objective says what "healthy" means for one endpoint — a latency
+   bound (p99 <= 100 ms by default) and an error-rate bound (<= 1%).
+   Against it we track, on the {!Window} tiers:
+
+   - the {b error budget}: over the slow (1 h) tier, the fraction of the
+     allowed errors not yet spent.  budget = 1 - errs/(max_error_rate *
+     reqs).  Budget 0 means the endpoint has already failed more callers
+     this hour than the objective permits — readiness drops until the
+     bad minutes age out of the window (a rolling budget, not a
+     calendar-month one: it replenishes by decay, no reset step).
+   - the {b burn rate}: the same ratio over the fast (1 m) tier.  Burn
+     1.0 = spending exactly the budget; a burn of 10 exhausts an hour's
+     budget in six minutes.  Burn is the leading indicator (alerts, and
+     later: load shedding), budget the lagging one (readiness).
+
+   Scoping: every record is keyed by [(scope, endpoint)].  The scope is
+   the peer URI — necessary because Simnet runs a whole federation in
+   one process against process-global registries, and peer x's faults
+   must not burn peer y's budget.  Single-peer binaries use their own
+   URI; [~scope:""] aggregates nothing and belongs to process-wide
+   probes only.
+
+   Readiness also consults registered {b probes} — closures the runtime
+   hooks in for conditions no request counter can see from inside
+   (executor queue saturated, circuit breaker open to a dependency).
+   [/healthz] reports liveness (the process answers) plus readiness with
+   the structured reasons, so an LB or operator sees *why*, not just
+   503. *)
+
+type objective = { p99_ms : float; max_error_rate : float }
+
+let default_objective = { p99_ms = 100.; max_error_rate = 0.01 }
+
+(* Below this many requests in the slow window, budget math is noise
+   (one failed request out of three is not "budget exhausted"). *)
+let min_samples = 10.
+
+(* Cardinality cap: endpoints are attacker-influenced strings (URL
+   paths); beyond the cap everything lands in one overflow bucket. *)
+let max_endpoints = 64
+let overflow_endpoint = "other"
+
+type entry = {
+  e_endpoint : string;
+  e_obj : objective;
+  e_lat : Window.histogram;
+  e_reqs : Window.counter;
+  e_errs : Window.counter;
+}
+
+type state = Ready | Degraded | Unready
+
+let state_label = function
+  | Ready -> "ready"
+  | Degraded -> "degraded"
+  | Unready -> "unready"
+
+type probe_result = Probe_ok | Probe_degraded of string | Probe_unready of string
+
+let entries : (string * string, entry) Hashtbl.t = Hashtbl.create 32
+let probes : (string, (string * (unit -> probe_result)) list) Hashtbl.t =
+  Hashtbl.create 8
+
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r
+
+let scope_count scope =
+  Hashtbl.fold (fun (s, _) _ n -> if s = scope then n + 1 else n) entries 0
+
+let series_name scope endpoint kind =
+  (* windowed series live in the global Window registry; embed the scope
+     so two peers' endpoints never share a ring *)
+  Printf.sprintf "slo.%s.%s.%s" (if scope = "" then "global" else scope)
+    endpoint kind
+
+let get_entry ?(objective = default_objective) ~scope endpoint =
+  locked (fun () ->
+      match Hashtbl.find_opt entries (scope, endpoint) with
+      | Some e -> e
+      | None ->
+          let endpoint =
+            if
+              endpoint <> overflow_endpoint
+              && scope_count scope >= max_endpoints
+            then overflow_endpoint
+            else endpoint
+          in
+          (match Hashtbl.find_opt entries (scope, endpoint) with
+          | Some e -> e
+          | None ->
+              let e =
+                {
+                  e_endpoint = endpoint;
+                  e_obj = objective;
+                  e_lat = Window.histogram (series_name scope endpoint "ms");
+                  e_reqs = Window.counter (series_name scope endpoint "reqs");
+                  e_errs = Window.counter (series_name scope endpoint "errs");
+                }
+              in
+              Hashtbl.replace entries (scope, endpoint) e;
+              e))
+
+let declare ?objective ~scope endpoint =
+  ignore (get_entry ?objective ~scope endpoint)
+
+let record ?objective ?(scope = "") ~endpoint ~dur_ms ~error () =
+  if Window.enabled () then begin
+    let e = get_entry ?objective ~scope endpoint in
+    Window.observe e.e_lat dur_ms;
+    Window.incr e.e_reqs;
+    if error then Window.incr e.e_errs
+  end
+
+let register_probe ?(scope = "") ~name f =
+  locked (fun () ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt probes scope) in
+      Hashtbl.replace probes scope
+        ((name, f) :: List.remove_assoc name cur))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type endpoint_health = {
+  h_endpoint : string;
+  h_obj : objective;
+  h_rate : float;  (* reqs/s over 1m *)
+  h_err_rate : float;  (* errs/reqs over 1m; 0 when idle *)
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;  (* 1m-tier quantiles, nan when idle *)
+  h_reqs_1m : float;
+  h_budget : float;  (* remaining error budget over 1h, [0,1] *)
+  h_burn : float;  (* 1m burn rate; 1.0 = on-budget spend *)
+  h_state : state;
+  h_reason : string option;
+}
+
+let eval_entry e =
+  let reqs_1m = Window.sum_window ~tier:Window.Fast e.e_reqs in
+  let errs_1m = Window.sum_window ~tier:Window.Fast e.e_errs in
+  let reqs_1h = Window.sum_window ~tier:Window.Slow e.e_reqs in
+  let errs_1h = Window.sum_window ~tier:Window.Slow e.e_errs in
+  let err_rate = if reqs_1m > 0. then errs_1m /. reqs_1m else 0. in
+  let budget =
+    if reqs_1h < min_samples then 1.
+    else
+      let allowed = e.e_obj.max_error_rate *. reqs_1h in
+      if allowed <= 0. then if errs_1h > 0. then 0. else 1.
+      else Float.max 0. (1. -. (errs_1h /. allowed))
+  in
+  let burn =
+    if reqs_1m < 1. then 0.
+    else if e.e_obj.max_error_rate <= 0. then if errs_1m > 0. then infinity else 0.
+    else err_rate /. e.e_obj.max_error_rate
+  in
+  let p99 = Window.quantile ~tier:Window.Fast e.e_lat 0.99 in
+  let state, reason =
+    if budget <= 0. then
+      ( Unready,
+        Some
+          (Printf.sprintf "error budget exhausted on %s (%.0f/%.0f errors, 1h)"
+             e.e_endpoint errs_1h reqs_1h) )
+    else if burn > 1. && reqs_1m >= min_samples then
+      ( Degraded,
+        Some
+          (Printf.sprintf "error budget burning %.1fx on %s" burn e.e_endpoint)
+      )
+    else if (not (Float.is_nan p99)) && p99 > e.e_obj.p99_ms
+            && reqs_1m >= min_samples then
+      ( Degraded,
+        Some
+          (Printf.sprintf "p99 %.1fms over objective %.0fms on %s" p99
+             e.e_obj.p99_ms e.e_endpoint) )
+    else (Ready, None)
+  in
+  {
+    h_endpoint = e.e_endpoint;
+    h_obj = e.e_obj;
+    h_rate = Window.rate ~tier:Window.Fast e.e_reqs;
+    h_err_rate = err_rate;
+    h_p50 = Window.quantile ~tier:Window.Fast e.e_lat 0.50;
+    h_p95 = Window.quantile ~tier:Window.Fast e.e_lat 0.95;
+    h_p99 = p99;
+    h_reqs_1m = reqs_1m;
+    h_budget = budget;
+    h_burn = burn;
+    h_state = state;
+    h_reason = reason;
+  }
+
+let endpoints ?(scope = "") () =
+  let es =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun (s, _) e acc -> if s = scope then e :: acc else acc)
+          entries [])
+  in
+  List.sort
+    (fun a b -> compare a.h_endpoint b.h_endpoint)
+    (List.map eval_entry es)
+
+let worse a b =
+  match (a, b) with
+  | Unready, _ | _, Unready -> Unready
+  | Degraded, _ | _, Degraded -> Degraded
+  | Ready, Ready -> Ready
+
+(** Overall readiness for a scope: the worst endpoint state joined with
+    every registered probe (scope-local and process-global [""] ones). *)
+let evaluate ?(scope = "") () =
+  let eps = endpoints ~scope () in
+  let st, reasons =
+    List.fold_left
+      (fun (st, rs) h ->
+        ( worse st h.h_state,
+          match h.h_reason with Some r -> r :: rs | None -> rs ))
+      (Ready, []) eps
+  in
+  let probe_list =
+    locked (fun () ->
+        let of_scope s =
+          Option.value ~default:[] (Hashtbl.find_opt probes s)
+        in
+        if scope = "" then of_scope "" else of_scope scope @ of_scope "")
+  in
+  let st, reasons =
+    List.fold_left
+      (fun (st, rs) (name, f) ->
+        match (try f () with _ -> Probe_unready (name ^ " probe raised")) with
+        | Probe_ok -> (st, rs)
+        | Probe_degraded r -> (worse st Degraded, (name ^ ": " ^ r) :: rs)
+        | Probe_unready r -> (Unready, (name ^ ": " ^ r) :: rs))
+      (st, reasons) probe_list
+  in
+  (st, List.rev reasons)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let healthz_text ?(scope = "") () =
+  let st, reasons = evaluate ~scope () in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "live: ok\n";
+  Buffer.add_string buf (Printf.sprintf "ready: %s\n" (state_label st));
+  List.iter (fun r -> Buffer.add_string buf ("reason: " ^ r ^ "\n")) reasons;
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "endpoint %-28s %-8s %6.1f req/s  err %5.2f%%  p99 %s  budget \
+            %3.0f%%  burn %.2f\n"
+           h.h_endpoint (state_label h.h_state) h.h_rate
+           (h.h_err_rate *. 100.)
+           (if Float.is_nan h.h_p99 then "-" else Printf.sprintf "%.1fms" h.h_p99)
+           (h.h_budget *. 100.) h.h_burn))
+    (endpoints ~scope ());
+  Buffer.contents buf
+
+let endpoint_json h =
+  Printf.sprintf
+    "{\"endpoint\": \"%s\", \"state\": \"%s\", \"rate\": %s, \"err_rate\": \
+     %s, \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": %s, \"reqs_1m\": %s, \
+     \"budget\": %s, \"burn\": %s, \"objective\": {\"p99_ms\": %s, \
+     \"max_error_rate\": %s}}"
+    (Metrics.json_escape h.h_endpoint)
+    (state_label h.h_state) (Metrics.jnum h.h_rate) (Metrics.jnum h.h_err_rate)
+    (Metrics.jnum h.h_p50) (Metrics.jnum h.h_p95) (Metrics.jnum h.h_p99)
+    (Metrics.jnum h.h_reqs_1m) (Metrics.jnum h.h_budget) (Metrics.jnum h.h_burn)
+    (Metrics.jnum h.h_obj.p99_ms)
+    (Metrics.jnum h.h_obj.max_error_rate)
+
+let healthz_json ?(scope = "") () =
+  let st, reasons = evaluate ~scope () in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"live\": true,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"ready\": %b,\n  \"state\": \"%s\",\n"
+       (st = Ready) (state_label st));
+  Buffer.add_string buf "  \"reasons\": [";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map (fun r -> "\"" ^ Metrics.json_escape r ^ "\"") reasons));
+  Buffer.add_string buf "],\n  \"endpoints\": [";
+  Buffer.add_string buf
+    (String.concat ",\n    "
+       (List.map endpoint_json (endpoints ~scope ())));
+  Buffer.add_string buf "]\n}";
+  Buffer.contents buf
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset entries;
+      Hashtbl.reset probes)

@@ -1,0 +1,439 @@
+(* Sliding-window telemetry series: ring-of-buckets counters, gauges and
+   histograms that answer "what is happening *right now*" instead of
+   "what has happened since the process started".
+
+   The cumulative {!Metrics} registry (PR 3) accumulates forever, which
+   is the right shape for totals but useless for operational questions —
+   a p99 polluted by yesterday's cold start, an error counter that can
+   only ever grow.  Each windowed series here keeps two tiers of
+   fixed-size bucket rings:
+
+   - the {b fast} tier: 60 buckets x 1 s  — "the last minute", the tier
+     load shedding and burn-rate alerts read;
+   - the {b slow} tier: 60 buckets x 1 m — "the last hour", the tier
+     error budgets are accounted against.
+
+   A bucket ring never rotates on a timer thread: every write (and every
+   read) computes the absolute bucket index [now / width] and lazily
+   resets any slot whose stamped epoch is not the one the index maps to.
+   That makes the structure clock-driven and fully deterministic on the
+   injectable clock — tests advance the Simnet virtual clock and watch
+   samples age out bucket by bucket, bit-for-bit reproducibly.
+
+   Why ring-of-buckets and not a decaying reservoir or t-digest: the ring
+   is O(1) amortized per observation with {e zero steady-state
+   allocation} (preallocated int/float arrays, no boxing beyond the
+   clock read), its error is exactly the bucket width (a sample expires
+   at most one bucket-width late), and merging two rings — what the
+   federation aggregator does with per-peer snapshots — is plain array
+   addition.  A t-digest gives tighter quantiles but allocates centroids
+   per observation and merges approximately; for admission control the
+   bucket-width error is irrelevant and the allocation is not.
+
+   Clocking: series share {!Trace.now_ms} — the one injectable clock the
+   whole obs stack already agrees on.  Binaries run it on the wall
+   clock; tests point it at a virtual clock ({!Trace.set_clock}).
+
+   Concurrency: histograms and gauges take a per-series mutex (a
+   rotation must never interleave with a write: a half-reset slot would
+   corrupt the window, unlike the benign lost increments cumulative
+   metrics tolerate).  Uncontended lock/unlock is ~30 ns — measured
+   against the serving hot path in bench/telemetry_bench.ml and gated
+   below 5%.  Counters take the same lock for the same reason (their
+   rotation also zeroes state). *)
+
+module Trace_clock = Trace
+
+let now_ms () = Trace_clock.now_ms ()
+
+type tier = Fast | Slow
+
+let n_slots = 60
+
+(* bucket widths per tier, in ms *)
+let width_ms = function Fast -> 1_000. | Slow -> 60_000.
+let window_s = function Fast -> 60. | Slow -> 3_600.
+let tier_label = function Fast -> "1m" | Slow -> "1h"
+
+(* Global on/off for every windowed write: when off, record paths return
+   after one flag test (the bench's "windowed recording off" mode). *)
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* ------------------------------------------------------------------ *)
+(* One tier of one series: the epoch-stamped ring                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [epochs.(slot)] holds the absolute bucket index the slot's payload
+   belongs to, or -1 when never written.  A slot is live iff its epoch
+   lies inside [now_idx - n_slots + 1 .. now_idx]; anything else (older,
+   or "future" after a clock rewind) reads as empty and is reset on the
+   next write that lands there. *)
+type ring = {
+  w_ms : float;
+  epochs : int array;
+  counts : float array;  (* counter: events; histogram: observations *)
+  sums : float array;  (* histogram: sum of values; gauge: last value *)
+  mins : float array;
+  maxs : float array;
+  hb : int array;  (* histogram log-buckets, slot-major; [||] otherwise *)
+}
+
+let make_ring ?(hist = false) tier =
+  {
+    w_ms = width_ms tier;
+    epochs = Array.make n_slots (-1);
+    counts = Array.make n_slots 0.;
+    sums = Array.make n_slots 0.;
+    mins = Array.make n_slots infinity;
+    maxs = Array.make n_slots neg_infinity;
+    hb = (if hist then Array.make (n_slots * Metrics.n_buckets) 0 else [||]);
+  }
+
+let abs_idx r now = int_of_float (now /. r.w_ms)
+
+(* reset a slot for a new epoch; caller holds the series mutex *)
+let claim_slot r idx =
+  let slot = idx mod n_slots in
+  if r.epochs.(slot) <> idx then begin
+    r.epochs.(slot) <- idx;
+    r.counts.(slot) <- 0.;
+    r.sums.(slot) <- 0.;
+    r.mins.(slot) <- infinity;
+    r.maxs.(slot) <- neg_infinity;
+    if r.hb <> [||] then
+      Array.fill r.hb (slot * Metrics.n_buckets) Metrics.n_buckets 0
+  end;
+  slot
+
+let slot_live r now_idx slot =
+  let e = r.epochs.(slot) in
+  e >= 0 && e <= now_idx && e > now_idx - n_slots
+
+(* fold over live slots; caller holds the mutex *)
+let fold_live r now f acc =
+  let now_idx = abs_idx r now in
+  let acc = ref acc in
+  for slot = 0 to n_slots - 1 do
+    if slot_live r now_idx slot then acc := f !acc slot
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Series and registry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Kcounter | Kgauge | Khistogram
+
+type series = {
+  s_name : string;
+  kind : kind;
+  m : Mutex.t;
+  fast : ring;
+  slow : ring;
+  mutable last : float;  (* gauge: most recent sample *)
+}
+
+let registry : (string, series) Hashtbl.t = Hashtbl.create 32
+let registry_m = Mutex.create ()
+
+let find_or_add name kind hist =
+  Mutex.lock registry_m;
+  let s =
+    match Hashtbl.find_opt registry name with
+    | Some s ->
+        if s.kind <> kind then (
+          Mutex.unlock registry_m;
+          invalid_arg ("Window: " ^ name ^ " registered with another kind"));
+        s
+    | None ->
+        let s =
+          {
+            s_name = name;
+            kind;
+            m = Mutex.create ();
+            fast = make_ring ~hist Fast;
+            slow = make_ring ~hist Slow;
+            last = nan;
+          }
+        in
+        Hashtbl.replace registry name s;
+        s
+  in
+  Mutex.unlock registry_m;
+  s
+
+type counter = series
+type gauge = series
+type histogram = series
+
+let counter name : counter = find_or_add name Kcounter false
+let gauge name : gauge = find_or_add name Kgauge false
+let histogram name : histogram = find_or_add name Khistogram true
+
+let ring_of s = function Fast -> s.fast | Slow -> s.slow
+
+let locked s f =
+  Mutex.lock s.m;
+  let r = f () in
+  Mutex.unlock s.m;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add (c : counter) d =
+  if !enabled_flag then begin
+    let now = now_ms () in
+    Mutex.lock c.m;
+    let sf = claim_slot c.fast (abs_idx c.fast now) in
+    c.fast.counts.(sf) <- c.fast.counts.(sf) +. d;
+    let ss = claim_slot c.slow (abs_idx c.slow now) in
+    c.slow.counts.(ss) <- c.slow.counts.(ss) +. d;
+    Mutex.unlock c.m
+  end
+
+let incr c = add c 1.
+
+let set (g : gauge) v =
+  if !enabled_flag then begin
+    let now = now_ms () in
+    Mutex.lock g.m;
+    g.last <- v;
+    let update r =
+      let slot = claim_slot r (abs_idx r now) in
+      r.counts.(slot) <- r.counts.(slot) +. 1.;
+      r.sums.(slot) <- v;
+      if v < r.mins.(slot) then r.mins.(slot) <- v;
+      if v > r.maxs.(slot) then r.maxs.(slot) <- v
+    in
+    update g.fast;
+    update g.slow;
+    Mutex.unlock g.m
+  end
+
+let observe (h : histogram) v =
+  if !enabled_flag then begin
+    let v = if Float.is_nan v || v < 0. then 0. else v in
+    let b = Metrics.bucket_of v in
+    let now = now_ms () in
+    Mutex.lock h.m;
+    let update r =
+      let slot = claim_slot r (abs_idx r now) in
+      r.counts.(slot) <- r.counts.(slot) +. 1.;
+      r.sums.(slot) <- r.sums.(slot) +. v;
+      if v < r.mins.(slot) then r.mins.(slot) <- v;
+      if v > r.maxs.(slot) then r.maxs.(slot) <- v;
+      r.hb.((slot * Metrics.n_buckets) + b) <-
+        r.hb.((slot * Metrics.n_buckets) + b) + 1
+    in
+    update h.fast;
+    update h.slow;
+    Mutex.unlock h.m
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sum_window ?(tier = Fast) (c : counter) =
+  let r = ring_of c tier in
+  locked c (fun () ->
+      fold_live r (now_ms ()) (fun acc slot -> acc +. r.counts.(slot)) 0.)
+
+(** Events per second over the tier's whole window.  The window length is
+    the fixed denominator (not "time since first sample"), so a burst
+    reads as a burst and an idle window decays toward zero. *)
+let rate ?(tier = Fast) (c : counter) = sum_window ~tier c /. window_s tier
+
+let count ?(tier = Fast) (h : histogram) =
+  int_of_float (sum_window ~tier h) (* counts ring is shared semantics *)
+
+let hist_rate ?(tier = Fast) h = float_of_int (count ~tier h) /. window_s tier
+
+let sum_values ?(tier = Fast) (h : histogram) =
+  let r = ring_of h tier in
+  locked h (fun () ->
+      fold_live r (now_ms ()) (fun acc slot -> acc +. r.sums.(slot)) 0.)
+
+let mean ?(tier = Fast) h =
+  let n = count ~tier h in
+  if n = 0 then nan else sum_values ~tier h /. float_of_int n
+
+let window_max ?(tier = Fast) (s : series) =
+  let r = ring_of s tier in
+  let m =
+    locked s (fun () ->
+        fold_live r (now_ms ())
+          (fun acc slot -> Float.max acc r.maxs.(slot))
+          neg_infinity)
+  in
+  if m = neg_infinity then nan else m
+
+let window_min ?(tier = Fast) (s : series) =
+  let r = ring_of s tier in
+  let m =
+    locked s (fun () ->
+        fold_live r (now_ms ())
+          (fun acc slot -> Float.min acc r.mins.(slot))
+          infinity)
+  in
+  if m = infinity then nan else m
+
+let last (g : gauge) = g.last
+
+(** Windowed quantile: merge the live slots' log-bucket rows and take the
+    geometric midpoint of the bucket holding the target rank, clamped to
+    the window's observed min/max — the same estimate (and the same
+    bounded relative error) as the cumulative {!Metrics.quantile}, over
+    only the samples still inside the window. *)
+let quantile ?(tier = Fast) (h : histogram) q =
+  let r = ring_of h tier in
+  locked h (fun () ->
+      let now = now_ms () in
+      let now_idx = abs_idx r now in
+      let total = ref 0 in
+      let merged = Array.make Metrics.n_buckets 0 in
+      let vmin = ref infinity and vmax = ref neg_infinity in
+      for slot = 0 to n_slots - 1 do
+        if slot_live r now_idx slot then begin
+          total := !total + int_of_float r.counts.(slot);
+          if r.mins.(slot) < !vmin then vmin := r.mins.(slot);
+          if r.maxs.(slot) > !vmax then vmax := r.maxs.(slot);
+          let base = slot * Metrics.n_buckets in
+          for b = 0 to Metrics.n_buckets - 1 do
+            merged.(b) <- merged.(b) + r.hb.(base + b)
+          done
+        end
+      done;
+      if !total = 0 then nan
+      else begin
+        let rank = max 1 (int_of_float (ceil (q *. float_of_int !total))) in
+        let acc = ref 0 and found = ref (Metrics.n_buckets - 1) in
+        (try
+           for b = 0 to Metrics.n_buckets - 1 do
+             acc := !acc + merged.(b);
+             if !acc >= rank then begin
+               found := b;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let lo = Metrics.bucket_lo *. (2. ** float_of_int !found) in
+        Float.min !vmax (Float.max !vmin (lo *. sqrt 2.))
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance and export                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  Mutex.lock registry_m;
+  Hashtbl.iter
+    (fun _ s ->
+      Mutex.lock s.m;
+      List.iter
+        (fun r ->
+          Array.fill r.epochs 0 n_slots (-1);
+          Array.fill r.counts 0 n_slots 0.;
+          Array.fill r.sums 0 n_slots 0.;
+          Array.fill r.mins 0 n_slots infinity;
+          Array.fill r.maxs 0 n_slots neg_infinity;
+          if r.hb <> [||] then Array.fill r.hb 0 (Array.length r.hb) 0)
+        [ s.fast; s.slow ];
+      s.last <- nan;
+      Mutex.unlock s.m)
+    registry;
+  Mutex.unlock registry_m
+
+let sorted_series () =
+  Mutex.lock registry_m;
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) registry [] in
+  Mutex.unlock registry_m;
+  List.sort (fun a b -> compare a.s_name b.s_name) all
+
+(** The windowed half of the metrics surface: one block per series with
+    [_1m]/[_1h]-suffixed samples, appended to {!Metrics.to_text} by the
+    [/metrics] route and the shell's [:metrics]. *)
+let to_text () =
+  let buf = Buffer.create 1024 in
+  let line name suffix v =
+    if not (Float.is_nan v) then
+      Buffer.add_string buf
+        (Printf.sprintf "%s_%s %s\n" name suffix (Metrics.fnum v))
+  in
+  List.iter
+    (fun s ->
+      match s.kind with
+      | Kcounter ->
+          List.iter
+            (fun t ->
+              let l = tier_label t in
+              line s.s_name (l ^ "_total") (sum_window ~tier:t s);
+              line s.s_name (l ^ "_rate") (rate ~tier:t s))
+            [ Fast; Slow ]
+      | Kgauge ->
+          line s.s_name "last" s.last;
+          line s.s_name "1m_max" (window_max ~tier:Fast s)
+      | Khistogram ->
+          List.iter
+            (fun t ->
+              let l = tier_label t in
+              line s.s_name (l ^ "_count") (float_of_int (count ~tier:t s));
+              line s.s_name (l ^ "_rate") (hist_rate ~tier:t s);
+              line s.s_name (l ^ "_p50") (quantile ~tier:t s 0.50);
+              line s.s_name (l ^ "_p95") (quantile ~tier:t s 0.95);
+              line s.s_name (l ^ "_p99") (quantile ~tier:t s 0.99);
+              line s.s_name (l ^ "_max") (window_max ~tier:t s))
+            [ Fast; Slow ])
+    (sorted_series ());
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  let first = ref true in
+  let j v = Metrics.jnum v in
+  List.iter
+    (fun s ->
+      if not !first then Buffer.add_string buf ",";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf "\n  \"%s\": " (Metrics.json_escape s.s_name));
+      match s.kind with
+      | Kcounter ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"total_1m\": %s, \"rate_1m\": %s, \"total_1h\": %s, \
+                \"rate_1h\": %s}"
+               (j (sum_window ~tier:Fast s))
+               (j (rate ~tier:Fast s))
+               (j (sum_window ~tier:Slow s))
+               (j (rate ~tier:Slow s)))
+      | Kgauge ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"last\": %s, \"max_1m\": %s}" (j s.last)
+               (j (window_max ~tier:Fast s)))
+      | Khistogram ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"count_1m\": %d, \"rate_1m\": %s, \"p50_1m\": %s, \
+                \"p95_1m\": %s, \"p99_1m\": %s, \"max_1m\": %s, \
+                \"count_1h\": %d, \"p99_1h\": %s}"
+               (count ~tier:Fast s)
+               (j (hist_rate ~tier:Fast s))
+               (j (quantile ~tier:Fast s 0.50))
+               (j (quantile ~tier:Fast s 0.95))
+               (j (quantile ~tier:Fast s 0.99))
+               (j (window_max ~tier:Fast s))
+               (count ~tier:Slow s)
+               (j (quantile ~tier:Slow s 0.99))))
+    (sorted_series ());
+  Buffer.add_string buf "\n}";
+  Buffer.contents buf
+
+(** Cumulative registry then the windowed series: the full [/metrics]
+    body. *)
+let export_text () = Metrics.to_text () ^ to_text ()

@@ -21,6 +21,8 @@ module Executor = Xrpc_net.Executor
 module Xrpc_error = Xrpc_net.Xrpc_error
 module Xrpc_uri = Xrpc_net.Xrpc_uri
 module Metrics = Xrpc_obs.Metrics
+module Slo = Xrpc_obs.Slo
+module Telemetry = Xrpc_obs.Telemetry
 module Trace = Xrpc_obs.Trace
 module Profile = Xrpc_obs.Profile
 module Flight_recorder = Xrpc_obs.Flight_recorder
@@ -156,6 +158,10 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) uri =
      isolation entry without committing, so it never fires this hook. *)
   Database.on_commit peer.db (fun touched ->
       ignore (Result_cache.invalidate_docs peer.result_cache touched));
+  (* this peer's shard-map version rides in its telemetry snapshot, so
+     the cluster view can flag ring-version disagreement across peers *)
+  Telemetry.register_shard_version ~scope:uri (fun () ->
+      Option.map Shard.version peer.internals.shard_map);
   peer
 
 let set_transport peer transport = peer.transport <- Some transport
@@ -469,7 +475,24 @@ let handle_request ?phases peer (r : Message.request) : Message.t =
     | Some e -> e.Isolation.snapshot
     | None -> Database.snapshot peer.db
   in
-  if r.Message.module_uri = Qname.ns_xrpc && r.Message.method_ = "getDocument"
+  if r.Message.module_uri = Qname.ns_xrpc && r.Message.method_ = "telemetry"
+  then
+    (* built-in scrape function: the federation health plane pulls each
+       peer's windowed snapshot over the ordinary RPC path, so the scrape
+       itself exercises (and is throttled/observed by) the same
+       transport, executor and breaker the queries use *)
+    let wire = Telemetry.to_wire (Telemetry.local_snapshot ~peer:peer.uri ()) in
+    Message.Response
+      {
+        resp_module = r.Message.module_uri;
+        resp_method = r.Message.method_;
+        results = List.map (fun _ -> [ Xdm.str wire ]) r.Message.calls;
+        cached = false;
+        db_version = None;
+        peers = [ peer.uri ];
+      }
+  else if
+    r.Message.module_uri = Qname.ns_xrpc && r.Message.method_ = "getDocument"
   then
     (* internal data-shipping handler behind fn:doc("xrpc://...") *)
     let results =
@@ -746,6 +769,25 @@ let handle_raw_into peer ?(pos = 0) ?len (body : string) (out : Buffer.t) :
          ~duration_ms:((Unix.gettimeofday () -. t0) *. 1000.)
          ~spans:(Trace.since fr_mark) ())
   in
+  (* SLO endpoint identity: the function (or 2PC op) being served, not
+     the arity/call-count details the flight label carries *)
+  let slo_endpoint =
+    match msg with
+    | Ok (Message.Request r) -> r.Message.module_uri ^ ":" ^ r.Message.method_
+    | Ok (Message.Tx_request (op, _)) ->
+        "tx:"
+        ^ (match op with
+          | Message.Prepare -> "prepare"
+          | Message.Commit -> "commit"
+          | Message.Rollback -> "rollback"
+          | Message.Status -> "status")
+    | Ok _ | Error _ -> "malformed"
+  in
+  let record_slo ~error =
+    Slo.record ~scope:peer.uri ~endpoint:slo_endpoint
+      ~dur_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ~error ()
+  in
   (* the span adopts the caller's propagated (trace-id, parent-span) when
      the envelope header carries one, so peer-side work lands in the
      originating query's tree; the parse itself is recorded as an event *)
@@ -778,6 +820,7 @@ let handle_raw_into peer ?(pos = 0) ?len (body : string) (out : Buffer.t) :
       Trace.event "idem-hit";
       peer.handler_ms <- peer.handler_ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
       record_flight ~idem_key ();
+      record_slo ~error:false;
       Buffer.add_string out cached
   | None ->
   let reply =
@@ -837,6 +880,7 @@ let handle_raw_into peer ?(pos = 0) ?len (body : string) (out : Buffer.t) :
   let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
   peer.handler_ms <- peer.handler_ms +. elapsed;
   Metrics.observe m_handle_ms elapsed;
+  record_slo ~error:(match reply with Message.Fault _ -> true | _ -> false);
   record_flight
     ?error:
       (match reply with

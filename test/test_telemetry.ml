@@ -1,0 +1,630 @@
+(* Telemetry-plane suite: the sliding-window series (bucket rotation on
+   the virtual clock, concurrent writers, steady-state allocation), the
+   per-endpoint SLO tracker (error budgets, burn rate, probes, the
+   ready -> unready -> ready flip under seeded Simnet chaos), the
+   snapshot wire format, and the federation aggregation — a 4-peer
+   cluster whose /clusterz view must agree with each peer's own
+   /healthz, with a killed peer surfacing as unreachable. *)
+
+open Xrpc_xml
+module Window = Xrpc_obs.Window
+module Slo = Xrpc_obs.Slo
+module Telemetry = Xrpc_obs.Telemetry
+module Trace = Xrpc_obs.Trace
+module Cluster = Xrpc_core.Cluster
+module Xrpc_client = Xrpc_core.Xrpc_client
+module Server = Xrpc_core.Xrpc_server
+module Peer = Xrpc_peer.Peer
+module Shard = Xrpc_peer.Shard
+module Simnet = Xrpc_net.Simnet
+module Executor = Xrpc_net.Executor
+module Testmod = Xrpc_workloads.Testmod
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+let float_ = Alcotest.float 1e-9
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Every test starts from empty global registries and leaves the clock
+   on the wall and windowed recording on. *)
+let with_clean f =
+  let setup () =
+    Trace.use_wall_clock ();
+    Window.set_enabled true;
+    Window.reset ();
+    Slo.reset ();
+    Telemetry.reset_sources ()
+  in
+  setup ();
+  Fun.protect ~finally:setup f
+
+let fake_clock () =
+  let t = ref 0. in
+  Trace.set_clock (fun () -> !t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Window: rotation on the virtual clock                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_rotation () =
+  with_clean @@ fun () ->
+  let t = fake_clock () in
+  let c = Window.counter "w.rot.ctr" in
+  Window.incr c;
+  Window.add c 4.;
+  check float_ "fast sum at t=0" 5. (Window.sum_window c);
+  check float_ "slow sum at t=0" 5. (Window.sum_window ~tier:Window.Slow c);
+  check float_ "rate = sum / window" (5. /. 60.) (Window.rate c);
+  t := 30_000.;
+  Window.add c 3.;
+  check float_ "both fast buckets live" 8. (Window.sum_window c);
+  (* one tick past the first bucket's expiry: only the t=30s sample left *)
+  t := 61_000.;
+  check float_ "t=0 bucket aged out" 3. (Window.sum_window c);
+  t := 200_000.;
+  check float_ "fast window fully decayed" 0. (Window.sum_window c);
+  check float_ "slow window still holds all" 8.
+    (Window.sum_window ~tier:Window.Slow c);
+  t := 3_700_000.;
+  check float_ "slow window decayed after an hour" 0.
+    (Window.sum_window ~tier:Window.Slow c);
+  (* kind clash on a registered name is rejected *)
+  match Window.gauge "w.rot.ctr" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash accepted"
+
+let test_histogram_quantiles_rotation () =
+  with_clean @@ fun () ->
+  let t = fake_clock () in
+  let h = Window.histogram "w.rot.h" in
+  for _ = 1 to 50 do
+    Window.observe h 10.
+  done;
+  (* all samples equal: every quantile clamps to the single value *)
+  check float_ "p50 of constant samples" 10. (Window.quantile h 0.50);
+  check float_ "p99 of constant samples" 10. (Window.quantile h 0.99);
+  t := 30_000.;
+  for _ = 1 to 50 do
+    Window.observe h 1000.
+  done;
+  (* 50 x 10ms + 50 x 1000ms: p50 sits in the 10ms log-bucket, p99 in
+     the 1000ms one — both within one bucket width of the true value *)
+  let p50 = Window.quantile h 0.50 and p99 = Window.quantile h 0.99 in
+  check bool_ "p50 near 10ms" true (p50 >= 10. && p50 <= 32.);
+  check bool_ "p99 near 1000ms" true (p99 >= 500. && p99 <= 1000.);
+  check int_ "fast count merges both buckets" 100 (Window.count h);
+  check float_ "mean over both" 505. (Window.mean h);
+  check float_ "window max" 1000. (Window.window_max h);
+  check float_ "window min" 10. (Window.window_min h);
+  (* cross the first batch's expiry: quantiles decay to the survivors *)
+  t := 61_500.;
+  check int_ "only second batch live" 50 (Window.count h);
+  let p50 = Window.quantile h 0.50 in
+  check bool_ "p50 follows the survivors" true (p50 >= 500. && p50 <= 1000.);
+  (* cross the second batch's expiry: the fast window reads empty *)
+  t := 92_000.;
+  check int_ "fast window empty" 0 (Window.count h);
+  check bool_ "empty window quantile is nan" true
+    (Float.is_nan (Window.quantile h 0.99));
+  (* the slow tier still remembers the hour *)
+  check int_ "slow tier holds all 100" 100 (Window.count ~tier:Window.Slow h);
+  let p99h = Window.quantile ~tier:Window.Slow h 0.99 in
+  check bool_ "slow-tier p99" true (p99h >= 500. && p99h <= 1000.)
+
+let test_gauge_and_rewind () =
+  with_clean @@ fun () ->
+  let t = fake_clock () in
+  let g = Window.gauge "w.rot.g" in
+  Window.set g 3.;
+  Window.set g 7.;
+  check float_ "gauge last" 7. (Window.last g);
+  check float_ "gauge window max" 7. (Window.window_max g);
+  (* clock rewind (a test resetting a virtual clock): samples stamped in
+     the "future" read as empty instead of corrupting the window *)
+  let h = Window.histogram "w.rot.rewind" in
+  t := 120_000.;
+  Window.observe h 5.;
+  check int_ "sample visible at its own time" 1 (Window.count h);
+  t := 10_000.;
+  check int_ "future sample invisible after rewind" 0 (Window.count h);
+  Window.observe h 7.;
+  check int_ "writes work after rewind" 1 (Window.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Window: concurrency and steady-state allocation                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_observers () =
+  with_clean @@ fun () ->
+  let _t = fake_clock () in
+  let c = Window.counter "w.conc.ctr" in
+  let h = Window.histogram "w.conc.h" in
+  let worker () =
+    for i = 1 to 10_000 do
+      Window.incr c;
+      Window.observe h (float_of_int (i land 15))
+    done
+  in
+  let ths = List.init 4 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join ths;
+  (* the per-series mutex makes rotation atomic with writes: with the
+     clock frozen, not one of the 40k increments may be lost *)
+  check float_ "40k increments, none lost" 40_000. (Window.sum_window c);
+  check int_ "40k observations" 40_000 (Window.count h);
+  check int_ "slow tier agrees" 40_000 (Window.count ~tier:Window.Slow h);
+  check bool_ "quantile defined" true (not (Float.is_nan (Window.quantile h 0.5)))
+
+let test_steady_state_allocation () =
+  with_clean @@ fun () ->
+  let _t = fake_clock () in
+  let h = Window.histogram "w.alloc.h" in
+  let c = Window.counter "w.alloc.c" in
+  for _ = 1 to 1_000 do
+    Window.observe h 5.;
+    Window.incr c
+  done;
+  (* steady state: the rings are preallocated, so per-observation cost
+     is a few boxed floats at most — no per-sample data structures *)
+  let n = 50_000 in
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    Window.observe h 5.;
+    Window.incr c
+  done;
+  let per_op = (Gc.allocated_bytes () -. a0) /. float_of_int n in
+  if per_op > 128. then
+    Alcotest.failf "windowed record path allocates %.1f bytes/op" per_op
+
+let test_disabled_records_nothing () =
+  with_clean @@ fun () ->
+  let _t = fake_clock () in
+  let c = Window.counter "w.off.ctr" in
+  let h = Window.histogram "w.off.h" in
+  Window.set_enabled false;
+  Window.incr c;
+  Window.observe h 5.;
+  Slo.record ~scope:"xrpc://off" ~endpoint:"e" ~dur_ms:1. ~error:true ();
+  Window.set_enabled true;
+  check float_ "counter untouched" 0. (Window.sum_window c);
+  check int_ "histogram untouched" 0 (Window.count h);
+  check int_ "no SLO entry created" 0
+    (List.length (Slo.endpoints ~scope:"xrpc://off" ()))
+
+let test_export_surfaces () =
+  with_clean @@ fun () ->
+  let _t = fake_clock () in
+  let h = Window.histogram "w.exp.ms" in
+  List.iter (Window.observe h) [ 1.; 2.; 4. ];
+  let text = Window.to_text () in
+  check bool_ "text has 1m count" true (contains text "w.exp.ms_1m_count 3");
+  check bool_ "text has p99" true (contains text "w.exp.ms_1m_p99");
+  let json = Window.to_json () in
+  check bool_ "json has series" true (contains json "\"w.exp.ms\"");
+  check bool_ "json has count" true (contains json "\"count_1m\": 3");
+  check bool_ "combined export has cumulative half" true
+    (contains (Window.export_text ()) "w.exp.ms_1m_count")
+
+(* ------------------------------------------------------------------ *)
+(* SLO: budgets, burn, probes                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_slo_budget_and_burn () =
+  with_clean @@ fun () ->
+  let t = fake_clock () in
+  let scope = "xrpc://s" in
+  for _ = 1 to 100 do
+    Slo.record ~scope ~endpoint:"q" ~dur_ms:5. ~error:false ()
+  done;
+  (match Slo.endpoints ~scope () with
+  | [ h ] ->
+      check string_ "ready on clean traffic" "ready"
+        (Slo.state_label h.Slo.h_state);
+      check float_ "full budget" 1. h.Slo.h_budget;
+      check float_ "no burn" 0. h.Slo.h_burn
+  | l -> Alcotest.failf "expected 1 endpoint, got %d" (List.length l));
+  (* 2 errors against a 1% objective on 102 requests: over budget *)
+  for _ = 1 to 2 do
+    Slo.record ~scope ~endpoint:"q" ~dur_ms:5. ~error:true ()
+  done;
+  let st, reasons = Slo.evaluate ~scope () in
+  check string_ "unready once budget exhausted" "unready" (Slo.state_label st);
+  check bool_ "reason names the budget" true
+    (List.exists (fun r -> contains r "error budget") reasons);
+  (match Slo.endpoints ~scope () with
+  | [ h ] -> check bool_ "burn rate above 1" true (h.Slo.h_burn > 1.)
+  | _ -> Alcotest.fail "endpoint vanished");
+  (* the budget is rolling: an hour later the bad window has decayed *)
+  t := 3_700_000.;
+  check string_ "budget replenished by decay" "ready"
+    (Slo.state_label (fst (Slo.evaluate ~scope ())));
+  (* latency objective: slow-but-successful traffic degrades, it does
+     not drop readiness *)
+  for _ = 1 to 15 do
+    Slo.record ~scope ~endpoint:"slow" ~dur_ms:500. ~error:false ()
+  done;
+  let st, reasons = Slo.evaluate ~scope () in
+  check string_ "degraded on p99 breach" "degraded" (Slo.state_label st);
+  check bool_ "reason names p99" true
+    (List.exists (fun r -> contains r "p99") reasons);
+  (* healthz renderings carry the state *)
+  check bool_ "healthz text" true
+    (contains (Slo.healthz_text ~scope ()) "ready: degraded");
+  check bool_ "healthz json" true
+    (contains (Slo.healthz_json ~scope ()) "\"state\": \"degraded\"")
+
+let test_slo_probes () =
+  with_clean @@ fun () ->
+  let mode = ref Slo.Probe_ok in
+  Slo.register_probe ~scope:"xrpc://p" ~name:"queue" (fun () -> !mode);
+  let state scope = Slo.state_label (fst (Slo.evaluate ~scope ())) in
+  check string_ "probe ok" "ready" (state "xrpc://p");
+  mode := Slo.Probe_degraded "queue building";
+  check string_ "probe degrades" "degraded" (state "xrpc://p");
+  mode := Slo.Probe_unready "queue saturated";
+  let st, reasons = Slo.evaluate ~scope:"xrpc://p" () in
+  check string_ "probe drops readiness" "unready" (Slo.state_label st);
+  check bool_ "probe reason is named" true
+    (List.exists (fun r -> contains r "queue: queue saturated") reasons);
+  (* a process-global probe applies to every scope *)
+  mode := Slo.Probe_ok;
+  Slo.register_probe ~name:"disk" (fun () -> Slo.Probe_degraded "disk 95% full");
+  check string_ "global probe reaches scoped healthz" "degraded"
+    (state "xrpc://p");
+  (* a raising probe reads as unready, never as a crash *)
+  Slo.register_probe ~scope:"xrpc://q" ~name:"boom" (fun () -> failwith "x");
+  check string_ "raising probe = unready" "unready" (state "xrpc://q");
+  (* scopes are isolated: peer r sees only the global probe *)
+  check string_ "other scopes unaffected" "degraded" (state "xrpc://r")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot wire format                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  with_clean @@ fun () ->
+  let sn =
+    {
+      Telemetry.sn_peer = "xrpc://p1";
+      sn_at_ms = 12345.5;
+      sn_state = "degraded";
+      sn_reasons = [ "p99 over\tobjective"; "second\nline" ];
+      sn_gauges = [ ("active", 3.); ("lag", 0.25) ];
+      sn_endpoints =
+        [
+          {
+            Telemetry.ep_name = "films:filmsByActor";
+            ep_rate = 1.5;
+            ep_err_rate = 0.01;
+            ep_p50 = 2.;
+            ep_p95 = 8.;
+            ep_p99 = 20.5;
+            ep_reqs_1m = 90.;
+          };
+        ];
+      sn_shard_version = Some 7;
+      sn_breakers = [ ("xrpc://p2", "open") ];
+    }
+  in
+  let rt = Telemetry.of_wire (Telemetry.to_wire sn) in
+  check string_ "peer" "xrpc://p1" rt.Telemetry.sn_peer;
+  check string_ "state" "degraded" rt.Telemetry.sn_state;
+  check (Alcotest.float 1e-6) "timestamp" 12345.5 rt.Telemetry.sn_at_ms;
+  (* tabs/newlines inside values are flattened to spaces, never promoted
+     to field or record separators *)
+  check
+    (Alcotest.list string_)
+    "reasons sanitized"
+    [ "p99 over objective"; "second line" ]
+    rt.Telemetry.sn_reasons;
+  check bool_ "shard version" true (rt.Telemetry.sn_shard_version = Some 7);
+  check bool_ "breakers" true
+    (rt.Telemetry.sn_breakers = [ ("xrpc://p2", "open") ]);
+  check bool_ "gauges" true
+    (List.assoc "lag" rt.Telemetry.sn_gauges = 0.25);
+  (match rt.Telemetry.sn_endpoints with
+  | [ e ] ->
+      check string_ "endpoint name" "films:filmsByActor" e.Telemetry.ep_name;
+      check (Alcotest.float 1e-6) "p99" 20.5 e.Telemetry.ep_p99;
+      check (Alcotest.float 1e-6) "reqs" 90. e.Telemetry.ep_reqs_1m
+  | l -> Alcotest.failf "expected 1 endpoint, got %d" (List.length l));
+  (* nan quantiles survive the round trip as nan, and an unreachable
+     pseudo-snapshot is wire-clean too *)
+  let u = Telemetry.unreachable ~peer:"xrpc://p3" ~at_ms:1. ~reason:"down" in
+  let u' = Telemetry.of_wire (Telemetry.to_wire u) in
+  check string_ "unreachable round-trips" "unreachable" u'.Telemetry.sn_state;
+  check (Alcotest.list string_) "reason kept" [ "down" ] u'.Telemetry.sn_reasons
+
+(* ------------------------------------------------------------------ *)
+(* Executor instrumentation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_executor_instrumentation () =
+  with_clean @@ fun () ->
+  let e = Executor.pool 2 in
+  Fun.protect ~finally:(fun () -> Executor.shutdown e) @@ fun () ->
+  let futs =
+    List.init 20 (fun i ->
+        Executor.submit e (fun () ->
+            Thread.delay 0.002;
+            i))
+  in
+  List.iteri (fun i f -> check int_ "job result" i (Executor.await f)) futs;
+  check bool_ "run_ms recorded" true
+    (Window.count (Window.histogram "executor.run_ms") >= 20);
+  check bool_ "wait_ms recorded" true
+    (Window.count (Window.histogram "executor.wait_ms") >= 20);
+  check bool_ "run p99 defined" true
+    (not (Float.is_nan (Window.quantile (Window.histogram "executor.run_ms") 0.99)));
+  check int_ "sequential executor has no queue" 0
+    (Executor.queue_depth Executor.sequential)
+
+(* ------------------------------------------------------------------ *)
+(* /healthz flip under seeded Simnet chaos                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_healthz_flip_under_chaos () =
+  with_clean @@ fun () ->
+  let t = Cluster.create ~names:[ "x"; "y" ] () in
+  (* the windows tick on the virtual clock: deterministic decay *)
+  Trace.set_clock (fun () -> Cluster.clock_ms t);
+  Cluster.register_module_everywhere t ~uri:Testmod.module_ns
+    ~location:Testmod.module_at Testmod.test_module;
+  (* x forwards every poke to y — y's death becomes x's served Faults *)
+  Cluster.register_module_everywhere t ~uri:"relay"
+    ~location:"http://x.example.org/relay.xq"
+    {|module namespace r = "relay";
+import module namespace t = "test" at "http://x.example.org/test.xq";
+declare function r:poke() { execute at {"xrpc://y"} {t:echoVoid()} };|};
+  let c = Cluster.client t in
+  let poke () =
+    try
+      ignore
+        (Xrpc_client.call c ~dest:"xrpc://x" ~module_uri:"relay"
+           ~location:"http://x.example.org/relay.xq" ~fn:"poke" []);
+      true
+    with _ -> false
+  in
+  let state () = fst (Slo.evaluate ~scope:"xrpc://x" ()) in
+  for i = 1 to 15 do
+    check bool_ (Printf.sprintf "clean poke %d" i) true (poke ())
+  done;
+  check string_ "ready after clean traffic" "ready"
+    (Slo.state_label (state ()));
+  (* seeded chaos + the dependency gone: the pokes x still receives
+     come back as Faults and burn its error budget *)
+  Cluster.inject_faults t (Simnet.chaos ~seed:11 ~loss:0.2 ());
+  Cluster.crash t "y";
+  let n = ref 0 in
+  while state () <> Slo.Unready && !n < 300 do
+    incr n;
+    ignore (poke ())
+  done;
+  check string_ "unready once the budget is spent" "unready"
+    (Slo.state_label (state ()));
+  let hz = Slo.healthz_json ~scope:"xrpc://x" () in
+  check bool_ "healthz says not ready" true (contains hz "\"ready\": false");
+  check bool_ "healthz carries the budget reason" true
+    (contains hz "error budget");
+  (* recovery: faults off, y back, and the bad hour ages out of the
+     slow window — the budget replenishes by decay, no reset step *)
+  Cluster.clear_faults t;
+  Cluster.heal t;
+  Cluster.restart t "y";
+  Simnet.sleep (Cluster.net t) 3_660_000.;
+  check string_ "ready again after the window turns over" "ready"
+    (Slo.state_label (state ()));
+  for i = 1 to 5 do
+    check bool_ (Printf.sprintf "recovered poke %d" i) true (poke ())
+  done;
+  check string_ "stays ready under clean traffic" "ready"
+    (Slo.state_label (state ()))
+
+(* ------------------------------------------------------------------ *)
+(* Federation aggregation over a 4-peer cluster                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_health_federation () =
+  with_clean @@ fun () ->
+  let names = [ "a"; "b"; "c"; "d" ] in
+  let uris = List.map (fun n -> "xrpc://" ^ n) names in
+  (* no_faults still installs the fault machinery, so [crash] works *)
+  let t = Cluster.create ~faults:Simnet.no_faults ~names () in
+  Trace.set_clock (fun () -> Cluster.clock_ms t);
+  Cluster.register_module_everywhere t ~uri:Testmod.module_ns
+    ~location:Testmod.module_at Testmod.test_module;
+  (* a shard ring so every snapshot reports a map version *)
+  Cluster.set_shard_map t (Some (Shard.create ~replicas:2 uris));
+  let c = Cluster.client t in
+  List.iter
+    (fun dest ->
+      for i = 1 to 12 do
+        ignore
+          (Xrpc_client.call c ~dest ~module_uri:Testmod.module_ns
+             ~location:Testmod.module_at ~fn:"ping"
+             [ [ Xdm.int i ] ])
+      done)
+    uris;
+  let cv = Cluster.cluster_health t in
+  check int_ "one snapshot per peer" 4 (List.length cv.Telemetry.cv_peers);
+  check string_ "cluster healthy" "ready" cv.Telemetry.cv_state;
+  check bool_ "shard versions reported" true
+    (List.length cv.Telemetry.cv_shard_versions = 4);
+  check bool_ "shard map agreed" true cv.Telemetry.cv_shard_agree;
+  check bool_ "hot endpoints surfaced" true (cv.Telemetry.cv_hot <> []);
+  List.iter
+    (fun sn ->
+      let uri = sn.Telemetry.sn_peer in
+      check bool_ "peer uri known" true (List.mem uri uris);
+      (* the scraped state agrees with the peer's own /healthz *)
+      check string_ (uri ^ " state agrees with its healthz")
+        (Slo.state_label (fst (Slo.evaluate ~scope:uri ())))
+        sn.Telemetry.sn_state;
+      check bool_ (uri ^ " healthz.json ready") true
+        (contains (Slo.healthz_json ~scope:uri ()) "\"ready\": true");
+      match
+        List.find_opt
+          (fun e -> e.Telemetry.ep_name = "test:ping")
+          sn.Telemetry.sn_endpoints
+      with
+      | None -> Alcotest.failf "%s snapshot lacks the ping endpoint" uri
+      | Some e ->
+          check (Alcotest.float 1e-6) (uri ^ " windowed request count") 12.
+            e.Telemetry.ep_reqs_1m;
+          check bool_ (uri ^ " windowed p99 present") true
+            (not (Float.is_nan e.Telemetry.ep_p99));
+          (* the wire p99 is the peer's own windowed quantile (mod the
+             %.6g wire rounding) *)
+          let local =
+            List.find
+              (fun (h : Slo.endpoint_health) -> h.Slo.h_endpoint = "test:ping")
+              (Slo.endpoints ~scope:uri ())
+          in
+          check bool_ (uri ^ " p99 agrees with local window") true
+            (Float.abs (e.Telemetry.ep_p99 -. local.Slo.h_p99)
+            <= 0.001 *. Float.max 1. local.Slo.h_p99))
+    cv.Telemetry.cv_peers;
+  check bool_ "cluster json renders" true
+    (contains (Telemetry.cluster_json cv) "\"state\": \"ready\"");
+  (* kill one member: the very next scrape (well within one window
+     tier) must show it unhealthy rather than dropping it *)
+  Cluster.crash t "d";
+  let cv = Cluster.cluster_health t in
+  check int_ "dead peer still in the view" 4
+    (List.length cv.Telemetry.cv_peers);
+  let dead =
+    List.find
+      (fun sn -> sn.Telemetry.sn_peer = "xrpc://d")
+      cv.Telemetry.cv_peers
+  in
+  check string_ "dead peer unreachable" "unreachable"
+    dead.Telemetry.sn_state;
+  check string_ "worst state wins" "unreachable" cv.Telemetry.cv_state;
+  List.iter
+    (fun sn ->
+      if sn.Telemetry.sn_peer <> "xrpc://d" then
+        check string_ (sn.Telemetry.sn_peer ^ " still ready") "ready"
+          sn.Telemetry.sn_state)
+    cv.Telemetry.cv_peers;
+  check bool_ "cluster text renders the outage" true
+    (contains (Telemetry.cluster_text cv) "unreachable")
+
+(* ------------------------------------------------------------------ *)
+(* HTTP monitoring routes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let http_get port path =
+  let fd = connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  let req =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+      path
+  in
+  let n = String.length req in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd req !sent (n - !sent)
+  done;
+  let buf = Buffer.create 1024 in
+  let b = Bytes.create 4096 in
+  let rec loop () =
+    let n = Unix.read fd b 0 4096 in
+    if n > 0 then begin
+      Buffer.add_subbytes buf b 0 n;
+      loop ()
+    end
+  in
+  (try loop () with _ -> ());
+  Buffer.contents buf
+
+let test_http_monitoring_routes () =
+  with_clean @@ fun () ->
+  let peer = Peer.create "xrpc://127.0.0.1:0" in
+  let server = Server.create ~config:(Server.config ~port:0 ~workers:2 ()) peer in
+  Fun.protect ~finally:(fun () -> Server.stop server)
+  @@ fun () ->
+  let port = Server.start server in
+  let hz = http_get port "/healthz" in
+  check bool_ "healthz 200" true (contains hz "200 OK");
+  check bool_ "healthz liveness" true (contains hz "live: ok");
+  check bool_ "healthz ready" true (contains hz "ready: ready");
+  let hj = http_get port "/healthz.json" in
+  check bool_ "healthz.json live" true (contains hj "\"live\": true");
+  check bool_ "healthz.json ready" true (contains hj "\"ready\": true");
+  let cz = http_get port "/clusterz.json" in
+  check bool_ "clusterz has the self peer" true (contains cz "\"peers\"");
+  check bool_ "clusterz state" true (contains cz "\"state\": \"ready\"");
+  check bool_ "clusterz text renders" true
+    (contains (http_get port "/clusterz") "cluster: ready");
+  check bool_ "metrics exports windowed series" true
+    (contains (http_get port "/metrics") "evloop.");
+  check bool_ "windowz.json parses as an object" true
+    (contains (http_get port "/windowz.json") "{");
+  check bool_ "statz has the windowed block" true
+    (contains (http_get port "/statz") "window.");
+  (* the GETs above went through the route SLO layer: they are
+     endpoints of this peer's healthz now *)
+  check bool_ "routes tracked as endpoints" true
+    (contains (http_get port "/healthz") "/metrics")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "window",
+        [
+          Alcotest.test_case "counter rotation on virtual clock" `Quick
+            test_counter_rotation;
+          Alcotest.test_case "histogram quantiles decay bucket-by-bucket"
+            `Quick test_histogram_quantiles_rotation;
+          Alcotest.test_case "gauges and clock rewinds" `Quick
+            test_gauge_and_rewind;
+          Alcotest.test_case "4 concurrent observers lose nothing" `Quick
+            test_concurrent_observers;
+          Alcotest.test_case "steady state allocates no structures" `Quick
+            test_steady_state_allocation;
+          Alcotest.test_case "disabled flag gates every record" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "text/json export surfaces" `Quick
+            test_export_surfaces;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "error budget, burn and decay" `Quick
+            test_slo_budget_and_burn;
+          Alcotest.test_case "probes: scoped, global, raising" `Quick
+            test_slo_probes;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "snapshot wire round-trip" `Quick
+            test_wire_roundtrip;
+          Alcotest.test_case "executor wait/run instrumentation" `Quick
+            test_executor_instrumentation;
+        ] );
+      ( "federation",
+        [
+          Alcotest.test_case "healthz flips under seeded chaos" `Quick
+            test_healthz_flip_under_chaos;
+          Alcotest.test_case "4-peer cluster health view" `Quick
+            test_cluster_health_federation;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "monitoring routes end-to-end" `Quick
+            test_http_monitoring_routes;
+        ] );
+    ]
